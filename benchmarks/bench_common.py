@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness (imported by bench modules)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+SCALE = max(1, int(os.environ.get("REPRO_SCALE", "1")))
+TRAIN_JOBS = 10 * SCALE
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+SYSTEMS = ("mapreduce", "spark", "tez")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures: corpora, trained models, campaigns.
+
+Scale is controlled by ``REPRO_SCALE`` (default 1): training-job counts
+multiply by it.  The paper trains on 100 jobs per system and detects over
+30; the default here is sized to regenerate every table's *shape* in a few
+minutes on one core.  Result tables are written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IntelLog
+from repro.simulators import WorkloadGenerator, sessions_of
+
+from bench_common import SYSTEMS, TRAIN_JOBS
+
+
+@pytest.fixture(scope="session")
+def generators():
+    return {
+        system: WorkloadGenerator(seed=100 + i)
+        for i, system in enumerate(SYSTEMS)
+    }
+
+
+@pytest.fixture(scope="session")
+def training_jobs(generators):
+    return {
+        system: generators[system].run_batch(system, TRAIN_JOBS)
+        for system in SYSTEMS
+    }
+
+
+@pytest.fixture(scope="session")
+def models(training_jobs):
+    out = {}
+    for system in SYSTEMS:
+        intellog = IntelLog()
+        intellog.train(sessions_of(training_jobs[system]))
+        out[system] = intellog
+    return out
+
+
+@pytest.fixture(scope="session")
+def campaigns(generators, models):
+    """The paper's §6.4 detection campaign per system (30 labelled jobs).
+
+    Built after models so the generators' RNG streams used for training
+    stay stable across benchmarks.
+    """
+    return {
+        system: generators[system].detection_campaign(system)
+        for system in SYSTEMS
+    }

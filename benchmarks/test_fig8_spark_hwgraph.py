@@ -1,0 +1,79 @@
+"""Figure 8: the Spark HW-graph.
+
+The paper's figure shows (a) the hierarchical relations between Spark's
+entity groups — 'acl' first; 'memory', 'directory', 'driver' and 'block'
+as long-lived parents; 'task'/'fetch' activity nested within; 'shutdown'
+after 'task' and 'directory' — and (b) per-group subroutines, e.g. group
+'block' with s1 (BlockManager ids: registering/registered/initialized),
+s2 (block ids: stored) and s3 (no identifier).
+
+This bench renders the trained Spark HW-graph and asserts that structure.
+"""
+
+from __future__ import annotations
+
+from repro.graph.render import render_summary, render_tree
+
+from bench_common import write_result
+
+EXPECTED_GROUPS = (
+    "acl", "memory", "directory", "driver", "block", "task", "shutdown",
+)
+
+
+def test_fig8_spark_hwgraph(benchmark, models):
+    model = models["spark"]
+
+    def run():
+        graph = model.hw_graph()
+        return graph, render_tree(graph, show_subroutines=True)
+
+    graph, tree = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "fig8_spark_hwgraph.txt",
+        render_summary(graph) + "\n\n" + tree,
+    )
+
+    # (a) hierarchy: the figure's groups all exist.
+    for label in EXPECTED_GROUPS:
+        assert label in graph.groups, f"group '{label}' missing"
+
+    # The four long-lived groups and the task group are critical.
+    critical = set(graph.critical_groups())
+    for label in ("block", "task", "driver", "memory"):
+        assert label in critical, f"group '{label}' not critical"
+
+    # (b) subroutines of group 'block': an identifier-keyed subroutine for
+    # the BlockManager bring-up, a block-id subroutine for storage, and a
+    # no-identifier subroutine (the paper's s1/s2/s3).
+    block = graph.groups["block"]
+    signatures = set(block.model.subroutines)
+    assert any("BLOCKMANAGERID" in sig or "BLOCKMANAGER" in sig
+               for sig in signatures), signatures
+    assert any(
+        sig and all("BLOCK" in t for t in sig) for sig in signatures
+    ), signatures
+    assert () in signatures, signatures
+
+    # s1's operation chain: registering -> registered -> initialized
+    # (Figure 8(b)'s block subroutine 1).
+    s1 = next(
+        sub for sig, sub in block.model.subroutines.items()
+        if sig and any("BLOCKMANAGER" in t for t in sig)
+    )
+    surface_of = {}
+    for key_id in s1.keys:
+        key = graph.intel_keys.get(key_id)
+        if key and key.operations:
+            surface_of[key_id] = key.operations[0].surface
+    chain = [surface_of.get(k, "") for k in s1.ordered_keys()]
+    for earlier, later in [("registering", "registered"),
+                           ("registered", "initialized")]:
+        assert earlier in chain and later in chain, chain
+        assert chain.index(earlier) < chain.index(later), chain
+
+    # 'task' carries the TID-keyed subroutine of Figure 4's key.
+    task = graph.groups["task"]
+    assert any(
+        "TID" in sig for sig in task.model.subroutines
+    ), set(task.model.subroutines)

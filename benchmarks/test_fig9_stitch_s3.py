@@ -1,0 +1,57 @@
+"""Figure 9: the S³ graph of Spark built by Stitch.
+
+The paper reconstructs Stitch's identifier-only view of Spark:
+``{HOST/IP} -> {EXECUTOR/CONTAINER} -> {STAGE, TASK} -> {TID}`` chained by
+1:n relations, with ``{BROADCAST}`` isolated — and contrasts it with the
+HW-graph: the S³ graph carries *no semantics* (no operations, no events),
+which is IntelLog's §6.3 comparison point.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import StitchAnalyzer
+from repro.simulators import sessions_of
+
+from bench_common import write_result
+
+
+def test_fig9_stitch_s3_graph(benchmark, models, training_jobs):
+    model = models["spark"]
+    sessions = sessions_of(training_jobs["spark"])
+
+    def run():
+        messages = model.intel_messages(sessions)
+        analyzer = StitchAnalyzer()
+        analyzer.consume_all(messages)
+        return analyzer.build()
+
+    graph = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig9_stitch_s3.txt", graph.render())
+
+    # Hierarchical 1:n chain: a stage runs many tasks/TIDs.
+    assert graph.relation("STAGE", "TID") == "1:n"
+    assert graph.relation("STAGE", "TASK") == "1:n"
+
+    # TASK and TID are interchangeable names (1:1) or chained 1:n — the
+    # figure draws {STAGE, TASK} -> {TID}.
+    assert graph.relation("TASK", "TID") in ("1:1", "1:n")
+
+    # Executors relate to tasks (each executor runs many) and BROADCAST
+    # stays isolated from the execution chain, as in the figure.
+    assert graph.relation("EXECUTOR", "TID") in ("1:n", "m:n")
+    assert "BROADCAST" in graph.types
+    broadcast_rels = {
+        graph.relation("BROADCAST", other)
+        for other in ("STAGE", "TASK", "TID")
+    }
+    assert broadcast_rels == {"empty"}
+
+    # The §6.3 contrast: the S³ graph has identifiers only — IntelLog's
+    # HW-graph additionally carries entities and operations.
+    hw = model.hw_graph()
+    semantic_ops = {
+        op.predicate
+        for key in hw.intel_keys.values()
+        for op in key.operations
+    }
+    assert len(semantic_ops) >= 10  # HW-graph semantics, absent from S³

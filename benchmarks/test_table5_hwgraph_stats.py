@@ -1,0 +1,81 @@
+"""Table 5: log and HW-graph statistics.
+
+Per system the paper reports: average session length, number of entity
+groups (all / critical), and subroutine lengths (max / avg over all groups
+/ avg over critical groups).  The headline shape: entity groups are 5-10x
+(critical groups 10-50x) fewer than the messages in a session, and the
+longest subroutine instance stays around ~20 messages — both are what make
+the HW-graph digestible for manual analysis.
+"""
+
+from __future__ import annotations
+
+from bench_common import SYSTEMS, write_result
+
+
+def stats_for(model, jobs):
+    graph = model.hw_graph()
+    session_lengths = [
+        len(session) for job in jobs for session in job.sessions
+    ]
+    avg_session = sum(session_lengths) / max(1, len(session_lengths))
+
+    groups_all = len(graph.groups)
+    critical = set(graph.critical_groups())
+
+    lengths_all: list[int] = []
+    lengths_crit: list[int] = []
+    for label, node in graph.groups.items():
+        for sub in node.model.subroutines.values():
+            lengths_all.extend(sub.instance_lengths)
+            if label in critical:
+                lengths_crit.extend(sub.instance_lengths)
+
+    return {
+        "avg_session": avg_session,
+        "max_session": max(session_lengths),
+        "groups_all": groups_all,
+        "groups_crit": len(critical),
+        "sub_max": max(lengths_all) if lengths_all else 0,
+        "sub_avg_all": (
+            sum(lengths_all) / len(lengths_all) if lengths_all else 0.0
+        ),
+        "sub_avg_crit": (
+            sum(lengths_crit) / len(lengths_crit) if lengths_crit
+            else 0.0
+        ),
+    }
+
+
+def test_table5_hwgraph_statistics(benchmark, models, training_jobs):
+    def run():
+        return {
+            system: stats_for(models[system], training_jobs[system])
+            for system in SYSTEMS
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    header = (
+        f"{'System':<11} {'avg sess len':>13} {'groups all/crit':>16} "
+        f"{'subroutine max/avg all/avg crit':>32}"
+    )
+    lines = [header, "-" * len(header)]
+    for system, s in stats.items():
+        lines.append(
+            f"{system:<11} {s['avg_session']:>13.1f} "
+            f"{s['groups_all']:>8} / {s['groups_crit']:<5} "
+            f"{s['sub_max']:>10} / {s['sub_avg_all']:.1f} / "
+            f"{s['sub_avg_crit']:.1f}"
+        )
+    write_result("table5_hwgraph_stats.txt", "\n".join(lines))
+
+    for system, s in stats.items():
+        # Paper shape: groups far fewer than session messages; critical
+        # groups a strict subset; subroutines short enough for manual
+        # analysis (paper max ~20 messages).
+        assert s["groups_all"] >= 3
+        assert 0 < s["groups_crit"] <= s["groups_all"]
+        assert s["groups_all"] < s["max_session"], system
+        assert s["sub_max"] <= 40, system
+        assert s["sub_avg_all"] <= s["sub_max"]

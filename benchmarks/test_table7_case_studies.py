@@ -1,0 +1,209 @@
+"""Table 7 + §6.4 case studies: three diagnosis walk-throughs.
+
+* Case 1 — an injected network problem in a MapReduce WordCount job:
+  IntelLog reports a small subset of problematic sessions; transforming
+  the unexpected messages to Intel Messages and applying GroupBy on
+  identifiers, then on localities, isolates fetchers failing against a
+  single host.
+* Case 2 — a performance issue: Spark KMeans and Tez Q8 under a tight
+  memory limit finish "successfully" but emit spill messages IntelLog
+  never saw in training; re-running with more memory is clean.
+* Case 3 — an unexpected bug (SPARK-19731-like): idle Spark executors
+  produce sessions with no 'task' entity group at all.
+"""
+
+from __future__ import annotations
+
+from repro.detection.report import AnomalyKind
+from repro.query import MessageStore
+from repro.simulators import (
+    FaultSpec,
+    MapReduceConfig,
+    SparkConfig,
+    TezConfig,
+)
+
+from bench_common import write_result
+
+
+def case1_network_diagnosis(models, generators):
+    model = models["mapreduce"]
+    sim = generators["mapreduce"].mapreduce
+    job = sim.run_job(
+        "wordcount",
+        MapReduceConfig(input_gb=8.0),
+        fault=FaultSpec("network", at_fraction=0.4),
+        base_time=9_000_000.0,
+    )
+    report = model.detect_job(job.sessions, job.app_id)
+
+    problematic = report.problematic_sessions
+    unexpected = [
+        anomaly
+        for session in report.sessions
+        for anomaly in session.by_kind(AnomalyKind.UNEXPECTED_MESSAGE)
+    ]
+    # Rebuild Intel Messages from the unexpected messages' extraction.
+    store = MessageStore()
+    from repro.extraction.intelkey import IntelMessage
+
+    for anomaly in unexpected:
+        extraction = anomaly.extraction
+        store.add(IntelMessage(
+            key_id="<unexpected>",
+            timestamp=anomaly.timestamp or 0.0,
+            session_id="",
+            message=anomaly.message or "",
+            identifiers=extraction.get("identifiers", {}),
+            localities=extraction.get("localities", {}),
+        ))
+
+    by_host = store.group_by_locality()
+    hosts = {h.split(":")[0] for h in by_host}
+    return {
+        "total_sessions": len(report.sessions),
+        "problematic": len(problematic),
+        "unexpected": len(unexpected),
+        "hosts": sorted(hosts),
+    }
+
+
+def case2_performance_issue(models, generators):
+    out = {}
+    spark_sim = generators["spark"].spark
+    tight = spark_sim.run_job(
+        "kmeans",
+        SparkConfig(input_gb=8.0, executor_memory_mb=512,
+                    executor_cores=4),
+        base_time=9_100_000.0,
+    )
+    report = models["spark"].detect_job(tight.sessions, tight.app_id)
+    spill_msgs = [
+        anomaly
+        for session in report.sessions
+        for anomaly in session.by_kind(AnomalyKind.UNEXPECTED_MESSAGE)
+        if "spill" in (anomaly.message or "").lower()
+    ]
+    out["spark_spill_detected"] = bool(spill_msgs)
+    out["spark_new_entities"] = sorted({
+        entity
+        for anomaly in spill_msgs
+        for entity in anomaly.extraction.get("entities", ())
+    })
+
+    roomy = spark_sim.run_job(
+        "kmeans",
+        SparkConfig(input_gb=8.0, executor_memory_mb=8192,
+                    executor_cores=4),
+        base_time=9_200_000.0,
+    )
+    out["spark_clean_after_fix"] = not models["spark"].detect_job(
+        roomy.sessions, roomy.app_id
+    ).anomalous
+
+    tez_sim = generators["tez"].tez
+    tez_tight = tez_sim.run_job(
+        "q8", TezConfig(input_gb=5.0, task_memory_mb=256),
+        base_time=9_300_000.0,
+    )
+    tez_report = models["tez"].detect_job(
+        tez_tight.sessions, tez_tight.app_id
+    )
+    tez_spills = [
+        anomaly
+        for session in tez_report.sessions
+        for anomaly in session.by_kind(AnomalyKind.UNEXPECTED_MESSAGE)
+        if "spill" in (anomaly.message or "").lower()
+    ]
+    out["tez_spill_detected"] = bool(tez_spills)
+    out["tez_spill_has_disk_path"] = any(
+        anomaly.extraction.get("localities")
+        for anomaly in tez_spills
+    )
+    tez_roomy = tez_sim.run_job(
+        "q8", TezConfig(input_gb=5.0, task_memory_mb=4096),
+        base_time=9_400_000.0,
+    )
+    out["tez_clean_after_fix"] = not models["tez"].detect_job(
+        tez_roomy.sessions, tez_roomy.app_id
+    ).anomalous
+    return out
+
+
+def case3_idle_executor_bug(models, generators):
+    spark_sim = generators["spark"].spark
+    job = spark_sim.run_job(
+        "wordcount",
+        SparkConfig(input_gb=1.0, executors=8,
+                    executor_memory_mb=16384),
+        base_time=9_500_000.0,
+        idle_executor_bug=True,
+    )
+    report = models["spark"].detect_job(job.sessions, job.app_id)
+    missing_task_sessions = [
+        session
+        for session in report.sessions
+        if any(
+            anomaly.group == "task"
+            for anomaly in session.by_kind(AnomalyKind.MISSING_GROUP)
+        )
+    ]
+    return {
+        "total_sessions": len(report.sessions),
+        "sessions_without_task_group": len(missing_task_sessions),
+    }
+
+
+def test_case_studies(benchmark, models, generators):
+    def run():
+        return {
+            "case1": case1_network_diagnosis(models, generators),
+            "case2": case2_performance_issue(models, generators),
+            "case3": case3_idle_executor_bug(models, generators),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    case1, case2, case3 = (
+        results["case1"], results["case2"], results["case3"],
+    )
+
+    lines = [
+        "Case 1 (MapReduce WordCount, network problem):",
+        f"  problematic sessions: {case1['problematic']} / "
+        f"{case1['total_sessions']}",
+        f"  unexpected messages: {case1['unexpected']}",
+        f"  GroupBy locality isolates host(s): {case1['hosts']}",
+        "",
+        "Case 2 (performance issue via memory pressure):",
+        f"  Spark KMeans spill detected: "
+        f"{case2['spark_spill_detected']} "
+        f"(new entities: {case2['spark_new_entities']})",
+        f"  Spark clean after raising memory: "
+        f"{case2['spark_clean_after_fix']}",
+        f"  Tez Q8 spill detected: {case2['tez_spill_detected']} "
+        f"(disk path in extraction: "
+        f"{case2['tez_spill_has_disk_path']})",
+        f"  Tez clean after raising memory: "
+        f"{case2['tez_clean_after_fix']}",
+        "",
+        "Case 3 (SPARK-19731-like idle executors):",
+        f"  sessions with no 'task' group: "
+        f"{case3['sessions_without_task_group']} / "
+        f"{case3['total_sessions']}",
+    ]
+    write_result("table7_case_studies.txt", "\n".join(lines))
+
+    # Case 1: detection narrows the analysis range and one host remains.
+    assert 0 < case1["problematic"] < case1["total_sessions"]
+    assert case1["unexpected"] > 0
+    assert len(case1["hosts"]) == 1
+
+    # Case 2: both spills detected; fixed configs run clean.
+    assert case2["spark_spill_detected"]
+    assert case2["spark_clean_after_fix"]
+    assert case2["tez_spill_detected"]
+    assert case2["tez_spill_has_disk_path"]
+    assert case2["tez_clean_after_fix"]
+
+    # Case 3: some executor sessions miss the task group entirely.
+    assert case3["sessions_without_task_group"] > 0

@@ -1,0 +1,94 @@
+"""Table 8: anomaly detection accuracy of IntelLog vs DeepLog vs
+LogCluster.
+
+Paper numbers: IntelLog 87.23% precision / 91.11% recall / 89.13% F;
+DeepLog 8.81% precision / 100% recall (its next-key rule fires constantly
+on high-parallelism analytics logs); LogCluster 73.08% precision with
+recall N/A (it reports unseen behaviour, not every fault).
+
+Shape expectations: IntelLog's precision and F-measure beat both
+baselines; DeepLog keeps high recall but much lower precision than
+IntelLog; LogCluster reports a non-trivial precision and is not scored on
+recall.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DeepLogDetector, LogClusterDetector
+from repro.core.metrics import DetectionCounts, score_predictions
+from repro.simulators import sessions_of
+
+from bench_common import SYSTEMS, write_result
+
+
+def evaluate_all(models, training_jobs, campaigns):
+    intel_labels, intel_preds = [], []
+    deep_labels, deep_preds = [], []
+    cluster_labels, cluster_preds = [], []
+
+    for system in SYSTEMS:
+        train = sessions_of(training_jobs[system])
+        deeplog = DeepLogDetector(window=2, top_g=3)
+        deeplog.train(train)
+        logcluster = LogClusterDetector(similarity_threshold=0.8)
+        logcluster.train(train)
+        model = models[system]
+
+        for job, has_fault in campaigns[system]:
+            intel_labels.append(has_fault)
+            intel_preds.append(
+                model.detect_job(job.sessions, job.app_id).anomalous
+            )
+            deep_labels.append(has_fault)
+            deep_preds.append(deeplog.detect_job(job.sessions))
+            cluster_labels.append(has_fault)
+            cluster_preds.append(logcluster.detect_job(job.sessions))
+
+    return {
+        "IntelLog": score_predictions(intel_labels, intel_preds),
+        "DeepLog": score_predictions(deep_labels, deep_preds),
+        "LogCluster": score_predictions(cluster_labels, cluster_preds),
+    }
+
+
+def test_table8_baseline_comparison(
+    benchmark, models, training_jobs, campaigns
+):
+    results: dict[str, DetectionCounts] = benchmark.pedantic(
+        evaluate_all, args=(models, training_jobs, campaigns),
+        rounds=1, iterations=1,
+    )
+
+    header = (
+        f"{'tool':<12} {'precision':>10} {'recall':>8} {'F-measure':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for tool, counts in results.items():
+        recall = (
+            "N/A" if tool == "LogCluster" else f"{counts.recall:.2%}"
+        )
+        fmeasure = (
+            "N/A" if tool == "LogCluster" else f"{counts.f_measure:.2%}"
+        )
+        lines.append(
+            f"{tool:<12} {counts.precision:>9.2%} {recall:>8} "
+            f"{fmeasure:>10}"
+        )
+    write_result("table8_baseline_comparison.txt", "\n".join(lines))
+
+    intellog = results["IntelLog"]
+    deeplog = results["DeepLog"]
+    logcluster = results["LogCluster"]
+
+    # Paper shape: IntelLog wins on precision and F-measure.
+    assert intellog.precision > deeplog.precision
+    assert intellog.f_measure > deeplog.f_measure
+    # DeepLog keeps recall high but pays in precision on data-analytics
+    # logs (the paper's core comparison point).
+    assert deeplog.recall >= 0.9
+    assert deeplog.precision <= intellog.precision - 0.15
+    # LogCluster surfaces only unseen behaviour: whatever it reports is
+    # mostly real (decent precision) but it misses many faulty jobs —
+    # which is why the paper scores its recall as N/A.
+    assert logcluster.precision >= 0.5
+    assert logcluster.recall < intellog.recall

@@ -1,0 +1,96 @@
+"""Pipeline throughput microbenchmarks.
+
+Not a paper table — engineering measurements of the pipeline's hot paths,
+so regressions in the Spell matcher, the extraction pipeline or the
+detector show up in CI.  These use pytest-benchmark's statistical timing
+(multiple rounds), unlike the table benches which run once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import write_result
+
+
+@pytest.fixture(scope="module")
+def mr_corpus(training_jobs):
+    jobs = training_jobs["mapreduce"][:4]
+    return [
+        record.message
+        for job in jobs
+        for session in job.sessions
+        for record in session
+    ]
+
+
+def test_spell_matching_throughput(benchmark, models, mr_corpus):
+    """Messages/second through the trained Spell matcher."""
+    spell = models["mapreduce"].spell
+    sample = mr_corpus[:500]
+
+    def run():
+        hits = 0
+        for message in sample:
+            if spell.match(message) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert hits == len(sample)  # every training message matches
+    rate = len(sample) / benchmark.stats["mean"]
+    write_result(
+        "throughput_spell.txt",
+        f"spell matching: {rate:,.0f} messages/s "
+        f"({len(sample)} messages, mean "
+        f"{benchmark.stats['mean'] * 1e3:.1f} ms)",
+    )
+
+
+def test_intel_key_build_throughput(benchmark, models):
+    """Full §3 extraction per log key (POS tag + parse + classify)."""
+    model = models["spark"]
+    keys = model.spell.keys()
+
+    def run():
+        return [
+            model.extractor.build_intel_key(key) for key in keys
+        ]
+
+    built = benchmark(run)
+    assert len(built) == len(keys)
+
+
+def test_detection_throughput(benchmark, models, training_jobs):
+    """End-to-end session detection rate."""
+    model = models["mapreduce"]
+    sessions = [
+        session
+        for job in training_jobs["mapreduce"][:2]
+        for session in job.sessions
+    ]
+    messages = sum(len(s) for s in sessions)
+
+    def run():
+        return [model.detect_session(s) for s in sessions]
+
+    reports = benchmark(run)
+    assert len(reports) == len(sessions)
+    rate = messages / benchmark.stats["mean"]
+    write_result(
+        "throughput_detection.txt",
+        f"detection: {rate:,.0f} messages/s over {len(sessions)} "
+        f"sessions ({messages} messages)",
+    )
+
+
+def test_simulation_throughput(benchmark, generators):
+    """Log generation rate of the discrete-event simulators."""
+    generator = generators["mapreduce"]
+
+    def run():
+        spec = generator.random_spec("mapreduce")
+        return generator.run_spec(spec).total_messages()
+
+    messages = benchmark(run)
+    assert messages > 0

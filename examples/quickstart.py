@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: train IntelLog on normal runs, detect an injected fault.
+
+Walks the full Figure 2 pipeline on the bundled Spark simulator:
+
+1. generate normal-execution logs (training corpus);
+2. train — Spell log keys, Intel Keys, entity groups, the HW-graph;
+3. replay a fault-injected job and read the anomaly report.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import IntelLog
+from repro.graph.render import render_summary, render_tree
+from repro.simulators import (
+    FaultSpec,
+    SparkConfig,
+    SparkSimulator,
+    sessions_of,
+)
+
+
+def main() -> None:
+    simulator = SparkSimulator(seed=7)
+
+    # --- 1. normal-execution training corpus ---------------------------------
+    training_jobs = [
+        simulator.run_job(
+            "wordcount",
+            SparkConfig(input_gb=float(1 + i % 4)),
+            base_time=i * 10_000.0,
+        )
+        for i in range(8)
+    ]
+    training_sessions = sessions_of(training_jobs)
+    print(f"training corpus: {len(training_sessions)} sessions, "
+          f"{sum(len(s) for s in training_sessions)} messages")
+
+    # --- 2. train -------------------------------------------------------------
+    intellog = IntelLog()
+    summary = intellog.train(training_sessions)
+    print(f"learned {summary.log_keys} log keys -> "
+          f"{summary.entity_groups} entity groups "
+          f"({summary.critical_groups} critical)\n")
+
+    graph = intellog.hw_graph()
+    print(render_summary(graph))
+    print("\nHW-graph (critical groups marked '*'):")
+    print(render_tree(graph))
+
+    # --- 3. detect ---------------------------------------------------------------
+    faulty = simulator.run_job(
+        "wordcount",
+        SparkConfig(input_gb=2.0),
+        fault=FaultSpec("network", at_fraction=0.4),
+        base_time=500_000.0,
+    )
+    report = intellog.detect_job(faulty.sessions, faulty.app_id)
+    print(f"\ndetection: job {'ANOMALOUS' if report.anomalous else 'ok'}; "
+          f"{len(report.problematic_sessions)} of {len(report.sessions)} "
+          f"sessions problematic")
+    for session in report.problematic_sessions:
+        for anomaly in session.anomalies[:3]:
+            print(f"  [{session.session_id[-6:]}] {anomaly.kind.value}: "
+                  f"{anomaly.description[:90]}")
+
+    clean = simulator.run_job(
+        "wordcount", SparkConfig(input_gb=2.0), base_time=600_000.0
+    )
+    clean_report = intellog.detect_job(clean.sessions, clean.app_id)
+    print(f"\ncontrol run (no fault): "
+          f"{'ANOMALOUS' if clean_report.anomalous else 'clean'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline evaluation environment lacks ``wheel``, so PEP 660 editable
+installs fail; with this shim ``pip install -e .`` falls back to the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

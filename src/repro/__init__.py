@@ -1,0 +1,56 @@
+"""IntelLog: semantic-aware workflow construction and analysis for
+distributed data analytics systems.
+
+A full reproduction of Pi, Chen, Wang & Zhou, *"Semantic-aware Workflow
+Construction and Analysis for Distributed Data Analytics Systems"*
+(HPDC 2019).  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the per-table/figure reproduction record.
+
+Quickstart::
+
+    from repro import IntelLog
+    from repro.simulators import SparkSimulator, WorkloadGenerator
+
+    logs = SparkSimulator(seed=7).run_job("wordcount", input_gb=4)
+    intellog = IntelLog()
+    intellog.train(logs.sessions)
+    report = intellog.detect_job(new_logs.sessions)
+"""
+
+from .core import (
+    DetectionCounts,
+    IntelLog,
+    IntelLogConfig,
+    IntelLogError,
+    NotTrainedError,
+    TrainingSummary,
+    score_predictions,
+)
+from .detection import Anomaly, AnomalyKind, JobReport, SessionReport
+from .extraction import IntelKey, IntelMessage
+from .graph import HWGraph
+from .parsing import LogRecord, Session, SpellParser, split_sessions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Anomaly",
+    "AnomalyKind",
+    "DetectionCounts",
+    "HWGraph",
+    "IntelKey",
+    "IntelLog",
+    "IntelLogConfig",
+    "IntelLogError",
+    "IntelMessage",
+    "JobReport",
+    "LogRecord",
+    "NotTrainedError",
+    "Session",
+    "SessionReport",
+    "SpellParser",
+    "TrainingSummary",
+    "score_predictions",
+    "split_sessions",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Comparison baselines: DeepLog, LogCluster and Stitch re-implementations."""
+
+from .deeplog import DeepLogDetector, DeepLogReport
+from .logcluster import ClusterReport, LogClusterDetector
+from .stitch import (
+    EMPTY,
+    M_TO_N,
+    ONE_TO_N,
+    ONE_TO_ONE,
+    S3Graph,
+    StitchAnalyzer,
+)
+
+__all__ = [
+    "ClusterReport",
+    "DeepLogDetector",
+    "DeepLogReport",
+    "EMPTY",
+    "LogClusterDetector",
+    "M_TO_N",
+    "ONE_TO_N",
+    "ONE_TO_ONE",
+    "S3Graph",
+    "StitchAnalyzer",
+]

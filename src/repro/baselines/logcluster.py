@@ -1,0 +1,149 @@
+"""LogCluster-style log clustering (Lin et al., ICSE'16).
+
+LogCluster reduces manual log examination for service systems: log
+sequences are vectorized with IDF and contrast weighting, clustered
+agglomeratively, and a knowledge base keeps one representative per cluster.
+At detection time, a sequence that matches no known cluster is reported
+for examination.  The paper's Table 8 scores its precision on the reported
+logs (recall is N/A because LogCluster does not aim to flag every faulty
+session — only to surface unseen behaviour).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..parsing.records import Session
+from ..parsing.spell import SpellParser
+
+
+@dataclass(slots=True)
+class ClusterReport:
+    """Detection verdict for one session."""
+
+    session_id: str
+    reported: bool
+    best_similarity: float
+    nearest_cluster: int | None = None
+
+
+class LogClusterDetector:
+    """Agglomerative clustering of sessions in log-key vector space."""
+
+    def __init__(
+        self,
+        similarity_threshold: float = 0.6,
+        spell: SpellParser | None = None,
+    ) -> None:
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in (0, 1]")
+        self.threshold = similarity_threshold
+        self.spell = spell or SpellParser()
+        self._own_spell = spell is None
+        self._idf: dict[str, float] = {}
+        self._vocab: list[str] = []
+        self._vocab_index: dict[str, int] = {}
+        self._centroids: list[np.ndarray] = []
+        self._cluster_sizes: list[int] = []
+
+    # -- training -------------------------------------------------------------
+
+    def train(self, sessions: Iterable[Session]) -> None:
+        sessions = list(sessions)
+        key_bags: list[Counter] = []
+        doc_freq: Counter = Counter()
+        for session in sessions:
+            bag = self._key_bag(session, learn=self._own_spell)
+            key_bags.append(bag)
+            doc_freq.update(set(bag))
+
+        n_docs = max(1, len(sessions))
+        self._vocab = sorted(doc_freq)
+        self._vocab_index = {k: i for i, k in enumerate(self._vocab)}
+        self._idf = {
+            key: math.log(n_docs / doc_freq[key])
+            for key in self._vocab
+        }
+
+        vectors = [self._vectorize(bag) for bag in key_bags]
+
+        # Agglomerative clustering by cosine similarity: greedy assignment
+        # to the nearest existing centroid above the threshold.
+        for vector in vectors:
+            best, best_sim = None, 0.0
+            for index, centroid in enumerate(self._centroids):
+                sim = _cosine(vector, centroid)
+                if sim > best_sim:
+                    best, best_sim = index, sim
+            if best is not None and best_sim >= self.threshold:
+                size = self._cluster_sizes[best]
+                self._centroids[best] = (
+                    self._centroids[best] * size + vector
+                ) / (size + 1)
+                self._cluster_sizes[best] += 1
+            else:
+                self._centroids.append(vector)
+                self._cluster_sizes.append(1)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._centroids)
+
+    # -- detection ---------------------------------------------------------------
+
+    def detect_session(self, session: Session) -> ClusterReport:
+        bag = self._key_bag(session, learn=False)
+        vector = self._vectorize(bag)
+        best, best_sim = None, 0.0
+        for index, centroid in enumerate(self._centroids):
+            sim = _cosine(vector, centroid)
+            if sim > best_sim:
+                best, best_sim = index, sim
+        return ClusterReport(
+            session_id=session.session_id,
+            reported=best_sim < self.threshold,
+            best_similarity=best_sim,
+            nearest_cluster=best,
+        )
+
+    def detect_job(self, sessions: list[Session]) -> bool:
+        return any(self.detect_session(s).reported for s in sessions)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _key_bag(self, session: Session, learn: bool) -> Counter:
+        bag: Counter = Counter()
+        for record in session:
+            if learn:
+                bag[self.spell.consume(record.message).key_id] += 1
+            else:
+                match = self.spell.match(record.message)
+                bag[match.key.key_id if match else "<unk>"] += 1
+        return bag
+
+    def _vectorize(self, bag: Counter) -> np.ndarray:
+        vector = np.zeros(len(self._vocab) + 1)
+        for key, count in bag.items():
+            index = self._vocab_index.get(key)
+            # Contrast weighting: unseen keys get a strong weight in the
+            # shared out-of-vocabulary slot.
+            if index is None:
+                vector[-1] += count * 2.0
+            else:
+                # Sub-linear TF x IDF (+epsilon so ubiquitous keys count).
+                vector[index] = (1 + math.log(count)) * (
+                    self._idf.get(key, 0.0) + 0.1
+                )
+        return vector
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denom)

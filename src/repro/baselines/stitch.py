@@ -1,0 +1,179 @@
+"""Stitch-style S³ graph reconstruction (Zhao et al., OSDI'16).
+
+Stitch reconstructs system workflows *solely from identifiers*: it mines
+the identifier values in logs and classifies every identifier-type pair by
+the cardinality of their co-occurrence mapping —
+
+* ``1:1``  the identifiers are interchangeable names of the same object;
+* ``1:n``  hierarchical containment (one stage runs many TIDs);
+* ``m:n``  only the pair unambiguously identifies an object;
+* ``empty`` the types never co-occur.
+
+The S³ graph (paper Figure 9) chains types by ``1:n`` edges.  Compared to
+IntelLog's HW-graph it carries no semantics — the paper's point in §6.3 —
+and this module exists to reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..extraction.intelkey import IntelMessage
+
+EMPTY = "empty"
+ONE_TO_ONE = "1:1"
+ONE_TO_N = "1:n"
+M_TO_N = "m:n"
+
+
+@dataclass(slots=True)
+class S3Graph:
+    """The identifier-relationship graph."""
+
+    types: list[str] = field(default_factory=list)
+    #: (a, b) -> relation, with a < b lexicographically for 1:1/m:n; for
+    #: 1:n the key is (parent, child).
+    relations: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: Lifespan of each identifier value: type -> value -> (first, last).
+    lifespans: dict[str, dict[str, tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    def relation(self, a: str, b: str) -> str:
+        if (a, b) in self.relations:
+            return self.relations[(a, b)]
+        rel = self.relations.get((b, a), EMPTY)
+        if rel == ONE_TO_N:
+            return "n:1"
+        return rel
+
+    def children(self, parent: str) -> list[str]:
+        return sorted(
+            b for (a, b), rel in self.relations.items()
+            if a == parent and rel == ONE_TO_N
+        )
+
+    def roots(self) -> list[str]:
+        """Types that are 1:n parents but nobody's 1:n child."""
+        child_types = {
+            b for (_, b), rel in self.relations.items() if rel == ONE_TO_N
+        }
+        parent_types = {
+            a for (a, _), rel in self.relations.items() if rel == ONE_TO_N
+        }
+        return sorted(parent_types - child_types)
+
+    def isolated(self) -> list[str]:
+        """Types with no non-empty relation (Figure 9's BROADCAST)."""
+        related: set[str] = set()
+        for (a, b), rel in self.relations.items():
+            if rel != EMPTY:
+                related.add(a)
+                related.add(b)
+        return sorted(set(self.types) - related)
+
+    def merged_aliases(self) -> list[tuple[str, str]]:
+        """1:1 pairs (interchangeable identifiers, e.g. HOST / IP ADDR)."""
+        return sorted(
+            pair for pair, rel in self.relations.items()
+            if rel == ONE_TO_ONE
+        )
+
+    def render(self) -> str:
+        """Figure 9-style rendering: 1:n chains plus isolated types."""
+        lines: list[str] = []
+        for pair, rel in sorted(self.relations.items()):
+            if rel != EMPTY:
+                lines.append(f"{{{pair[0]}}} -[{rel}]-> {{{pair[1]}}}")
+        for lone in self.isolated():
+            lines.append(f"{{{lone}}}")
+        return "\n".join(lines)
+
+
+class StitchAnalyzer:
+    """Builds an S³ graph from Intel Messages' identifier fields.
+
+    (Stitch mines raw logs with its own regexes; here the identifier
+    occurrences are shared with IntelLog's extraction so the comparison
+    isolates the *modelling* difference, not the field recognition.)
+    """
+
+    def __init__(self) -> None:
+        # type -> value -> set of (other_type, other_value) co-occurrences
+        self._co: dict[str, dict[str, set[tuple[str, str]]]] = (
+            defaultdict(lambda: defaultdict(set))
+        )
+        self._types: set[str] = set()
+        self._lifespans: dict[str, dict[str, list[float]]] = defaultdict(
+            dict
+        )
+
+    def consume(self, message: IntelMessage) -> None:
+        pairs = [
+            (id_type, value)
+            for id_type, values in message.identifiers.items()
+            for value in values
+        ]
+        # Localities participate too (HOST / IP ADDR in Figure 9).
+        for name, values in message.localities.items():
+            for value in values:
+                pairs.append((name.upper(), value))
+        for id_type, value in pairs:
+            self._types.add(id_type)
+            stamps = self._lifespans[id_type].setdefault(
+                value, [message.timestamp, message.timestamp]
+            )
+            stamps[0] = min(stamps[0], message.timestamp)
+            stamps[1] = max(stamps[1], message.timestamp)
+        for i, (type_a, value_a) in enumerate(pairs):
+            for type_b, value_b in pairs[i + 1:]:
+                if type_a == type_b:
+                    continue
+                self._co[type_a][value_a].add((type_b, value_b))
+                self._co[type_b][value_b].add((type_a, value_a))
+
+    def consume_all(self, messages: Iterable[IntelMessage]) -> None:
+        for message in messages:
+            self.consume(message)
+
+    def build(self) -> S3Graph:
+        graph = S3Graph(types=sorted(self._types))
+        graph.lifespans = {
+            id_type: {
+                value: (stamps[0], stamps[1])
+                for value, stamps in values.items()
+            }
+            for id_type, values in self._lifespans.items()
+        }
+        types = sorted(self._types)
+        for i, type_a in enumerate(types):
+            for type_b in types[i + 1:]:
+                rel = self._classify(type_a, type_b)
+                if rel == "n:1":
+                    graph.relations[(type_b, type_a)] = ONE_TO_N
+                elif rel != EMPTY:
+                    graph.relations[(type_a, type_b)] = rel
+        return graph
+
+    def _classify(self, type_a: str, type_b: str) -> str:
+        fanout_ab = self._fanout(type_a, type_b)
+        fanout_ba = self._fanout(type_b, type_a)
+        if fanout_ab == 0 and fanout_ba == 0:
+            return EMPTY
+        if fanout_ab <= 1 and fanout_ba <= 1:
+            return ONE_TO_ONE
+        if fanout_ab > 1 and fanout_ba <= 1:
+            return ONE_TO_N  # one a maps to many b: a is the parent
+        if fanout_ba > 1 and fanout_ab <= 1:
+            return "n:1"  # caller flips to (b, a) 1:n
+        return M_TO_N
+
+    def _fanout(self, type_a: str, type_b: str) -> int:
+        """Max number of distinct b-values any single a-value maps to."""
+        fanout = 0
+        for value_a, partners in self._co[type_a].items():
+            count = sum(1 for t, _ in partners if t == type_b)
+            fanout = max(fanout, count)
+        return fanout

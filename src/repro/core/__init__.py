@@ -1,0 +1,24 @@
+"""Core façade: the IntelLog train/detect API, config, metrics, errors."""
+
+from .config import IntelLogConfig
+from .errors import (
+    ConfigurationError,
+    FormatterError,
+    IntelLogError,
+    NotTrainedError,
+)
+from .intellog import IntelLog, TrainingSummary
+from .metrics import DetectionCounts, ExtractionAccuracy, score_predictions
+
+__all__ = [
+    "ConfigurationError",
+    "DetectionCounts",
+    "ExtractionAccuracy",
+    "FormatterError",
+    "IntelLog",
+    "IntelLogConfig",
+    "IntelLogError",
+    "NotTrainedError",
+    "TrainingSummary",
+    "score_predictions",
+]

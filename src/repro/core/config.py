@@ -1,0 +1,28 @@
+"""Configuration for the IntelLog pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..detection.detector import DetectorConfig
+from .errors import ConfigurationError
+
+
+@dataclass(slots=True)
+class IntelLogConfig:
+    """End-to-end configuration.
+
+    ``spell_tau`` is the Spell matching threshold ``t`` (paper §5 sets it to
+    1.7 empirically).  ``formatter`` names the log formatter used for raw
+    line input ("hadoop", "spark", "tez", "generic", ...).
+    """
+
+    spell_tau: float = 1.7
+    formatter: str = "generic"
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+
+    def validate(self) -> None:
+        if self.spell_tau <= 1.0:
+            raise ConfigurationError(
+                f"spell_tau must be > 1, got {self.spell_tau}"
+            )

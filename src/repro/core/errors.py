@@ -1,0 +1,19 @@
+"""Exception hierarchy for the IntelLog reproduction."""
+
+from __future__ import annotations
+
+
+class IntelLogError(Exception):
+    """Base class for all library errors."""
+
+
+class NotTrainedError(IntelLogError):
+    """Detection was requested before :meth:`IntelLog.train` completed."""
+
+
+class FormatterError(IntelLogError):
+    """A raw log line could not be parsed by the selected formatter."""
+
+
+class ConfigurationError(IntelLogError):
+    """Invalid configuration values."""

@@ -1,0 +1,191 @@
+"""The IntelLog façade: train on normal sessions, detect on new ones.
+
+This is the library's primary entry point, mirroring Figure 2's four stages:
+
+1. **Log key extraction** — Spell over the training messages;
+2. **Entity extraction** — every log key becomes an Intel Key (§3);
+3. **HW-graph modelling** — grouping, subroutines, lifespans (§4.1);
+4. **Anomaly detection** — new sessions checked against the model (§4.2).
+
+Typical use::
+
+    from repro import IntelLog
+
+    intellog = IntelLog()
+    intellog.train(training_sessions)          # list[Session]
+    report = intellog.detect_job(new_sessions) # JobReport
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..detection.detector import AnomalyDetector
+from ..detection.report import JobReport, SessionReport
+from ..extraction.intelkey import IntelKey, IntelMessage
+from ..extraction.pipeline import InformationExtractor
+from ..graph.hwgraph import HWGraph, HWGraphBuilder
+from ..parsing.formatters import default_registry
+from ..parsing.records import LogRecord, Session, split_sessions
+from ..parsing.spell import SpellParser
+from .config import IntelLogConfig
+from .errors import NotTrainedError
+
+
+@dataclass(slots=True)
+class TrainingSummary:
+    """What the training phase produced."""
+
+    sessions: int
+    messages: int
+    log_keys: int
+    intel_keys: int
+    entity_groups: int
+    critical_groups: int
+    ignored_keys: int
+
+
+class IntelLog:
+    """Semantic-aware workflow construction and anomaly detection."""
+
+    def __init__(self, config: IntelLogConfig | None = None) -> None:
+        self.config = config or IntelLogConfig()
+        self.config.validate()
+        self.spell = SpellParser(tau=self.config.spell_tau)
+        self.extractor = InformationExtractor()
+        self.graph: HWGraph | None = None
+        self.intel_keys: dict[str, IntelKey] = {}
+        self._detector: AnomalyDetector | None = None
+
+    # -- training -------------------------------------------------------------
+
+    def train(self, sessions: Iterable[Session]) -> TrainingSummary:
+        """Learn log keys, Intel Keys and the HW-graph from normal runs."""
+        sessions = list(sessions)
+        message_count = 0
+
+        # Stage 1: log keys via Spell (streaming over all sessions).
+        session_keys: list[list[tuple[LogRecord, str]]] = []
+        for session in sessions:
+            pairs: list[tuple[LogRecord, str]] = []
+            for record in session:
+                key = self.spell.consume(record.message)
+                pairs.append((record, key.key_id))
+                message_count += 1
+            session_keys.append(pairs)
+
+        # Stage 2: Intel Keys.
+        self.intel_keys = self.extractor.build_all(self.spell.keys())
+
+        # Stage 3: HW-graph.
+        builder = HWGraphBuilder(self.intel_keys)
+        for session, pairs in zip(sessions, session_keys):
+            messages = self._to_messages(session, pairs)
+            builder.train_session(messages)
+        self.graph = builder.build()
+        self._detector = AnomalyDetector(
+            self.graph,
+            self.spell,
+            self.extractor,
+            self.config.detector,
+        )
+
+        return TrainingSummary(
+            sessions=len(sessions),
+            messages=message_count,
+            log_keys=len(self.spell),
+            intel_keys=len(self.intel_keys),
+            entity_groups=len(self.graph.groups),
+            critical_groups=len(self.graph.critical_groups()),
+            ignored_keys=len(self.graph.ignored_keys),
+        )
+
+    def train_lines(
+        self, lines: Iterable[str], formatter: str | None = None
+    ) -> TrainingSummary:
+        """Train from raw log lines (formatted + split into sessions)."""
+        records = self._format(lines, formatter)
+        return self.train(split_sessions(records))
+
+    # -- detection ----------------------------------------------------------------
+
+    def detect_session(self, session: Session) -> SessionReport:
+        return self._require_detector().detect_session(session)
+
+    def detect_job(
+        self, sessions: Iterable[Session], job_id: str = ""
+    ) -> JobReport:
+        return self._require_detector().detect_job(list(sessions), job_id)
+
+    def detect_lines(
+        self, lines: Iterable[str], formatter: str | None = None,
+        job_id: str = "",
+    ) -> JobReport:
+        records = self._format(lines, formatter)
+        return self.detect_job(split_sessions(records), job_id)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def hw_graph(self) -> HWGraph:
+        if self.graph is None:
+            raise NotTrainedError("call train() first")
+        return self.graph
+
+    def intel_messages(
+        self, sessions: Iterable[Session]
+    ) -> list[IntelMessage]:
+        """Transform sessions into Intel Messages using the trained keys
+        (the §6.4 query workflow; see :mod:`repro.query`)."""
+        if self.graph is None:
+            raise NotTrainedError("call train() first")
+        out: list[IntelMessage] = []
+        for session in sessions:
+            for record in session:
+                match = self.spell.match(record.message)
+                if match is None:
+                    continue
+                intel_key = self.intel_keys.get(match.key.key_id)
+                if intel_key is None:
+                    continue
+                message = self.extractor.to_intel_message(
+                    intel_key,
+                    record.message,
+                    timestamp=record.timestamp,
+                    session_id=session.session_id,
+                )
+                if message is not None:
+                    out.append(message)
+        return out
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _to_messages(
+        self, session: Session, pairs: list[tuple[LogRecord, str]]
+    ) -> list[IntelMessage]:
+        messages: list[IntelMessage] = []
+        for record, key_id in pairs:
+            intel_key = self.intel_keys.get(key_id)
+            if intel_key is None:
+                continue
+            message = self.extractor.to_intel_message(
+                intel_key,
+                record.message,
+                timestamp=record.timestamp,
+                session_id=session.session_id,
+            )
+            if message is not None:
+                messages.append(message)
+        return messages
+
+    def _format(
+        self, lines: Iterable[str], formatter: str | None
+    ) -> list[LogRecord]:
+        name = formatter or self.config.formatter
+        fmt = default_registry().get(name)
+        return list(fmt.parse_lines(lines))
+
+    def _require_detector(self) -> AnomalyDetector:
+        if self._detector is None:
+            raise NotTrainedError("call train() first")
+        return self._detector

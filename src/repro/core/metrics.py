@@ -1,0 +1,83 @@
+"""Evaluation metrics: precision, recall, F-measure (paper §6.4, Table 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionCounts:
+    """Confusion counts over a labelled set of sessions/jobs."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __add__(self, other: "DetectionCounts") -> "DetectionCounts":
+        return DetectionCounts(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+            self.true_negatives + other.true_negatives,
+        )
+
+
+def score_predictions(
+    labels: list[bool], predictions: list[bool]
+) -> DetectionCounts:
+    """Confusion counts from parallel truth/prediction vectors."""
+    if len(labels) != len(predictions):
+        raise ValueError("labels and predictions must have equal length")
+    tp = fp = fn = tn = 0
+    for truth, predicted in zip(labels, predictions):
+        if truth and predicted:
+            tp += 1
+        elif not truth and predicted:
+            fp += 1
+        elif truth and not predicted:
+            fn += 1
+        else:
+            tn += 1
+    return DetectionCounts(tp, fp, fn, tn)
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractionAccuracy:
+    """Per-field accuracy entry for Table 4: Total / FP / FN."""
+
+    total: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        extracted = self.total - self.false_negatives + self.false_positives
+        if extracted == 0:
+            return 0.0
+        return (self.total - self.false_negatives) / extracted
+
+    @property
+    def recall(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.total - self.false_negatives) / self.total
+
+    def row(self) -> str:
+        return f"{self.total} / {self.false_positives} / " \
+               f"{self.false_negatives}"

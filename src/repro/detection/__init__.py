@@ -1,0 +1,16 @@
+"""Anomaly detection: HW-graph instances and the session detector."""
+
+from .detector import AnomalyDetector, DetectorConfig
+from .instance import GroupInstance, HWGraphInstance
+from .report import Anomaly, AnomalyKind, JobReport, SessionReport
+
+__all__ = [
+    "Anomaly",
+    "AnomalyDetector",
+    "AnomalyKind",
+    "DetectorConfig",
+    "GroupInstance",
+    "HWGraphInstance",
+    "JobReport",
+    "SessionReport",
+]

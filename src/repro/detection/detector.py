@@ -1,0 +1,310 @@
+"""The anomaly detector (paper §4.2).
+
+For each incoming session the detector
+
+1. matches every log message against the learned log keys — a message with
+   no matching key is an **unexpected log message**; IntelLog still runs
+   the full §3 extraction on it so the report carries entities,
+   identifiers, values, localities and operations for diagnosis;
+2. builds a HW-graph instance and, once the session is complete, checks it
+   against the trained HW-graph: missing critical Intel Keys in subroutine
+   instances, order violations, unexpected keys inside a subroutine,
+   missing entity groups, and lifespan hierarchy violations are all
+   **erroneous HW-graph instance** anomalies.
+
+Key-value-dump keys learned during training are ignored rather than
+reported (paper §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..extraction.idvalue import FieldRole
+from ..extraction.intelkey import IntelKey, IntelMessage
+from ..extraction.pipeline import InformationExtractor
+from ..graph.hwgraph import HWGraph
+from ..graph.lifespan import BEFORE, PARENT
+from ..parsing.records import LogRecord, Session
+from ..parsing.spell import LogKey, SpellParser
+from .instance import HWGraphInstance
+from .report import Anomaly, AnomalyKind, JobReport, SessionReport
+
+#: A group must have appeared in at least this fraction of training
+#: sessions for its absence to be reported (guards against optional groups).
+_GROUP_PRESENCE_THRESHOLD = 0.999
+
+
+@dataclass(slots=True)
+class DetectorConfig:
+    """Tunables for the detection phase."""
+
+    #: Report groups that were present in (almost) all training sessions but
+    #: are absent from the detected session.
+    report_missing_groups: bool = True
+    #: Check PARENT/BEFORE lifespan relations per session.
+    check_hierarchy: bool = True
+    #: Minimum messages in a session before missing-group checks apply
+    #: (very short sessions are usually setup/teardown containers).
+    min_session_length_for_missing: int = 5
+
+
+class AnomalyDetector:
+    """Checks incoming sessions against a trained model."""
+
+    def __init__(
+        self,
+        graph: HWGraph,
+        spell: SpellParser,
+        extractor: InformationExtractor | None = None,
+        config: DetectorConfig | None = None,
+    ) -> None:
+        self.graph = graph
+        self.spell = spell
+        self.extractor = extractor or InformationExtractor()
+        self.config = config or DetectorConfig()
+
+    # -- public API ---------------------------------------------------------------
+
+    def detect_session(self, session: Session) -> SessionReport:
+        """Consume one complete session and report its anomalies."""
+        report = SessionReport(session_id=session.session_id)
+        instance = HWGraphInstance(
+            session_id=session.session_id, graph=self.graph
+        )
+
+        for record in session:
+            report.message_count += 1
+            match = self.spell.match(record.message)
+            if match is None:
+                report.anomalies.append(
+                    self._unexpected_message(record)
+                )
+                continue
+            report.matched_count += 1
+            key_id = match.key.key_id
+            if key_id in self.graph.ignored_keys:
+                continue
+            intel_key = self.graph.intel_keys.get(key_id)
+            if intel_key is None:
+                continue
+            message = self.extractor.to_intel_message(
+                intel_key,
+                record.message,
+                timestamp=record.timestamp,
+                session_id=session.session_id,
+            )
+            if message is None:
+                report.anomalies.append(self._unexpected_message(record))
+                continue
+            instance.add(message)
+
+        instance.finalize()
+        self._check_subroutines(instance, report)
+        if self.config.report_missing_groups:
+            self._check_missing_groups(instance, report)
+        if self.config.check_hierarchy:
+            self._check_hierarchy(instance, report)
+        return report
+
+    def detect_job(
+        self, sessions: list[Session], job_id: str = ""
+    ) -> JobReport:
+        report = JobReport(job_id=job_id)
+        for session in sessions:
+            report.sessions.append(self.detect_session(session))
+        return report
+
+    # -- anomaly producers -----------------------------------------------------------
+
+    def _unexpected_message(self, record: LogRecord) -> Anomaly:
+        """Build the unexpected-message anomaly with on-the-fly extraction."""
+        ad_hoc = LogKey(
+            key_id="<unexpected>",
+            tokens=_starified_template(record.message),
+            sample=record.message,
+        )
+        intel_key = self.extractor.build_intel_key(ad_hoc)
+        extraction = _extraction_summary(intel_key, self.extractor)
+        groups = sorted(
+            {
+                group.label
+                for entity in intel_key.entities
+                for group in self._groups_for_entity(entity)
+            }
+        )
+        return Anomaly(
+            kind=AnomalyKind.UNEXPECTED_MESSAGE,
+            description=f"no Intel Key matches: {record.message[:120]}",
+            group=groups[0] if groups else None,
+            message=record.message,
+            timestamp=record.timestamp,
+            extraction=extraction,
+        )
+
+    def _groups_for_entity(self, entity: str):
+        phrase = tuple(entity.split())
+        for label, node in self.graph.groups.items():
+            if phrase in node.entities:
+                yield node
+                continue
+            # Nomenclature fallback: entity shares the group's name prefix.
+            if phrase[: len(node.label.split())] == tuple(
+                node.label.split()
+            ):
+                yield node
+
+    def _check_subroutines(
+        self, instance: HWGraphInstance, report: SessionReport
+    ) -> None:
+        for label, group_instance in instance.groups.items():
+            node = self.graph.groups.get(label)
+            if node is None:
+                continue
+            for sub_instance in group_instance.instances:
+                signature = sub_instance.signature
+                model = node.model.best_match(signature)
+                if model is None:
+                    report.anomalies.append(
+                        Anomaly(
+                            kind=AnomalyKind.INCOMPLETE_SUBROUTINE,
+                            description=(
+                                f"no trained subroutine for signature "
+                                f"{signature or ('NONE',)} in group "
+                                f"'{label}'"
+                            ),
+                            group=label,
+                        )
+                    )
+                    continue
+                for problem in model.check_instance(
+                    sub_instance.key_sequence, complete=True
+                ):
+                    kind = AnomalyKind.INCOMPLETE_SUBROUTINE
+                    if problem.startswith("missing critical"):
+                        kind = AnomalyKind.MISSING_CRITICAL_KEY
+                    elif problem.startswith("order violation"):
+                        kind = AnomalyKind.ORDER_VIOLATION
+                    elif problem.startswith("unexpected key"):
+                        kind = AnomalyKind.UNEXPECTED_KEY
+                    report.anomalies.append(
+                        Anomaly(
+                            kind=kind,
+                            description=problem,
+                            group=label,
+                            key_id=_problem_key(problem),
+                        )
+                    )
+
+    def _check_missing_groups(
+        self, instance: HWGraphInstance, report: SessionReport
+    ) -> None:
+        if (
+            report.message_count
+            < self.config.min_session_length_for_missing
+        ):
+            return
+        present = instance.present_groups()
+        total = max(self.graph.training_sessions, 1)
+        for label, node in self.graph.groups.items():
+            if label in present:
+                continue
+            if not node.critical:
+                continue
+            if node.session_count / total >= _GROUP_PRESENCE_THRESHOLD:
+                report.anomalies.append(
+                    Anomaly(
+                        kind=AnomalyKind.MISSING_GROUP,
+                        description=(
+                            f"entity group '{label}' (present in "
+                            f"{node.session_count}/{total} training "
+                            f"sessions) emitted no messages"
+                        ),
+                        group=label,
+                    )
+                )
+
+    def _check_hierarchy(
+        self, instance: HWGraphInstance, report: SessionReport
+    ) -> None:
+        spans = instance.lifespans()
+        labels = sorted(spans)
+        for i, a in enumerate(labels):
+            for b in labels[i + 1:]:
+                relation = self.graph.relations.relation(a, b)
+                if relation == PARENT and not spans[a].contains(spans[b]):
+                    report.anomalies.append(
+                        Anomaly(
+                            kind=AnomalyKind.HIERARCHY_VIOLATION,
+                            description=(
+                                f"group '{b}' escaped the lifespan of its "
+                                f"parent group '{a}'"
+                            ),
+                            group=b,
+                        )
+                    )
+                elif relation == BEFORE and not spans[a].precedes(spans[b]):
+                    report.anomalies.append(
+                        Anomaly(
+                            kind=AnomalyKind.HIERARCHY_VIOLATION,
+                            description=(
+                                f"group '{a}' expected BEFORE group "
+                                f"'{b}' but lifespans overlap"
+                            ),
+                            group=a,
+                        )
+                    )
+
+
+def _starified_template(message: str) -> list[str]:
+    """Turn a raw message into a pseudo log key: variable-looking tokens
+    (identifiers, numbers, localities) become ``*`` so the §3 field
+    heuristics can classify them."""
+    from ..nlp.tokenizer import tokenize
+
+    return [
+        "*" if t.kind in ("ident", "number", "hostport", "path") else t.text
+        for t in tokenize(message)
+    ]
+
+
+def _extraction_summary(
+    intel_key: IntelKey, extractor: InformationExtractor
+) -> dict:
+    """Five-field summary of an ad-hoc extraction (for unexpected
+    messages)."""
+    message = extractor.to_intel_message(intel_key, intel_key.sample)
+    summary: dict = {
+        "entities": list(intel_key.entities),
+        "operations": [
+            {"subject": op.subject, "predicate": op.predicate,
+             "object": op.obj}
+            for op in intel_key.operations
+        ],
+    }
+    identifiers: dict[str, list[str]] = {}
+    values: dict[str, list[float]] = {}
+    localities: dict[str, list[str]] = {}
+    if message is not None:
+        identifiers = message.identifiers
+        values = message.values
+        localities = message.localities
+    else:
+        for spec in intel_key.fields:
+            if spec.role == FieldRole.IDENTIFIER:
+                identifiers.setdefault(spec.name, [])
+            elif spec.role == FieldRole.VALUE:
+                values.setdefault(spec.name, [])
+            elif spec.role == FieldRole.LOCALITY:
+                localities.setdefault(spec.name, [])
+    summary["identifiers"] = identifiers
+    summary["values"] = values
+    summary["localities"] = localities
+    return summary
+
+
+def _problem_key(problem: str) -> str | None:
+    for token in problem.split():
+        if token.startswith("K") and token[1:].isdigit():
+            return token
+    return None

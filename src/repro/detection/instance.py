@@ -1,0 +1,78 @@
+"""HW-graph instances (paper §4.2).
+
+A HW-graph *instance* mirrors the trained HW-graph's group hierarchy for one
+session: each entity group holds the session's subroutine *instances*
+(concrete message sequences keyed by identifier values).  The detector
+builds an instance per session and compares it against the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..extraction.intelkey import IntelMessage
+from ..graph.hwgraph import HWGraph
+from ..graph.lifespan import Lifespan
+from ..graph.subroutine import SubroutineInstance, assign_instances
+
+
+@dataclass(slots=True)
+class GroupInstance:
+    """One entity group's activity within a session."""
+
+    label: str
+    messages: list[IntelMessage] = field(default_factory=list)
+    instances: list[SubroutineInstance] = field(default_factory=list)
+
+    @property
+    def lifespan(self) -> Lifespan | None:
+        if not self.messages:
+            return None
+        return Lifespan(
+            self.messages[0].timestamp, self.messages[-1].timestamp
+        )
+
+    def finalize(self) -> None:
+        """Split accumulated messages into subroutine instances."""
+        self.messages.sort(key=lambda m: m.timestamp)
+        self.instances = assign_instances(self.messages)
+
+
+@dataclass(slots=True)
+class HWGraphInstance:
+    """Per-session instantiation of the HW-graph."""
+
+    session_id: str
+    graph: HWGraph
+    groups: dict[str, GroupInstance] = field(default_factory=dict)
+    #: Messages whose key belongs to no entity group.
+    ungrouped: list[IntelMessage] = field(default_factory=list)
+
+    def add(self, message: IntelMessage) -> None:
+        labels = self.graph.groups_of_message(message)
+        if not labels:
+            self.ungrouped.append(message)
+            return
+        for label in labels:
+            group = self.groups.get(label)
+            if group is None:
+                group = GroupInstance(label=label)
+                self.groups[label] = group
+            group.messages.append(message)
+
+    def finalize(self) -> None:
+        for group in self.groups.values():
+            group.finalize()
+
+    def lifespans(self) -> dict[str, Lifespan]:
+        spans: dict[str, Lifespan] = {}
+        for label, group in self.groups.items():
+            span = group.lifespan
+            if span is not None:
+                spans[label] = span
+        return spans
+
+    def present_groups(self) -> set[str]:
+        return {
+            label for label, group in self.groups.items() if group.messages
+        }

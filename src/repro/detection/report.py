@@ -1,0 +1,122 @@
+"""Anomaly report structures (paper §4.2).
+
+IntelLog reports two categories of anomalies: *unexpected log messages* and
+*erroneous HW-graph instances* (missing critical Intel Keys, abnormal
+subroutine instances, erroneous group hierarchy).  It does not claim root
+causes; it pinpoints the affected entity groups and subroutines so users can
+narrow the search (§2.3).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class AnomalyKind(str, Enum):
+    """Categories of reported anomalies."""
+
+    UNEXPECTED_MESSAGE = "unexpected_message"
+    MISSING_CRITICAL_KEY = "missing_critical_key"
+    ORDER_VIOLATION = "order_violation"
+    UNEXPECTED_KEY = "unexpected_key_in_subroutine"
+    MISSING_GROUP = "missing_group"
+    HIERARCHY_VIOLATION = "hierarchy_violation"
+    INCOMPLETE_SUBROUTINE = "incomplete_subroutine"
+
+
+@dataclass(slots=True)
+class Anomaly:
+    """One detected anomaly, pinned to a group and/or log message."""
+
+    kind: AnomalyKind
+    description: str
+    group: str | None = None
+    key_id: str | None = None
+    message: str | None = None
+    timestamp: float | None = None
+    #: Structured extraction from an unexpected message (entities,
+    #: identifiers, values, localities, operations) — §4.2 "IntelLog tries
+    #: to extract the information of the five fields from the unexpected
+    #: messages".
+    extraction: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": self.kind.value,
+            "description": self.description,
+        }
+        for name in ("group", "key_id", "message", "timestamp"):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        if self.extraction:
+            data["extraction"] = self.extraction
+        return data
+
+
+@dataclass(slots=True)
+class SessionReport:
+    """Detection verdict for one session (one YARN container)."""
+
+    session_id: str
+    anomalies: list[Anomaly] = field(default_factory=list)
+    message_count: int = 0
+    matched_count: int = 0
+
+    @property
+    def anomalous(self) -> bool:
+        return bool(self.anomalies)
+
+    @property
+    def affected_groups(self) -> list[str]:
+        return sorted(
+            {a.group for a in self.anomalies if a.group is not None}
+        )
+
+    def by_kind(self, kind: AnomalyKind) -> list[Anomaly]:
+        return [a for a in self.anomalies if a.kind == kind]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "anomalous": self.anomalous,
+            "message_count": self.message_count,
+            "matched_count": self.matched_count,
+            "affected_groups": self.affected_groups,
+            "anomalies": [a.to_dict() for a in self.anomalies],
+        }
+
+
+@dataclass(slots=True)
+class JobReport:
+    """Detection verdict for one job (all of its sessions)."""
+
+    job_id: str
+    sessions: list[SessionReport] = field(default_factory=list)
+
+    @property
+    def anomalous(self) -> bool:
+        return any(s.anomalous for s in self.sessions)
+
+    @property
+    def problematic_sessions(self) -> list[SessionReport]:
+        return [s for s in self.sessions if s.anomalous]
+
+    @property
+    def affected_groups(self) -> list[str]:
+        return sorted(
+            {g for s in self.sessions for g in s.affected_groups}
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "anomalous": self.anomalous,
+            "sessions": [s.to_dict() for s in self.sessions],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

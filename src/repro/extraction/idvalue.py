@@ -1,0 +1,197 @@
+"""Identifier vs. value classification of variable fields (paper §3.1).
+
+Both identifiers and values appear as variable fields of a log key.  The
+paper applies four heuristics *one after another*:
+
+1. filter out variable fields that carry verb POS tags or were recognised
+   as localities in the previous step;
+2. a field followed by a unit ("12 MB", "5 ms") is a **value**;
+3. a field mixing letters and digits ("attempt_01") is an **identifier**;
+4. a purely numeric field is an **identifier** when the POS tag of the word
+   before it is a noun, otherwise a **value**.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from ..nlp.lemmatizer import singularize
+from ..nlp.lexicon import is_unit
+from ..nlp.postagger import TaggedToken
+from ..nlp.tags import is_noun, is_verb
+
+from .locality import Locality, LocalityExtractor
+
+
+class FieldRole(str, Enum):
+    """Semantic role of a variable field in an Intel Key."""
+
+    IDENTIFIER = "identifier"
+    VALUE = "value"
+    LOCALITY = "locality"
+    OPERATION_WORD = "operation_word"  # verbal fields, filtered by rule 1
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class FieldClassification:
+    """Classification outcome for one variable field."""
+
+    role: FieldRole
+    #: Key under which the field is stored in the Intel Key, e.g. the
+    #: identifier type ("ATTEMPT") or the value name ("bytes").
+    name: str
+    #: Unit word when the field is a value followed by a unit.
+    unit: str | None = None
+    locality: Locality | None = None
+
+
+_MIXED_RE = re.compile(r"(?=.*[A-Za-z])(?=.*\d)")
+_NUMERIC_RE = re.compile(r"^\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
+_ID_PREFIX_RE = re.compile(r"^([A-Za-z]+)[\s_\-#.]")
+
+
+def identifier_type(field_text: str, prev_noun: str | None) -> str:
+    """Derive the capitalized identifier *type* for a field (paper §4.1:
+    "'container_01' and 'container_02' have a type of 'CONTAINER'").
+
+    The alpha prefix of a mixed identifier names its type when a separator
+    and digits follow ("container_e01_000002" -> CONTAINER); otherwise the
+    noun before the field does.
+    """
+    text = field_text.strip()
+    match = _ID_PREFIX_RE.match(text)
+    if (
+        match
+        and len(match.group(1)) >= 2
+        and any(c.isdigit() for c in text[match.end(1):])
+    ):
+        return singularize(match.group(1)).upper()
+    if prev_noun:
+        return singularize(prev_noun).upper()
+    return "ID"
+
+
+def value_name(prev_noun: str | None, unit: str | None) -> str:
+    """Storage key for a value field: its unit, else the preceding noun."""
+    if unit:
+        return unit.lower()
+    if prev_noun:
+        return singularize(prev_noun)
+    return "value"
+
+
+def locality_name(kind: str) -> str:
+    return {"dfs_path": "dfs_path", "local_path": "path",
+            "ip_port": "address", "ip": "address", "host_port": "address",
+            "hostname": "host"}.get(kind, kind)
+
+
+class FieldClassifier:
+    """Applies the paper's four heuristics to one variable field."""
+
+    def __init__(self, locality: LocalityExtractor | None = None) -> None:
+        self._locality = locality or LocalityExtractor()
+
+    def classify(
+        self,
+        field_tokens: list[TaggedToken],
+        prev_token: TaggedToken | None,
+        next_token: TaggedToken | None,
+        after_assignment: bool = False,
+    ) -> FieldClassification:
+        """Classify the sample tokens captured by one ``*`` position.
+
+        ``prev_token``/``next_token`` are the constant-template neighbours
+        of the field (None at the edges).  ``after_assignment`` marks
+        fields immediately preceded by ``=``/``:`` — "loss = 2.1" is a
+        key-value assignment, so a numeric field there is a value named by
+        the left-hand noun, not an identifier.
+        """
+        text = " ".join(t.text for t in field_tokens)
+        prev_noun = (
+            prev_token.text
+            if prev_token is not None and is_noun(prev_token.tag)
+            else None
+        )
+
+        # Heuristic 1a: verbal fields are not identifiers/values.
+        if field_tokens and all(is_verb(t.tag) for t in field_tokens):
+            return FieldClassification(FieldRole.OPERATION_WORD, "operation")
+
+        # Heuristic 1b: locality patterns.
+        loc = self._locality.classify(text)
+        if loc is None and len(field_tokens) == 1 and field_tokens[0].kind in (
+            "hostport", "path"
+        ):
+            loc = Locality(text, "host_port"
+                           if field_tokens[0].kind == "hostport" else
+                           "local_path")
+        if loc is not None:
+            return FieldClassification(
+                FieldRole.LOCALITY, locality_name(loc.kind), locality=loc
+            )
+
+        # Heuristic 2: a field followed by a unit is a value.  The unit may
+        # be inside the capture ("4 ms" captured by one star) or be the next
+        # constant token ("read * bytes").
+        if len(field_tokens) >= 2 and _NUMERIC_RE.match(
+            field_tokens[0].text
+        ) and is_unit(field_tokens[-1].text):
+            unit = field_tokens[-1].text
+            return FieldClassification(
+                FieldRole.VALUE, value_name(prev_noun, unit), unit=unit
+            )
+        if next_token is not None and is_unit(next_token.text) and (
+            _NUMERIC_RE.match(text)
+        ):
+            return FieldClassification(
+                FieldRole.VALUE,
+                value_name(prev_noun, next_token.text),
+                unit=next_token.text,
+            )
+
+        # Heuristic 3: letters mixed with numbers => identifier.
+        if _MIXED_RE.search(text.replace(" ", "")):
+            return FieldClassification(
+                FieldRole.IDENTIFIER, identifier_type(text, prev_noun)
+            )
+
+        # Heuristic 4: pure numbers — identifier iff the previous word is a
+        # noun, else value.  Assignment syntax overrides: "loss = 2.1".
+        if _NUMERIC_RE.match(text):
+            if after_assignment:
+                return FieldClassification(
+                    FieldRole.VALUE, value_name(prev_noun, None)
+                )
+            if prev_noun is not None:
+                return FieldClassification(
+                    FieldRole.IDENTIFIER, identifier_type(text, prev_noun)
+                )
+            # '#'-prefixed numbers ("fetcher # 1") are identifiers too.
+            if prev_token is not None and prev_token.tag == "#":
+                return FieldClassification(
+                    FieldRole.IDENTIFIER, identifier_type(text, None)
+                )
+            return FieldClassification(
+                FieldRole.VALUE, value_name(prev_noun, None)
+            )
+
+        # Alphabetic free text: an upper-case opaque token (state names)
+        # or a single word naming an instance of the preceding noun
+        # ("source table lineitem", "user root") is an identifier.
+        if text.isupper() and len(text) >= 2:
+            return FieldClassification(
+                FieldRole.IDENTIFIER, identifier_type(text, prev_noun)
+            )
+        if (
+            len(field_tokens) == 1
+            and text.isalpha()
+            and prev_noun is not None
+        ):
+            return FieldClassification(
+                FieldRole.IDENTIFIER, identifier_type(text, prev_noun)
+            )
+        return FieldClassification(FieldRole.UNKNOWN, "field")

@@ -1,0 +1,78 @@
+"""Locality extraction (paper §3.1).
+
+IntelLog recognises four built-in locality patterns: (1) host names,
+(2) IP addresses and ports, (3) local directory paths, and (4) distributed
+file system paths.  Users targeting other systems can register additional
+patterns.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+_BUILTIN_PATTERNS: tuple[tuple[str, str], ...] = (
+    # (kind, regex) — tried in order, first match wins.
+    ("dfs_path", r"^(?:hdfs|s3a?|gs|viewfs|webhdfs)://[^\s]+$"),
+    ("local_path", r"^(?:file://)?/(?:[\w.\-+%]+/)*[\w.\-+%]*$"),
+    ("ip_port", r"^(?:\d{1,3}\.){3}\d{1,3}:\d{1,5}$"),
+    ("ip", r"^(?:\d{1,3}\.){3}\d{1,3}$"),
+    ("host_port", r"^[A-Za-z][\w\-]*(?:\.[\w\-]+)*:\d{2,5}$"),
+    (
+        "hostname",
+        r"^(?:[A-Za-z][\w\-]*\.)+[A-Za-z]{2,}$"  # fully qualified names
+        r"|^(?:host|node|worker|master|slave|nm|dn|vm)[\w\-]*\d+$",
+    ),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Locality:
+    """One recognised locality: the matched text and its pattern kind."""
+
+    text: str
+    kind: str
+
+
+class LocalityExtractor:
+    """Pattern-driven locality recogniser with user-extensible patterns."""
+
+    def __init__(self, extra_patterns: Iterable[tuple[str, str]] = ()) -> None:
+        self._patterns: list[tuple[str, re.Pattern[str]]] = [
+            (kind, re.compile(rx, re.IGNORECASE))
+            for kind, rx in (*_BUILTIN_PATTERNS, *extra_patterns)
+        ]
+
+    def add_pattern(self, kind: str, regex: str) -> None:
+        """Register a new locality pattern (paper: "users can define new
+        patterns when applying IntelLog on their own targeted systems")."""
+        self._patterns.append((kind, re.compile(regex, re.IGNORECASE)))
+
+    def classify(self, text: str) -> Locality | None:
+        """Classify one token/field string; None when it is not a locality."""
+        candidate = text.strip()
+        if not candidate or " " in candidate:
+            # Multi-token captures are checked token-wise by the caller.
+            return None
+        for kind, pattern in self._patterns:
+            if pattern.match(candidate):
+                return Locality(candidate, kind)
+        return None
+
+    def find_all(self, text: str) -> list[Locality]:
+        """Scan a whitespace-separated string for locality tokens."""
+        found: list[Locality] = []
+        for token in text.split():
+            loc = self.classify(token.strip(",;()[]"))
+            if loc:
+                found.append(loc)
+        return found
+
+
+DEFAULT_EXTRACTOR = LocalityExtractor()
+
+
+def classify_locality(text: str) -> Locality | None:
+    """Classify with the default pattern set."""
+    return DEFAULT_EXTRACTOR.classify(text)

@@ -1,0 +1,54 @@
+"""HW-graph modelling: entity grouping, subroutines, lifespans, hierarchy."""
+
+from .grouping import (
+    EntityGroup,
+    GroupingResult,
+    group_entities,
+    longest_common_phrase,
+    longest_common_word_substring,
+)
+from .hwgraph import GroupNode, HWGraph, HWGraphBuilder
+from .lifespan import (
+    AFTER,
+    BEFORE,
+    CHILD,
+    PARALLEL,
+    PARENT,
+    Lifespan,
+    RelationMatrix,
+    session_lifespans,
+)
+from .render import dump_json, render_summary, render_tree, to_json
+from .subroutine import (
+    Subroutine,
+    SubroutineInstance,
+    SubroutineModel,
+    assign_instances,
+)
+
+__all__ = [
+    "AFTER",
+    "BEFORE",
+    "CHILD",
+    "EntityGroup",
+    "GroupNode",
+    "GroupingResult",
+    "HWGraph",
+    "HWGraphBuilder",
+    "Lifespan",
+    "PARALLEL",
+    "PARENT",
+    "RelationMatrix",
+    "Subroutine",
+    "SubroutineInstance",
+    "SubroutineModel",
+    "assign_instances",
+    "dump_json",
+    "group_entities",
+    "longest_common_phrase",
+    "longest_common_word_substring",
+    "render_summary",
+    "render_tree",
+    "session_lifespans",
+    "to_json",
+]

@@ -1,0 +1,251 @@
+"""The Hierarchical Workflow graph (HW-graph) (paper §4.1, Figures 7-8).
+
+A HW-graph abstracts a system's workflow as a hierarchy of entity groups:
+``PARENT`` containment edges derived from lifespans, ``BEFORE`` ordering
+edges between siblings, and per-group subroutines over Intel Keys.  It is
+built once from normal-execution training sessions and later instantiated
+per incoming session for anomaly detection (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import networkx as nx
+
+from ..extraction.intelkey import IntelKey, IntelMessage
+from .grouping import GroupingResult, group_entities
+from .lifespan import BEFORE, PARENT, Lifespan, RelationMatrix
+from .subroutine import SubroutineModel
+
+
+@dataclass(slots=True)
+class GroupNode:
+    """One entity group in the HW-graph."""
+
+    label: str
+    entities: set[tuple[str, ...]] = field(default_factory=set)
+    key_ids: set[str] = field(default_factory=set)
+    model: SubroutineModel = field(default_factory=SubroutineModel)
+    parent: str | None = None
+    children: list[str] = field(default_factory=list)
+    #: Sibling groups that must come after this one.
+    before: set[str] = field(default_factory=set)
+    #: Max number of messages one Intel Key of this group produced within a
+    #: single session (criterion 2 for critical groups, §6.3).
+    max_key_repeat: int = 0
+    #: Sessions in which the group appeared / total training sessions.
+    session_count: int = 0
+
+    @property
+    def critical(self) -> bool:
+        """§6.3: critical iff multiple Intel Keys, or one key that repeats
+        within a single session."""
+        return len(self.key_ids) > 1 or self.max_key_repeat > 1
+
+
+@dataclass(slots=True)
+class HWGraph:
+    """The trained hierarchical workflow graph of a targeted system."""
+
+    groups: dict[str, GroupNode] = field(default_factory=dict)
+    #: Intel Keys by key id (the vocabulary of the model).
+    intel_keys: dict[str, IntelKey] = field(default_factory=dict)
+    #: key id -> labels of groups containing the key.
+    key_groups: dict[str, set[str]] = field(default_factory=dict)
+    relations: RelationMatrix = field(default_factory=RelationMatrix)
+    #: Keys observed during training that are key-value dumps; ignored by
+    #: detection instead of reported (paper §5).
+    ignored_keys: set[str] = field(default_factory=set)
+    training_sessions: int = 0
+
+    # -- structure queries ------------------------------------------------------
+
+    @property
+    def roots(self) -> list[str]:
+        return sorted(
+            label for label, node in self.groups.items()
+            if node.parent is None
+        )
+
+    def critical_groups(self) -> list[str]:
+        return sorted(
+            label for label, node in self.groups.items() if node.critical
+        )
+
+    def descendants(self, label: str) -> set[str]:
+        out: set[str] = set()
+        stack = list(self.groups[label].children)
+        while stack:
+            child = stack.pop()
+            if child not in out:
+                out.add(child)
+                stack.extend(self.groups[child].children)
+        return out
+
+    def groups_of_message(self, message: IntelMessage) -> set[str]:
+        return self.key_groups.get(message.key_id, set())
+
+    def to_networkx(self) -> "nx.DiGraph":
+        """Export hierarchy + ordering as a networkx DiGraph.
+
+        PARENT edges carry ``relation='PARENT'``; sibling ordering edges
+        carry ``relation='BEFORE'``.
+        """
+        graph = nx.DiGraph()
+        for label, node in self.groups.items():
+            graph.add_node(label, critical=node.critical,
+                           keys=sorted(node.key_ids))
+        for label, node in self.groups.items():
+            for child in node.children:
+                graph.add_edge(label, child, relation=PARENT)
+            for later in node.before:
+                graph.add_edge(label, later, relation=BEFORE)
+        return graph
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "training_sessions": self.training_sessions,
+            "groups": {
+                label: {
+                    "entities": sorted(" ".join(e) for e in node.entities),
+                    "keys": sorted(node.key_ids),
+                    "parent": node.parent,
+                    "children": sorted(node.children),
+                    "before": sorted(node.before),
+                    "critical": node.critical,
+                    "subroutines": {
+                        "|".join(sig) or "NONE": {
+                            "keys": sub.ordered_keys(),
+                            "critical_keys": sorted(sub.critical_keys),
+                            "instances": sub.instance_count,
+                        }
+                        for sig, sub in node.model.subroutines.items()
+                    },
+                }
+                for label, node in sorted(self.groups.items())
+            },
+            "intel_keys": {
+                key_id: key.to_dict()
+                for key_id, key in sorted(self.intel_keys.items())
+            },
+            "ignored_keys": sorted(self.ignored_keys),
+        }
+
+
+class HWGraphBuilder:
+    """Builds a :class:`HWGraph` from Intel Keys and training sessions."""
+
+    def __init__(self, intel_keys: Mapping[str, IntelKey]) -> None:
+        self.intel_keys = dict(intel_keys)
+        # Key-value dumps (non-natural-language keys, §5) are learned but
+        # excluded from workflow modelling; their tokens are not entities.
+        self.grouping: GroupingResult = group_entities(
+            entity
+            for key in self.intel_keys.values()
+            if key.natural_language
+            for entity in key.entities
+        )
+        self.graph = HWGraph(intel_keys=self.intel_keys)
+        self._init_groups()
+
+    def _init_groups(self) -> None:
+        for group in self.grouping.groups:
+            self.graph.groups[group.label] = GroupNode(
+                label=group.label, entities=set(group.entities)
+            )
+        for key_id, key in self.intel_keys.items():
+            if not key.natural_language:
+                self.graph.ignored_keys.add(key_id)
+                self.graph.key_groups[key_id] = set()
+                continue
+            labels: set[str] = set()
+            for entity in key.entities:
+                phrase = tuple(entity.split())
+                for group in self.grouping.groups_for(phrase):
+                    labels.add(group.label)
+            self.graph.key_groups[key_id] = labels
+            for label in labels:
+                self.graph.groups[label].key_ids.add(key_id)
+
+    # -- training -----------------------------------------------------------------
+
+    def train_session(self, messages: Iterable[IntelMessage]) -> None:
+        """Consume one normal-execution session (time-ordered messages)."""
+        ordered = sorted(messages, key=lambda m: m.timestamp)
+        per_group: dict[str, list[IntelMessage]] = {}
+        for message in ordered:
+            for label in self.graph.key_groups.get(message.key_id, ()):
+                per_group.setdefault(label, []).append(message)
+
+        lifespans: dict[str, Lifespan] = {}
+        for label, group_msgs in per_group.items():
+            node = self.graph.groups[label]
+            node.session_count += 1
+            node.model.train_session(group_msgs)
+            lifespans[label] = Lifespan(
+                group_msgs[0].timestamp, group_msgs[-1].timestamp
+            )
+            key_repeats: dict[str, int] = {}
+            for message in group_msgs:
+                key_repeats[message.key_id] = (
+                    key_repeats.get(message.key_id, 0) + 1
+                )
+            node.max_key_repeat = max(
+                node.max_key_repeat, max(key_repeats.values())
+            )
+
+        self.graph.relations.observe_session(lifespans)
+        self.graph.training_sessions += 1
+
+    # -- finalisation ---------------------------------------------------------------
+
+    def build(self) -> HWGraph:
+        """Derive the hierarchy from the relation matrix (Figure 7)."""
+        graph = self.graph
+        labels = sorted(
+            label for label, node in graph.groups.items()
+            if node.session_count > 0
+        )
+        # Drop groups never observed in training.
+        for label in list(graph.groups):
+            if graph.groups[label].session_count == 0:
+                removed = graph.groups.pop(label)
+                for key_id in removed.key_ids:
+                    graph.key_groups.get(key_id, set()).discard(label)
+
+        # Ancestor sets from PARENT relations.
+        ancestors: dict[str, set[str]] = {label: set() for label in labels}
+        for a in labels:
+            for b in labels:
+                if a != b and graph.relations.relation(a, b) == PARENT:
+                    ancestors[b].add(a)
+
+        # Parent of g = the ancestor that is itself a descendant of all of
+        # g's other ancestors (the deepest one); ties break alphabetically.
+        for label in labels:
+            anc = ancestors[label]
+            if not anc:
+                continue
+            deepest = max(
+                sorted(anc),
+                key=lambda a: len(ancestors[a] & anc),
+            )
+            node = graph.groups[label]
+            node.parent = deepest
+            graph.groups[deepest].children.append(label)
+        for node in graph.groups.values():
+            node.children.sort()
+
+        # Sibling BEFORE edges.
+        for label in labels:
+            node = graph.groups[label]
+            for other in labels:
+                if other == label:
+                    continue
+                if graph.groups[other].parent != node.parent:
+                    continue
+                if graph.relations.relation(label, other) == BEFORE:
+                    node.before.add(other)
+        return graph

@@ -1,0 +1,138 @@
+"""Lifespan analysis and entity-group relations (paper §4.1, Figure 6).
+
+The lifespan of an entity group in a session is the interval between its
+first and last log message.  Two groups are related by:
+
+* ``PARENT`` — a's lifespan contains b's in *every* session where both
+  appear (b depends on a);
+* ``BEFORE`` — a ends before b starts in every such session;
+* ``PARALLEL`` — otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+PARENT = "PARENT"
+CHILD = "CHILD"
+BEFORE = "BEFORE"
+AFTER = "AFTER"
+PARALLEL = "PARALLEL"
+
+
+@dataclass(frozen=True, slots=True)
+class Lifespan:
+    """Half-open time interval of a group's activity in one session."""
+
+    start: float
+    end: float
+
+    def contains(self, other: "Lifespan") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def strictly_contains(self, other: "Lifespan") -> bool:
+        return self.contains(other) and (
+            self.start < other.start or other.end < self.end
+        )
+
+    def precedes(self, other: "Lifespan") -> bool:
+        return self.end <= other.start
+
+
+class RelationMatrix:
+    """Pairwise relations between entity groups, aggregated over sessions.
+
+    Feed one session at a time via :meth:`observe_session`; query final
+    relations via :meth:`relation`.
+    """
+
+    def __init__(self, min_support: int = 5) -> None:
+        # (a, b) -> per-relation observation counts across sessions, with
+        # a, b in lexicographic order and the relation one of PARENT /
+        # CHILD / BEFORE / AFTER / PARALLEL / EQUAL.
+        self._observations: dict[tuple[str, str], dict[str, int]] = {}
+        self._groups: set[str] = set()
+        #: Minimum co-occurring sessions before a directional relation
+        #: (PARENT/BEFORE) is trusted; fewer observations give PARALLEL.
+        #: Guards against spurious orderings learned from scarce training
+        #: data (the paper's own false-positive analysis, §6.4).
+        self.min_support = min_support
+
+    def observe_session(self, lifespans: Mapping[str, Lifespan]) -> None:
+        """Record the pairwise relations implied by one session."""
+        names = sorted(lifespans)
+        self._groups.update(names)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                la, lb = lifespans[a], lifespans[b]
+                if la.strictly_contains(lb):
+                    rel = PARENT
+                elif lb.strictly_contains(la):
+                    rel = CHILD
+                elif la.contains(lb) and lb.contains(la):
+                    # Identical lifespans (checked before BEFORE/AFTER so
+                    # zero-width intervals do not read as orderings); a
+                    # dedicated mark that does not break a consistent
+                    # PARENT vote from other sessions.
+                    rel = "EQUAL"
+                elif la.end < lb.start:
+                    rel = BEFORE
+                elif lb.end < la.start:
+                    rel = AFTER
+                else:
+                    rel = PARALLEL
+                counts = self._observations.setdefault((a, b), {})
+                counts[rel] = counts.get(rel, 0) + 1
+
+    @property
+    def groups(self) -> set[str]:
+        return set(self._groups)
+
+    def relation(self, a: str, b: str) -> str:
+        """Final relation of ``a`` towards ``b`` (Figure 6 semantics).
+
+        PARENT/BEFORE require agreement in every co-occurring session
+        (EQUAL observations are compatible with either); any disagreement
+        collapses to PARALLEL.
+        """
+        if a == b:
+            return "SELF"
+        swap = a > b
+        key = (b, a) if swap else (a, b)
+        observed = self._observations.get(key)
+        if not observed:
+            return PARALLEL
+        if sum(observed.values()) < self.min_support:
+            return PARALLEL
+        effective = {rel for rel in observed if rel != "EQUAL"}
+        if not effective:
+            return PARALLEL
+        if len(effective) == 1:
+            rel = next(iter(effective))
+            if swap:
+                rel = {PARENT: CHILD, CHILD: PARENT,
+                       BEFORE: AFTER, AFTER: BEFORE,
+                       PARALLEL: PARALLEL}[rel]
+            return rel
+        return PARALLEL
+
+    def relations_of(self, group: str) -> dict[str, str]:
+        """Relations from ``group`` to every other observed group."""
+        return {
+            other: self.relation(group, other)
+            for other in sorted(self._groups)
+            if other != group
+        }
+
+
+def session_lifespans(
+    group_messages: Mapping[str, Iterable[float]],
+) -> dict[str, Lifespan]:
+    """Compute lifespans from per-group message timestamps of one session."""
+    spans: dict[str, Lifespan] = {}
+    for group, stamps in group_messages.items():
+        times = list(stamps)
+        if times:
+            spans[group] = Lifespan(min(times), max(times))
+    return spans

@@ -1,0 +1,97 @@
+"""Rendering of HW-graphs as text trees and JSON (paper §5: "Both HW-graphs
+and its instances are output as JSON files which can be queried by JSON
+query tools")."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .hwgraph import HWGraph
+
+
+def to_json(graph: HWGraph, indent: int = 2) -> str:
+    """Serialize a HW-graph to a JSON string."""
+    return json.dumps(graph.to_dict(), indent=indent, sort_keys=True)
+
+
+def dump_json(graph: HWGraph, fp: IO[str], indent: int = 2) -> None:
+    json.dump(graph.to_dict(), fp, indent=indent, sort_keys=True)
+
+
+def render_tree(
+    graph: HWGraph,
+    critical_only: bool = False,
+    show_subroutines: bool = False,
+) -> str:
+    """Render the group hierarchy as an indented text tree (Figure 8(a)).
+
+    Critical groups are marked with ``*``; sibling ordering constraints are
+    listed as ``-> later-sibling`` suffixes.
+    """
+    lines: list[str] = []
+
+    def visible(label: str) -> bool:
+        node = graph.groups[label]
+        return node.critical or not critical_only or any(
+            visible(c) for c in node.children
+        )
+
+    def emit(label: str, depth: int) -> None:
+        node = graph.groups[label]
+        if not visible(label):
+            return
+        mark = "*" if node.critical else " "
+        suffix = ""
+        if node.before:
+            suffix = "  -> " + ", ".join(sorted(node.before))
+        lines.append(f"{'  ' * depth}{mark} {label}{suffix}")
+        if show_subroutines:
+            for sig, sub in sorted(node.model.subroutines.items()):
+                sig_text = "{" + ", ".join(sig) + "}" if sig else "{none}"
+                ops = _subroutine_ops(graph, sub.ordered_keys())
+                lines.append(
+                    f"{'  ' * (depth + 1)}  s{sig_text}: {' -> '.join(ops)}"
+                )
+        for child in node.children:
+            emit(child, depth + 1)
+
+    for root in graph.roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def _subroutine_ops(graph: HWGraph, key_ids: list[str]) -> list[str]:
+    """Display each Intel Key by its extracted operation (Figure 8(b))."""
+    display: list[str] = []
+    for key_id in key_ids:
+        key = graph.intel_keys.get(key_id)
+        if key is None:
+            display.append(key_id)
+            continue
+        if key.operations:
+            op = key.operations[0]
+            display.append(op.surface or op.predicate)
+        else:
+            display.append(key_id)
+    return display
+
+
+def render_summary(graph: HWGraph) -> str:
+    """One-paragraph statistics summary (feeds Table 5)."""
+    group_count = len(graph.groups)
+    critical = len(graph.critical_groups())
+    lengths = [
+        length
+        for node in graph.groups.values()
+        for sub in node.model.subroutines.values()
+        for length in sub.instance_lengths
+    ]
+    max_len = max(lengths) if lengths else 0
+    avg_len = sum(lengths) / len(lengths) if lengths else 0.0
+    return (
+        f"groups: {group_count} ({critical} critical); "
+        f"subroutine instances: {len(lengths)} "
+        f"(max {max_len}, avg {avg_len:.1f} messages); "
+        f"training sessions: {graph.training_sessions}"
+    )

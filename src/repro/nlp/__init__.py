@@ -1,0 +1,53 @@
+"""Log-domain natural language processing substrate.
+
+This package replaces the OpenNLP POS tagger and the Stanford dependency
+parser used by the original IntelLog implementation with a from-scratch
+stack specialised for system-log text:
+
+* :mod:`repro.nlp.tokenizer` — log-aware tokenization (identifiers,
+  host:port localities, paths and log-key asterisks survive as atoms);
+* :mod:`repro.nlp.postagger` — Penn Treebank POS tagging via lexicon +
+  morphology + contextual patch rules;
+* :mod:`repro.nlp.lemmatizer` — noun singularization and verb base forms;
+* :mod:`repro.nlp.depparser` — shallow Universal Dependencies parsing
+  producing the seven relations of the paper's Table 3;
+* :mod:`repro.nlp.camelcase` — the camel-case entity name filter.
+"""
+
+from .camelcase import (
+    FilterChain,
+    camel_filter,
+    is_camel_case,
+    make_default_chain,
+    snake_filter,
+    split_camel_case,
+)
+from .depparser import Arc, Parse, contains_clause, parse, parse_tagged
+from .lemmatizer import lemmatize, lemmatize_phrase, singularize, verb_base
+from .postagger import TaggedToken, tag, tag_tokens
+from .tokenizer import Token, detokenize, tokenize, words
+
+__all__ = [
+    "Arc",
+    "FilterChain",
+    "Parse",
+    "TaggedToken",
+    "Token",
+    "camel_filter",
+    "contains_clause",
+    "detokenize",
+    "is_camel_case",
+    "lemmatize",
+    "lemmatize_phrase",
+    "make_default_chain",
+    "parse",
+    "parse_tagged",
+    "singularize",
+    "snake_filter",
+    "split_camel_case",
+    "tag",
+    "tag_tokens",
+    "tokenize",
+    "verb_base",
+    "words",
+]

@@ -1,0 +1,167 @@
+"""Rule-based English lemmatizer.
+
+IntelLog lemmatizes extracted entity phrases to their singular forms
+(paper §3.1) so that "tasks" and "task" denote the same entity, and reduces
+verb forms to their base when canonicalising operations.  This module
+implements a dictionary-plus-suffix-rules lemmatizer adequate for the
+restricted vocabulary of system logs.
+"""
+
+from __future__ import annotations
+
+from .lexicon import IRREGULAR_VERBS
+from .tags import is_noun, is_verb
+
+# Irregular noun plurals seen in (or plausible for) log text.
+_IRREGULAR_PLURALS = {
+    "children": "child",
+    "indices": "index",
+    "indexes": "index",
+    "vertices": "vertex",
+    "vertexes": "vertex",
+    "matrices": "matrix",
+    "statuses": "status",
+    "processes": "process",
+    "classes": "class",
+    "caches": "cache",
+    "leases": "lease",
+    "leaves": "leaf",
+    "copies": "copy",
+    "entries": "entry",
+    "queries": "query",
+    "retries": "retry",
+    "registries": "registry",
+    "properties": "property",
+    "capacities": "capacity",
+    "dependencies": "dependency",
+    "directories": "directory",
+    "priorities": "priority",
+    "men": "man",
+    "feet": "foot",
+    "data": "data",
+    "metadata": "metadata",
+    "metrics": "metrics",  # "metrics system" — treated as invariant
+    "bytes": "byte",
+}
+
+# Words ending in "s" that are singular already.
+_S_SINGULAR = frozenset({
+    "status", "progress", "process", "class", "acl", "address",
+    "access", "success", "loss", "bus", "alias", "analysis", "axis",
+    "canvas", "census", "corpus", "focus", "gas", "its", "this",
+    "always", "perhaps", "kerberos", "hdfs", "dfs", "os", "dns", "tls",
+    "https", "was", "is", "has", "does", "ss",
+})
+
+_PAST_TO_BASE = {past: base for base, (past, _) in IRREGULAR_VERBS.items()}
+_PART_TO_BASE = {part: base for base, (_, part) in IRREGULAR_VERBS.items()}
+
+
+def singularize(word: str) -> str:
+    """Return the singular form of a noun ``word`` (lower-cased)."""
+    lower = word.lower()
+    if lower in _IRREGULAR_PLURALS:
+        return _IRREGULAR_PLURALS[lower]
+    if lower in _S_SINGULAR or not lower.endswith("s"):
+        return lower
+    if lower.endswith("ies") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("ses") and len(lower) > 4:
+        return lower[:-2]
+    if lower.endswith(("shes", "ches", "xes", "zes")) and len(lower) > 4:
+        return lower[:-2]
+    if lower.endswith("oes") and len(lower) > 4:
+        return lower[:-2]
+    if lower.endswith("ss"):
+        return lower
+    return lower[:-1]
+
+
+def verb_base(word: str) -> str:
+    """Return the base (infinitive) form of a verb ``word``."""
+    lower = word.lower()
+    if lower in _PAST_TO_BASE:
+        return _PAST_TO_BASE[lower]
+    if lower in _PART_TO_BASE:
+        return _PART_TO_BASE[lower]
+    aux = {
+        "is": "be", "are": "be", "was": "be", "were": "be", "been": "be",
+        "being": "be", "am": "be",
+        "has": "have", "had": "have", "having": "have",
+        "does": "do", "did": "do", "done": "do", "doing": "do",
+    }
+    if lower in aux:
+        return aux[lower]
+    if lower.endswith("ing") and len(lower) > 5:
+        stem = lower[:-3]
+        if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in "aeiouls":
+            return stem[:-1]
+        if _needs_final_e(stem):
+            return stem + "e"
+        return stem
+    if lower.endswith("ied") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("ed") and len(lower) > 3:
+        stem = lower[:-2]
+        if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in "aeiouls":
+            return stem[:-1]
+        if _needs_final_e(stem):
+            return stem + "e"
+        return stem
+    if lower.endswith("ies") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith(("shes", "ches", "xes", "zes", "ses", "oes")):
+        return lower[:-2]
+    if lower.endswith("s") and not lower.endswith("ss") and len(lower) > 3:
+        return lower[:-1]
+    return lower
+
+
+# Stems that end in a consonant and need a restored final "e".
+_E_FINAL_STEMS = frozenset({
+    "stor", "creat", "delet", "updat", "complet", "terminat", "initializ",
+    "allocat", "releas", "schedul", "writ", "receiv", "merg", "clos",
+    "validat", "serializ", "deserializ", "replicat", "cach", "encod",
+    "decod", "expir", "resolv", "locat", "us", "tim", "chang", "remov",
+    "sav", "mov", "renam", "invok", "handl", "rout", "reserv", "prepar",
+    "configur", "upgrad", "purg", "truncat", "estimat", "sampl",
+    "finaliz", "instantiat", "materializ", "recomput", "decommission",
+    "localiz", "synchroniz", "evict", "leav", "tak", "giv", "mak",
+    "compress", "acquir", "unregist", "regist", "ignor", "declar",
+    "compil", "execut", "combin", "divid", "reduc", "produc", "consum",
+    "pars", "generat", "aggregat", "calculat", "compar", "exceed",
+    "accept", "fre", "requir", "shuffl", "schedul", "handl", "enabl",
+    "disabl", "bundl", "sampl", "singl", "doubl", "recycl",
+})
+
+
+def _needs_final_e(stem: str) -> bool:
+    if stem in _E_FINAL_STEMS:
+        return True
+    # C+V+C+e pattern heuristics: "clos" -> "close", "stor" -> "store"
+    return False
+
+
+def lemmatize(word: str, tag: str) -> str:
+    """Lemmatize ``word`` according to its Penn tag."""
+    if is_noun(tag):
+        return singularize(word)
+    if is_verb(tag):
+        return verb_base(word)
+    return word.lower()
+
+
+def lemmatize_phrase(words: list[str], tags: list[str]) -> list[str]:
+    """Lemmatize an entity phrase: only the head (last) noun is singularized.
+
+    "map completion events" -> "map completion event" but the non-head words
+    are kept (lower-cased) so compounds survive intact.
+    """
+    if not words:
+        return []
+    result = [w.lower() for w in words]
+    for i in range(len(words) - 1, -1, -1):
+        if is_noun(tags[i]):
+            result[i] = singularize(words[i])
+            break
+    return result

@@ -1,0 +1,440 @@
+"""POS lexicon for the log-domain tagger.
+
+The tagger resolves a word's candidate tags from this lexicon first and only
+falls back to morphological suffix rules for unknown words.  The lexicon is
+built from three layers:
+
+1. English closed-class words (determiners, prepositions, pronouns,
+   conjunctions, modals) — a complete, finite list;
+2. the open-class vocabulary of distributed data-analytics system logs
+   (Hadoop MapReduce, Spark, Tez, YARN and OpenStack message texts), with
+   verb paradigms expanded programmatically from base forms;
+3. common general-English verbs/adjectives/adverbs that appear in log prose.
+
+Candidate tags per word are ordered by prior likelihood *in log text*; the
+tagger's contextual rules may override the first candidate.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+# --------------------------------------------------------------------------
+# Closed classes
+# --------------------------------------------------------------------------
+
+DETERMINERS = {
+    "the": "DT", "a": "DT", "an": "DT", "this": "DT", "that": "DT",
+    "these": "DT", "those": "DT", "no": "DT", "each": "DT", "every": "DT",
+    "another": "DT", "any": "DT", "some": "DT", "all": "PDT", "both": "DT",
+}
+
+PREPOSITIONS = {
+    "of", "in", "on", "at", "by", "for", "with", "from", "to", "into",
+    "onto", "over", "under", "after", "before", "during", "between",
+    "through", "within", "without", "against", "via", "per", "as",
+    "about", "above", "below", "across", "until", "since", "towards",
+    "toward", "upon", "because", "if", "while", "whether", "than",
+}
+
+CONJUNCTIONS = {"and", "or", "but", "nor", "so", "yet"}
+
+PRONOUNS = {
+    "it": "PRP", "they": "PRP", "we": "PRP", "i": "PRP", "you": "PRP",
+    "he": "PRP", "she": "PRP", "them": "PRP", "us": "PRP",
+    "its": "PRP$", "their": "PRP$", "our": "PRP$", "my": "PRP$",
+    "his": "PRP$", "her": "PRP$", "your": "PRP$",
+}
+
+MODALS = {"can", "could", "will", "would", "shall", "should", "may",
+          "might", "must"}
+
+WH_WORDS = {"which": "WDT", "what": "WDT", "who": "WP", "whom": "WP",
+            "whose": "WP$", "when": "WRB", "where": "WRB", "why": "WRB",
+            "how": "WRB"}
+
+EXISTENTIAL = {"there": "EX"}
+
+# Auxiliary "be"/"have"/"do" forms get explicit verb tags.
+AUX_VERBS = {
+    "be": "VB", "am": "VBP", "is": "VBZ", "are": "VBP", "was": "VBD",
+    "were": "VBD", "been": "VBN", "being": "VBG",
+    "have": "VBP", "has": "VBZ", "had": "VBD", "having": "VBG",
+    "do": "VBP", "does": "VBZ", "did": "VBD", "done": "VBN",
+    "doing": "VBG",
+}
+
+# --------------------------------------------------------------------------
+# Open-class log-domain vocabulary
+# --------------------------------------------------------------------------
+
+# Base verbs seen in data-analytics system logs.  Paradigms (VBZ, VBD, VBN,
+# VBG) are expanded by `_verb_forms`; irregular forms are listed explicitly.
+BASE_VERBS = [
+    "start", "stop", "launch", "finish", "complete", "fail", "succeed",
+    "run", "execute", "submit", "schedule", "assign", "allocate",
+    "release", "free", "register", "unregister", "initialize", "init",
+    "shut", "shutdown", "exit", "kill", "terminate", "abort", "clean",
+    "cleanup", "create", "delete", "remove", "add", "update", "load",
+    "store", "save", "read", "write", "send", "receive", "transfer",
+    "fetch", "shuffle", "merge", "sort", "spill", "commit", "rollback",
+    "open", "close", "connect", "disconnect", "bind", "listen", "accept",
+    "request", "respond", "reply", "retry", "report", "notify", "signal",
+    "process", "compute", "calculate", "aggregate", "reduce", "map",
+    "combine", "partition", "split", "copy", "move", "rename", "download",
+    "upload", "broadcast", "replicate", "cache", "evict", "flush",
+    "serialize", "deserialize", "compress", "decompress", "encode",
+    "decode", "validate", "verify", "check", "monitor", "track", "log",
+    "recover", "restart", "resume", "suspend", "pause", "wait", "block",
+    "unblock", "lock", "unlock", "acquire", "grant", "deny", "reject",
+    "expire", "renew", "refresh", "resolve", "lookup", "find", "locate",
+    "discover", "detect", "identify", "mark", "set", "get", "put", "take",
+    "give", "make", "use", "try", "attempt", "need", "contain", "include",
+    "exceed", "reach", "change", "transition", "enter", "leave", "skip",
+    "ignore", "drop", "keep", "hold", "return", "call", "invoke", "handle",
+    "dispatch", "route", "forward", "preempt", "reserve", "prepare",
+    "configure", "reconfigure", "deploy", "install", "upgrade", "succeed",
+    "time", "heartbeat", "ping", "sync", "synchronize", "cancel", "purge",
+    "truncate", "append", "seek", "scan", "filter", "join", "group",
+    "order", "select", "insert", "estimate", "sample", "finalize",
+    "instantiate", "materialize", "repartition", "recompute", "persist",
+    "unpersist", "decommission", "blacklist", "localize", "clear", "show",
+    "tell", "see", "know", "think", "go", "come", "begin", "end", "grow",
+    "shrink", "increase", "decrease", "allocate",
+]
+
+IRREGULAR_VERBS: dict[str, tuple[str, str]] = {
+    # base -> (VBD, VBN)
+    "run": ("ran", "run"),
+    "read": ("read", "read"),
+    "write": ("wrote", "written"),
+    "send": ("sent", "sent"),
+    "shut": ("shut", "shut"),
+    "set": ("set", "set"),
+    "get": ("got", "gotten"),
+    "put": ("put", "put"),
+    "take": ("took", "taken"),
+    "give": ("gave", "given"),
+    "make": ("made", "made"),
+    "hold": ("held", "held"),
+    "keep": ("kept", "kept"),
+    "find": ("found", "found"),
+    "lose": ("lost", "lost"),
+    "split": ("split", "split"),
+    "go": ("went", "gone"),
+    "come": ("came", "come"),
+    "begin": ("began", "begun"),
+    "grow": ("grew", "grown"),
+    "see": ("saw", "seen"),
+    "know": ("knew", "known"),
+    "think": ("thought", "thought"),
+    "tell": ("told", "told"),
+    "time": ("timed", "timed"),
+    "bind": ("bound", "bound"),
+    "seek": ("sought", "sought"),
+    "leave": ("left", "left"),
+}
+
+# Words that are primarily nouns in log text even though they can be verbs
+# elsewhere.  Listed with NN first so the tagger defaults to noun.
+NOUN_FIRST = [
+    "task", "job", "stage", "container", "executor", "driver", "worker",
+    "master", "node", "host", "machine", "cluster", "application", "app",
+    "attempt", "vertex", "dag", "session", "query", "operator", "plan",
+    "block", "partition", "record", "row", "column", "table", "key",
+    "value", "file", "directory", "folder", "path", "disk", "memory",
+    "heap", "core", "cpu", "thread", "pool", "queue", "buffer", "stream",
+    "socket", "port", "address", "endpoint", "service", "server", "client",
+    "manager", "scheduler", "allocator", "listener", "handler", "fetcher",
+    "reducer", "mapper", "combiner", "merger", "committer", "reporter",
+    "tracker", "monitor", "event", "signal", "message", "response",
+    "heartbeat", "token", "credential", "user", "group", "acl",
+    "permission", "resource", "capacity", "limit", "threshold", "quota",
+    "size", "length", "count", "number", "amount", "rate", "ratio",
+    "time", "timeout", "interval", "duration", "deadline", "timestamp",
+    "output", "input", "result", "status", "state", "phase", "step",
+    "progress", "error", "exception", "failure", "warning", "info",
+    "metric", "metrics", "counter", "gauge", "log", "trace", "system",
+    "framework", "engine", "runtime", "environment", "context", "config",
+    "configuration", "property", "parameter", "option", "setting",
+    "version", "id", "identifier", "name", "label", "tag", "type",
+    "class", "instance", "object", "entity", "component", "module",
+    "shuffle", "spill", "merge", "sort", "fetch", "map", "reduce",
+    "broadcast", "checkpoint", "snapshot", "replica", "copy", "backup",
+    "segment", "chunk", "byte", "bytes", "data", "dataset", "rdd",
+    "dataframe", "schema", "index", "offset", "cursor", "iterator",
+    "edge", "source", "sink", "root", "leaf", "child", "parent", "tree",
+    "graph", "list", "array", "batch", "bundle", "bundle", "region",
+    "zone", "rack", "network", "interface", "connection", "channel",
+    "protocol", "request", "transaction", "lease", "lock", "latch",
+    "barrier", "epoch", "round", "iteration", "pass", "cycle", "loop",
+    "store", "storage", "cache", "level", "priority", "weight", "score",
+    "cost", "budget", "usage", "utilization", "load", "pressure",
+    "overhead", "latency", "throughput", "bandwidth", "localhost",
+    "daemon", "process", "archive", "jar", "library", "dependency",
+    "classpath", "artifact", "bundle", "package", "image", "volume",
+    "mount", "am", "rm", "nm", "jvm", "gc", "ui", "api", "rpc", "http",
+    "server", "proxy", "gateway", "router", "registry", "catalog",
+    "database", "warehouse", "bucket", "shard", "slot", "slot", "window",
+    "trigger", "watermark", "completion", "initialization", "termination",
+    "registration", "allocation", "execution", "submission", "connection",
+    "authentication", "authorization", "validation", "expiration",
+    "preemption", "localization", "recovery", "migration", "election",
+    "coordination", "replication", "serialization", "compression",
+    "cleanup", "setup", "startup", "shutdown", "teardown", "rollback",
+    "retry", "backoff", "reattempt", "speculation", "straggler",
+    "container", "quota", "tenant", "namespace", "pipeline", "workflow",
+    "lineage", "dependency", "ancestor", "descendant", "sibling",
+]
+
+# Adjectives common in log prose.
+ADJECTIVES = [
+    "new", "old", "current", "previous", "next", "last", "first", "final",
+    "initial", "total", "maximum", "minimum", "max", "min", "average",
+    "remote", "local", "distributed", "parallel", "sequential",
+    "concurrent", "asynchronous", "synchronous", "active", "inactive",
+    "idle", "busy", "available", "unavailable", "healthy", "unhealthy",
+    "valid", "invalid", "successful", "unsuccessful", "failed", "complete",
+    "incomplete", "partial", "full", "empty", "temporary", "permanent",
+    "persistent", "transient", "stale", "fresh", "dirty", "clean",
+    "corrupt", "missing", "duplicate", "unique", "unknown", "default",
+    "custom", "internal", "external", "public", "private", "secure",
+    "insecure", "ready", "pending", "running", "stopped", "dead", "alive",
+    "lost", "orphaned", "abandoned", "expired", "late", "early", "slow",
+    "fast", "high", "low", "large", "small", "big", "long", "short",
+    "wide", "narrow", "deep", "shallow", "heavy", "light", "hot", "cold",
+    "warm", "safe", "unsafe", "stable", "unstable", "normal", "abnormal",
+    "main", "primary", "secondary", "auxiliary", "spare", "extra",
+    "additional", "optional", "mandatory", "required", "virtual",
+    "physical", "logical", "abstract", "concrete", "generic", "specific",
+    "global", "shared", "exclusive", "read-only", "writable", "immutable",
+    "mutable", "static", "dynamic", "lazy", "eager", "speculative",
+    "preemptive", "recursive", "iterative", "incremental", "cumulative",
+    "aggregate", "effective", "actual", "estimated", "expected",
+    "unexpected", "configured", "allocated", "reserved", "free", "used",
+    "unused", "killed", "finished", "succeeded", "more", "less", "few",
+    "many", "much", "several", "single", "multiple", "double", "whole",
+    "entire", "overall", "possible", "impossible", "same", "different",
+    "similar", "equal", "unequal", "greater", "smaller", "larger",
+    "critical", "fatal", "severe", "minor", "major", "important",
+    "erroneous", "problematic",
+]
+
+ADVERBS = [
+    "successfully", "already", "now", "then", "here", "there", "again",
+    "still", "yet", "just", "only", "also", "too", "very", "quite",
+    "really", "finally", "currently", "previously", "recently", "soon",
+    "later", "earlier", "immediately", "eventually", "automatically",
+    "manually", "asynchronously", "synchronously", "concurrently",
+    "sequentially", "locally", "remotely", "gracefully", "forcefully",
+    "cleanly", "properly", "correctly", "incorrectly", "safely",
+    "completely", "partially", "fully", "newly", "repeatedly", "once",
+    "twice", "down", "up", "out", "off", "away", "back", "forward",
+    "ahead", "behind", "together", "apart", "instead", "otherwise",
+    "however", "therefore", "thus", "hence", "meanwhile", "moreover",
+    "not", "never", "always", "sometimes", "often", "rarely", "usually",
+    "normally", "typically", "approximately", "about", "around", "nearly",
+    "today", "yesterday", "tomorrow", "tonight",
+    "almost", "exactly", "directly", "indirectly", "externally",
+    "internally",
+]
+
+# True measurement units that follow numeric values ("12 MB", "5 ms").
+# A noun phrase headed by one of these is a *value*, never an entity
+# (Figure 4 omits "bytes" from the entity list since it is a unit).
+MEASURE_UNITS = {
+    "b", "kb", "mb", "gb", "tb", "pb", "kib", "mib", "gib", "tib",
+    "byte", "bytes", "bit", "bits",
+    "ns", "us", "ms", "sec", "secs", "second", "seconds", "min", "mins",
+    "minute", "minutes", "hour", "hours", "hr", "hrs", "day", "days",
+    "percent", "pct",
+    "mb/s", "gb/s", "kb/s", "b/s", "hz", "khz", "mhz", "ghz",
+}
+
+# Countable system nouns: after a numeral they act as a count unit
+# ("launched 5 tasks" -> value), but on their own they are first-class
+# entities ("task 1.0" -> identifier of a task).
+COUNT_UNITS = {
+    "core", "cores", "vcore", "vcores", "slot", "slots",
+    "record", "records", "row", "rows", "task", "tasks", "time", "times",
+    "partition", "partitions", "block", "blocks", "file", "files",
+    "segment", "segments", "attempt", "attempts", "retry", "retries",
+    "node", "nodes", "container", "containers", "executor", "executors",
+    "thread", "threads", "connection", "connections", "request",
+    "requests", "message", "messages", "event", "events", "item", "items",
+    "element", "elements", "entry", "entries", "key", "keys", "value",
+    "values", "object", "objects", "chunk", "chunks", "page", "pages",
+}
+
+#: Backwards-compatible union used by the value heuristics.
+UNITS = MEASURE_UNITS | COUNT_UNITS
+
+
+# Final-stress verbs that double their consonant despite ending in a
+# pattern the generic rule exempts ("commit" -> "committing").
+_DOUBLING_OVERRIDES = {
+    "commit": ("committing", "committed"),
+    "submit": ("submitting", "submitted"),
+    "admit": ("admitting", "admitted"),
+    "permit": ("permitting", "permitted"),
+    "refer": ("referring", "referred"),
+    "transfer": ("transferring", "transferred"),
+}
+
+
+def _verb_forms(base: str) -> list[tuple[str, str]]:
+    """Expand a base verb into (form, tag) pairs.
+
+    Returned as pairs, not a dict, because irregular verbs can reuse one
+    surface form for several slots ("run" is both VB and VBN).
+    """
+    forms: list[tuple[str, str]] = [(base, "VB")]
+    if base in _DOUBLING_OVERRIDES:
+        gerund, past = _DOUBLING_OVERRIDES[base]
+        forms.extend([
+            (base + "s", "VBZ"), (gerund, "VBG"),
+            (past, "VBD"), (past, "VBN"),
+        ])
+        return forms
+    # third person singular
+    if base.endswith(("s", "sh", "ch", "x", "z", "o")):
+        forms.append((base + "es", "VBZ"))
+    elif base.endswith("y") and base[-2] not in "aeiou":
+        forms.append((base[:-1] + "ies", "VBZ"))
+    else:
+        forms.append((base + "s", "VBZ"))
+    # gerund
+    if base.endswith("e") and not base.endswith(("ee", "ye", "oe")):
+        gerund = base[:-1] + "ing"
+    elif (
+        len(base) >= 3
+        and base[-1] not in "aeiouwxy"
+        and base[-2] in "aeiou"
+        and base[-3] not in "aeiou"
+        and not base.endswith(("er", "en", "on", "or", "it", "et"))
+    ):
+        gerund = base + base[-1] + "ing"
+    else:
+        gerund = base + "ing"
+    forms.append((gerund, "VBG"))
+    # past / participle
+    if base in IRREGULAR_VERBS:
+        past, participle = IRREGULAR_VERBS[base]
+        forms.append((past, "VBD"))
+        forms.append((participle, "VBN"))
+    else:
+        if base.endswith("e"):
+            past = base + "d"
+        elif base.endswith("y") and base[-2] not in "aeiou":
+            past = base[:-1] + "ied"
+        elif (
+            len(base) >= 3
+            and base[-1] not in "aeiouwxy"
+            and base[-2] in "aeiou"
+            and base[-3] not in "aeiou"
+            and not base.endswith(("er", "en", "on", "or", "it", "et"))
+        ):
+            past = base + base[-1] + "ed"
+        else:
+            past = base + "ed"
+        forms.append((past, "VBD"))
+        forms.append((past, "VBN"))  # regular participle == past form
+    return forms
+
+
+@lru_cache(maxsize=1)
+def build_lexicon() -> dict[str, tuple[str, ...]]:
+    """Build the word -> ordered candidate tag tuple mapping.
+
+    The first tag in each tuple is the default; contextual rules in the
+    tagger may select a later candidate.  All keys are lower-case.
+    """
+    lex: dict[str, list[str]] = {}
+
+    def add(word: str, tag: str, *, front: bool = False) -> None:
+        word = word.lower()
+        cands = lex.setdefault(word, [])
+        if tag in cands:
+            if front:
+                cands.remove(tag)
+                cands.insert(0, tag)
+            return
+        if front:
+            cands.insert(0, tag)
+        else:
+            cands.append(tag)
+
+    for word, tag in DETERMINERS.items():
+        add(word, tag)
+    for word in PREPOSITIONS:
+        add(word, "IN")
+    add("to", "TO", front=True)
+    for word in CONJUNCTIONS:
+        add(word, "CC")
+    for word, tag in PRONOUNS.items():
+        add(word, tag)
+    for word in MODALS:
+        add(word, "MD")
+    for word, tag in WH_WORDS.items():
+        add(word, tag)
+    for word, tag in EXISTENTIAL.items():
+        add(word, tag)
+    for word, tag in AUX_VERBS.items():
+        add(word, tag, front=True)
+
+    # Nouns first: default reading in log text is nominal.
+    for word in NOUN_FIRST:
+        add(word, "NN")
+        if word.endswith("s") and word not in ("status", "progress",
+                                               "process", "class", "acl"):
+            pass
+    # plural noun forms
+    for word in NOUN_FIRST:
+        if word.endswith(("s", "sh", "ch", "x", "z")):
+            add(word + "es", "NNS")
+        elif word.endswith("y") and word[-2:-1] not in ("a", "e", "o", "u"):
+            add(word[:-1] + "ies", "NNS")
+        else:
+            add(word + "s", "NNS")
+
+    # Verb paradigms (appended after noun candidates when words collide).
+    for base in BASE_VERBS:
+        for form, tag in _verb_forms(base):
+            add(form, tag)
+
+    for word in ADJECTIVES:
+        add(word, "JJ")
+    for word in ADVERBS:
+        add(word, "RB")
+    add("not", "RB", front=True)
+    add("no", "DT", front=True)
+
+    # Comparative/superlative adjectives
+    for word in ("more", "less"):
+        add(word, "JJR")
+    for word in ("most", "least", "best", "worst"):
+        add(word, "JJS")
+    for word in ("greater", "smaller", "larger", "higher", "lower",
+                 "faster", "slower", "longer", "shorter", "older",
+                 "newer", "earlier", "later", "fewer"):
+        add(word, "JJR", front=True)
+
+    for word in UNITS:
+        add(word, "NN")
+
+    return {word: tuple(cands) for word, cands in lex.items()}
+
+
+def is_unit(word: str) -> bool:
+    """True if ``word`` can act as a unit after a numeral (value heuristic 2
+    of the paper: "12 MB", "5 ms", but also "8 tasks")."""
+    return word.lower() in UNITS
+
+
+def is_measure_unit(word: str) -> bool:
+    """True only for genuine measurement units ("bytes", "ms", "MB").
+
+    Unlike :func:`is_unit` this excludes countable system nouns such as
+    "task" or "block", which are entities in their own right.
+    """
+    return word.lower() in MEASURE_UNITS

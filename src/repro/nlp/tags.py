@@ -1,0 +1,106 @@
+"""Penn Treebank part-of-speech tag set and helpers.
+
+IntelLog (HPDC'19, section 3) tags every word of a sample log message with a
+Penn Treebank POS mark and matches entity phrases against POS patterns
+expressed over a reduced alphabet (``NN`` covering all four noun tags, ``JJ``
+covering the adjective tags, ``IN`` for prepositions).  This module defines
+the tag inventory and the coarsening map used throughout the extraction
+pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+# --- the full Penn Treebank inventory (Marcus et al., 1993) ----------------
+
+NOUN_TAGS: Final[frozenset[str]] = frozenset({"NN", "NNS", "NNP", "NNPS"})
+ADJ_TAGS: Final[frozenset[str]] = frozenset({"JJ", "JJR", "JJS"})
+VERB_TAGS: Final[frozenset[str]] = frozenset(
+    {"VB", "VBD", "VBG", "VBN", "VBP", "VBZ", "MD"}
+)
+ADV_TAGS: Final[frozenset[str]] = frozenset({"RB", "RBR", "RBS", "RP"})
+PRONOUN_TAGS: Final[frozenset[str]] = frozenset({"PRP", "PRP$", "WP", "WP$"})
+
+#: Tag used for numeral tokens ("2264", "4", "12.5").
+CD: Final[str] = "CD"
+#: Tag used for prepositions / subordinating conjunctions ("of", "for", "in").
+IN: Final[str] = "IN"
+#: Tag used for determiners ("the", "a", "this").
+DT: Final[str] = "DT"
+#: Tag we assign to variable fields (``*``) of a log key and to opaque
+#: alphanumeric identifiers such as ``attempt_01``.  ``SYM`` is the Penn tag
+#: for symbols; the original IntelLog treats identifiers the same way.
+SYM: Final[str] = "SYM"
+#: Tag for list-item punctuation and brackets.
+PUNCT_TAGS: Final[frozenset[str]] = frozenset(
+    {".", ",", ":", "``", "''", "-LRB-", "-RRB-", "#", "$", "SYM"}
+)
+
+ALL_TAGS: Final[frozenset[str]] = (
+    NOUN_TAGS
+    | ADJ_TAGS
+    | VERB_TAGS
+    | ADV_TAGS
+    | PRONOUN_TAGS
+    | PUNCT_TAGS
+    | frozenset(
+        {
+            "CD",
+            "CC",
+            "DT",
+            "EX",
+            "FW",
+            "IN",
+            "LS",
+            "PDT",
+            "POS",
+            "TO",
+            "UH",
+            "WDT",
+            "WRB",
+        }
+    )
+)
+
+
+def coarse(tag: str) -> str:
+    """Collapse a fine-grained Penn tag to the alphabet used by Table 2.
+
+    ``NN``/``NNS``/``NNP``/``NNPS`` -> ``NN``; ``JJ``/``JJR``/``JJS`` -> ``JJ``;
+    all verb tags -> ``VB``; everything else is returned unchanged.
+    """
+    if tag in NOUN_TAGS:
+        return "NN"
+    if tag in ADJ_TAGS:
+        return "JJ"
+    if tag in VERB_TAGS:
+        return "VB"
+    if tag in ADV_TAGS:
+        return "RB"
+    return tag
+
+
+def is_noun(tag: str) -> bool:
+    """True for any of the four Penn noun tags."""
+    return tag in NOUN_TAGS
+
+
+def is_adjective(tag: str) -> bool:
+    """True for any of the three Penn adjective tags."""
+    return tag in ADJ_TAGS
+
+
+def is_verb(tag: str) -> bool:
+    """True for any Penn verb tag (including modal ``MD``)."""
+    return tag in VERB_TAGS
+
+
+def is_preposition(tag: str) -> bool:
+    """True for the preposition tag ``IN`` (and the infinitival ``TO``)."""
+    return tag in ("IN", "TO")
+
+
+def is_content_tag(tag: str) -> bool:
+    """True for tags that can participate in an entity phrase (Table 2)."""
+    return is_noun(tag) or is_adjective(tag) or is_preposition(tag)

@@ -1,0 +1,327 @@
+"""Spell: streaming structured log-key extraction (Du & Li, ICDM'17).
+
+IntelLog's first stage (paper §2.1) uses Spell to abstract raw log messages
+into *log keys*: the constant text of the printing statement with every
+variable field replaced by an asterisk.  This module implements the
+streaming algorithm — for each incoming message, find the existing key with
+the longest common subsequence (LCS) above a threshold and merge, otherwise
+create a new key.
+
+The matching threshold follows the IntelLog implementation: a message of
+``n`` tokens matches a key when ``|LCS| >= n / t`` with the empirically set
+``t = 1.7`` (paper §5).  The original Spell paper uses ``t = 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..nlp.tokenizer import tokenize
+
+STAR = "*"
+
+#: Token kinds that are variable by construction and are masked to ``*``
+#: before template matching (the standard log-parser preprocessing step:
+#: identifiers, numerals and localities can never be template constants).
+_VARIABLE_KINDS = frozenset({"ident", "number", "hostport", "path"})
+
+
+def mask_message(message: str) -> tuple[list[str], list[str]]:
+    """Tokenize ``message`` returning (masked tokens, raw tokens).
+
+    Masked tokens replace identifier/number/locality tokens with ``*``.
+    """
+    raw: list[str] = []
+    masked: list[str] = []
+    for token in tokenize(message):
+        raw.append(token.text)
+        masked.append(STAR if token.kind in _VARIABLE_KINDS else token.text)
+    return masked, raw
+
+
+def lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Length of the longest common subsequence of token lists ``a``, ``b``."""
+    if not a or not b:
+        return 0
+    # Single-row DP; O(len(a) * len(b)).
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        curr = [0] * (len(b) + 1)
+        for j, y in enumerate(b, 1):
+            if x == y:
+                curr[j] = prev[j - 1] + 1
+            else:
+                curr[j] = max(prev[j], curr[j - 1])
+        prev = curr
+    return prev[-1]
+
+
+def lcs_merge(a: Sequence[str], b: Sequence[str]) -> list[str]:
+    """Merge two token sequences into a template.
+
+    Tokens on the LCS are kept; any gap (tokens unique to either side)
+    becomes a single ``*``.  Existing ``*`` tokens never participate in the
+    LCS, so variable positions stay variable.
+    """
+    n, m = len(a), len(b)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            if a[i] == b[j] and a[i] != STAR:
+                dp[i][j] = dp[i + 1][j + 1] + 1
+            else:
+                dp[i][j] = max(dp[i + 1][j], dp[i][j + 1])
+    result: list[str] = []
+    i = j = 0
+
+    def emit_star() -> None:
+        if not result or result[-1] != STAR:
+            result.append(STAR)
+
+    while i < n and j < m:
+        if a[i] == b[j] and a[i] != STAR:
+            result.append(a[i])
+            i += 1
+            j += 1
+        elif dp[i + 1][j] >= dp[i][j + 1]:
+            emit_star()
+            i += 1
+        else:
+            emit_star()
+            j += 1
+    if i < n or j < m:
+        emit_star()
+    return result
+
+
+@dataclass(slots=True)
+class LogKey:
+    """A log key: template tokens plus bookkeeping.
+
+    ``sample`` is the first raw message that created the key; IntelLog feeds
+    the sample (not the starred template) to the POS tagger (§3, Figure 3).
+    """
+
+    key_id: str
+    tokens: list[str]
+    sample: str
+    count: int = 0
+    line_ids: list[int] = field(default_factory=list)
+
+    @property
+    def template(self) -> str:
+        return " ".join(self.tokens)
+
+    def constant_tokens(self) -> list[str]:
+        return [t for t in self.tokens if t != STAR]
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.key_id}: {self.template}"
+
+
+@dataclass(slots=True)
+class MatchResult:
+    """Result of matching one message against the key set."""
+
+    key: LogKey
+    #: Values captured by each ``*`` position, in template order.  One star
+    #: may capture several adjacent tokens (joined by a space).
+    parameters: list[str]
+
+
+class SpellParser:
+    """Streaming log-key extractor.
+
+    Usage::
+
+        parser = SpellParser()
+        for message in stream:
+            key = parser.consume(message)
+        parser.keys()  # all discovered log keys
+    """
+
+    def __init__(self, tau: float = 1.7) -> None:
+        if tau <= 1.0:
+            raise ValueError("tau must be > 1 (match if |LCS| >= n/tau)")
+        self.tau = tau
+        self._keys: list[LogKey] = []
+        self._next_id = 0
+        self._line_counter = 0
+        # Inverted index: constant token -> key indices, to prune the scan.
+        self._token_index: dict[str, set[int]] = {}
+
+    # -- training ----------------------------------------------------------
+
+    def consume(self, message: str) -> LogKey:
+        """Process one message, returning the (possibly new) log key."""
+        seq, _ = mask_message(message)
+        self._line_counter += 1
+        if not [t for t in seq if t != STAR]:
+            # Messages with no constant tokens (empty or all-variable)
+            # share one reserved key; they carry no template information.
+            best = next(
+                (k for k in self._keys if not k.constant_tokens()), None
+            )
+            if best is None:
+                best = LogKey(
+                    key_id=f"K{self._next_id}", tokens=list(seq),
+                    sample=message,
+                )
+                self._next_id += 1
+                self._keys.append(best)
+            best.count += 1
+            best.line_ids.append(self._line_counter)
+            return best
+        best = self._find_best(seq)
+        if best is None:
+            key = LogKey(
+                key_id=f"K{self._next_id}",
+                tokens=list(seq),
+                sample=message,
+            )
+            self._next_id += 1
+            self._keys.append(key)
+            self._index_key(len(self._keys) - 1, key)
+        else:
+            key = best
+            merged = lcs_merge(key.tokens, seq)
+            if merged != key.tokens:
+                key.tokens = merged
+                self._reindex()
+        key.count += 1
+        key.line_ids.append(self._line_counter)
+        return key
+
+    def consume_all(self, messages: Iterable[str]) -> list[LogKey]:
+        return [self.consume(m) for m in messages]
+
+    # -- lookup (detection phase; never creates keys) ------------------------
+
+    def match(self, message: str) -> MatchResult | None:
+        """Match a message against the learned keys without mutating them."""
+        masked, raw = mask_message(message)
+        if not [t for t in masked if t != STAR]:
+            reserved = next(
+                (k for k in self._keys if not k.constant_tokens()), None
+            )
+            if reserved is None:
+                return None
+            return MatchResult(key=reserved, parameters=list(raw))
+        key = self._find_best(masked)
+        if key is None:
+            return None
+        params = extract_parameters(key.tokens, raw)
+        if params is None:
+            params = []
+        return MatchResult(key=key, parameters=params)
+
+    def keys(self) -> list[LogKey]:
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- internals -----------------------------------------------------------
+
+    def _threshold(self, seq_len: int, template_len: int) -> float:
+        # Similarity is measured against the shorter of the two sequences:
+        # a message whose constant backbone is fully explained by a shorter
+        # template must still match it (e.g. state-transition keys whose
+        # long variable tails differ), which is how the IntelLog Spell
+        # deployment behaves with its empirical t = 1.7 (paper §5).
+        return min(seq_len, template_len) / self.tau
+
+    def _candidates(self, seq: list[str]) -> set[int]:
+        cands: set[int] = set()
+        for token in seq:
+            cands |= self._token_index.get(token, set())
+        return cands if cands else set(range(len(self._keys)))
+
+    def _find_best(self, seq: list[str]) -> LogKey | None:
+        candidates = self._candidates(seq)
+
+        # Fast path: a key whose template aligns exactly (constants in
+        # order, stars absorbing the rest) is always the right match; pick
+        # the most specific (most constants) such key.
+        aligned: LogKey | None = None
+        aligned_consts = 0
+        for idx in candidates:
+            key = self._keys[idx]
+            # Keys without constants (the reserved all-variable key) would
+            # align with anything; they are matched only by the dedicated
+            # no-constant branch of consume()/match().
+            n_consts = len(key.constant_tokens())
+            if n_consts == 0:
+                continue
+            if extract_parameters(key.tokens, seq) is not None:
+                if n_consts > aligned_consts:
+                    aligned, aligned_consts = key, n_consts
+        if aligned is not None:
+            return aligned
+
+        best_key: LogKey | None = None
+        best_len = 0
+        for idx in candidates:
+            key = self._keys[idx]
+            consts = key.constant_tokens()
+            # Cheap upper bound prune.
+            if min(len(consts), len(seq)) <= best_len:
+                continue
+            common = lcs_length(consts, seq)
+            if common >= self._threshold(len(seq), len(key.tokens)) and (
+                common > best_len
+            ):
+                best_key, best_len = key, common
+        return best_key
+
+    def _index_key(self, idx: int, key: LogKey) -> None:
+        for token in key.constant_tokens():
+            self._token_index.setdefault(token, set()).add(idx)
+
+    def _reindex(self) -> None:
+        self._token_index.clear()
+        for idx, key in enumerate(self._keys):
+            self._index_key(idx, key)
+
+
+def extract_parameters(
+    template: Sequence[str], seq: Sequence[str]
+) -> list[str] | None:
+    """Align ``seq`` against ``template``, returning the ``*`` captures.
+
+    Greedy alignment: constant template tokens must appear in order in the
+    message; tokens between them are assigned to the interleaved stars.
+    Returns None when the message cannot be aligned.
+    """
+    captures: list[str] = []
+    i = 0  # template position
+    j = 0  # sequence position
+    n, m = len(template), len(seq)
+    while i < n:
+        tok = template[i]
+        if tok != STAR:
+            if j < m and seq[j] == tok:
+                i += 1
+                j += 1
+                continue
+            return None
+        # A star: capture up to the next constant token.
+        nxt = i + 1
+        while nxt < n and template[nxt] == STAR:
+            nxt += 1
+        if nxt == n:
+            captures.append(" ".join(seq[j:]))
+            return captures
+        anchor = template[nxt]
+        k = j
+        while k < m and seq[k] != anchor:
+            k += 1
+        if k == m:
+            return None
+        captures.append(" ".join(seq[j:k]))
+        i = nxt
+        j = k
+    if j != m:
+        return None
+    return captures

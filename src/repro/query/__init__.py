@@ -1,0 +1,5 @@
+"""Queryable Intel Message store with GroupBy operators (paper §6.4)."""
+
+from .store import MessageStore
+
+__all__ = ["MessageStore"]

@@ -1,0 +1,137 @@
+"""Intel Message store (paper §3.3, §6.4).
+
+Intel Messages are collections of key-value pairs that "naturally fit in
+the storage structure of time series databases" and can be queried to
+diagnose root causes — the paper's case study 1 applies successive GroupBy
+operators on identifiers and locations to isolate 11 fetchers failing
+against one host.  This module provides that queryable store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Callable, Iterable, Iterator
+
+from ..extraction.intelkey import IntelMessage
+
+
+class MessageStore:
+    """An in-memory, JSON-serialisable collection of Intel Messages."""
+
+    def __init__(self, messages: Iterable[IntelMessage] = ()) -> None:
+        self._messages: list[IntelMessage] = list(messages)
+
+    def add(self, message: IntelMessage) -> None:
+        self._messages.append(message)
+
+    def extend(self, messages: Iterable[IntelMessage]) -> None:
+        self._messages.extend(messages)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[IntelMessage]:
+        return iter(self._messages)
+
+    def all(self) -> list[IntelMessage]:
+        return list(self._messages)
+
+    # -- filters ---------------------------------------------------------------
+
+    def filter(
+        self, predicate: Callable[[IntelMessage], bool]
+    ) -> "MessageStore":
+        return MessageStore(m for m in self._messages if predicate(m))
+
+    def with_key(self, key_id: str) -> "MessageStore":
+        return self.filter(lambda m: m.key_id == key_id)
+
+    def with_entity(self, entity: str) -> "MessageStore":
+        return self.filter(lambda m: entity in m.entities)
+
+    def with_identifier_type(self, id_type: str) -> "MessageStore":
+        return self.filter(lambda m: id_type in m.identifiers)
+
+    def in_session(self, session_id: str) -> "MessageStore":
+        return self.filter(lambda m: m.session_id == session_id)
+
+    def between(self, start: float, end: float) -> "MessageStore":
+        return self.filter(lambda m: start <= m.timestamp <= end)
+
+    # -- GroupBy operators (case study 1) --------------------------------------------
+
+    def group_by(
+        self, key_fn: Callable[[IntelMessage], Iterable[str]]
+    ) -> dict[str, "MessageStore"]:
+        """Group messages by (possibly multiple) string keys per message."""
+        groups: dict[str, MessageStore] = {}
+        for message in self._messages:
+            for group_key in key_fn(message):
+                groups.setdefault(group_key, MessageStore()).add(message)
+        return groups
+
+    def group_by_identifier(self, id_type: str) -> dict[str, "MessageStore"]:
+        """GroupBy an identifier type's values ("GroupBy on the Intel
+        Messages based on their identifiers")."""
+        return self.group_by(
+            lambda m: m.identifiers.get(id_type, ())
+        )
+
+    def group_by_locality(
+        self, name: str | None = None
+    ) -> dict[str, "MessageStore"]:
+        """GroupBy location information ("another GroupBy based on the
+        location information")."""
+
+        def keys(message: IntelMessage) -> Iterable[str]:
+            if name is not None:
+                return message.localities.get(name, ())
+            return (
+                value
+                for values in message.localities.values()
+                for value in values
+            )
+
+        return self.group_by(keys)
+
+    def group_by_session(self) -> dict[str, "MessageStore"]:
+        return self.group_by(lambda m: (m.session_id,))
+
+    # -- aggregates ---------------------------------------------------------------------
+
+    def value_series(self, name: str) -> list[tuple[float, float]]:
+        """(timestamp, value) series for a named value field."""
+        series = [
+            (m.timestamp, v)
+            for m in self._messages
+            for v in m.values.get(name, ())
+        ]
+        series.sort()
+        return series
+
+    def identifier_values(self, id_type: str) -> set[str]:
+        return {
+            v
+            for m in self._messages
+            for v in m.identifiers.get(id_type, ())
+        }
+
+    # -- JSON I/O ---------------------------------------------------------------------------
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(
+            [m.to_dict() for m in self._messages], indent=indent
+        )
+
+    def dump(self, fp: IO[str]) -> None:
+        fp.write(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "MessageStore":
+        data = json.loads(text)
+        return cls(IntelMessage.from_dict(item) for item in data)
+
+    @classmethod
+    def load(cls, fp: IO[str]) -> "MessageStore":
+        return cls.from_json(fp.read())

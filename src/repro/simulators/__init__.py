@@ -1,0 +1,73 @@
+"""Simulated targeted systems (the paper's testbed substitute).
+
+A YARN cluster substrate plus discrete-event simulators of Hadoop
+MapReduce, Spark and Tez jobs that emit schema-accurate log sessions per
+container, with hidden ground-truth annotations for the accuracy
+benchmarks, fault injection (§6.4) and a workload generator (§6.1).
+"""
+
+from .cluster import Container, JobLogs, LogEmitter, Node, YarnCluster
+from .events import Simulation
+from .faults import FaultPlan, FaultSpec, KINDS, NETWORK, NODE_FAILURE, SIGKILL
+from .groundtruth import Role, Template, TemplateCatalog
+from .infra import (
+    generate_nova_records,
+    generate_yarn_records,
+    nova_catalog,
+    yarn_catalog,
+)
+from .mapreduce import MapReduceConfig, MapReduceSimulator, mapreduce_catalog
+from .spark import SparkConfig, SparkSimulator, spark_catalog
+from .tensorflow import (
+    TensorFlowConfig,
+    TensorFlowSimulator,
+    tensorflow_catalog,
+)
+from .tez import TPCH_PROFILES, TezConfig, TezSimulator, tez_catalog
+from .workload import (
+    HIBENCH_JOBS,
+    TPCH_QUERIES,
+    JobSpec,
+    WorkloadGenerator,
+    sessions_of,
+)
+
+__all__ = [
+    "Container",
+    "FaultPlan",
+    "FaultSpec",
+    "HIBENCH_JOBS",
+    "JobLogs",
+    "JobSpec",
+    "KINDS",
+    "LogEmitter",
+    "MapReduceConfig",
+    "MapReduceSimulator",
+    "NETWORK",
+    "NODE_FAILURE",
+    "Node",
+    "Role",
+    "SIGKILL",
+    "Simulation",
+    "SparkConfig",
+    "SparkSimulator",
+    "TensorFlowConfig",
+    "TensorFlowSimulator",
+    "TPCH_PROFILES",
+    "TPCH_QUERIES",
+    "Template",
+    "TemplateCatalog",
+    "TezConfig",
+    "TezSimulator",
+    "WorkloadGenerator",
+    "YarnCluster",
+    "generate_nova_records",
+    "generate_yarn_records",
+    "mapreduce_catalog",
+    "nova_catalog",
+    "sessions_of",
+    "spark_catalog",
+    "tensorflow_catalog",
+    "tez_catalog",
+    "yarn_catalog",
+]

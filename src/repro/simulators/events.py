@@ -1,0 +1,71 @@
+"""A minimal discrete-event simulation engine.
+
+The system simulators (MapReduce / Spark / Tez) model concurrent activities
+— parallel tasks in one container, concurrent fetchers, overlapping
+container lifetimes — whose log interleavings must vary across runs the way
+they do on a real cluster (paper §2.2: "parallel executions cause
+interchangeable orders").  A heap-based event loop with jittered delays
+produces exactly that.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Simulation:
+    """Deterministic (seeded) discrete-event loop."""
+
+    def __init__(self, rng: np.random.Generator | int | None = None,
+                 start_time: float = 0.0) -> None:
+        if isinstance(rng, np.random.Generator):
+            self.rng = rng
+        else:
+            self.rng = np.random.default_rng(rng)
+        self.now = start_time
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._stopped = False
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(
+            self._queue, _Event(self.now + delay, next(self._seq), action)
+        )
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        self.schedule(max(0.0, time - self.now), action)
+
+    def jitter(self, base: float, spread: float = 0.3) -> float:
+        """A positive delay around ``base`` (uniform +-spread fraction)."""
+        lo = base * (1.0 - spread)
+        hi = base * (1.0 + spread)
+        return float(max(1e-4, self.rng.uniform(lo, hi)))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue; returns the final simulation time."""
+        while self._queue and not self._stopped:
+            event = heapq.heappop(self._queue)
+            if until is not None and event.time > until:
+                self.now = until
+                break
+            self.now = event.time
+            event.action()
+        return self.now

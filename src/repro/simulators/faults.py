@@ -1,0 +1,134 @@
+"""Problem injection (paper §6.4).
+
+The paper's injection tool emulates three real-world problems:
+
+1. **Execution abortion** of a session — a SIGKILL with no grace period
+   (the victim container's log stream simply truncates mid-flight);
+2. **Network failure** on a node — peers fetching from that node log
+   connection failures and retries;
+3. **Node failure** — every container on the node truncates and the
+   application master reports the node unusable.
+
+Problems are triggered at a random point during job execution.  The
+:class:`FaultPlan` picks victims up front so the per-container scripts can
+branch on them deterministically within one simulated run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cluster import Container, YarnCluster
+
+SIGKILL = "sigkill"
+NETWORK = "network"
+NODE_FAILURE = "node_failure"
+
+KINDS = (SIGKILL, NETWORK, NODE_FAILURE)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """What to inject and (roughly) when.
+
+    ``at_fraction`` positions the trigger within the job's lifetime
+    (0 = start, 1 = end); None picks a uniformly random point, matching the
+    paper's "at a random point during the job execution".
+    """
+
+    kind: str
+    at_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.at_fraction is not None and not (
+            0.0 <= self.at_fraction <= 1.0
+        ):
+            raise ValueError("at_fraction must be within [0, 1]")
+
+
+class FaultPlan:
+    """Resolved fault for one simulated job run."""
+
+    def __init__(
+        self, spec: FaultSpec | None, rng: np.random.Generator
+    ) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._kill_times: dict[str, float] = {}
+        self._victims: set[str] = set()
+        self._affected: set[str] = set()
+        self.network_victim_node: str | None = None
+        self._containers: list["Container"] = []
+
+    # -- planning -----------------------------------------------------------
+
+    def choose_victims(
+        self, cluster: "YarnCluster", candidates: list["Container"]
+    ) -> None:
+        """Pick the victim container/node before scripting begins."""
+        if self.spec is None or not candidates:
+            return
+        fraction = self.spec.at_fraction
+        if fraction is None:
+            fraction = float(self.rng.uniform(0.2, 0.8))
+        # Job lifetimes in the simulators are ~10-25 simulated seconds.
+        trigger = 2.0 + fraction * 15.0
+        self._containers = candidates
+
+        if self.spec.kind == SIGKILL:
+            victim = candidates[int(self.rng.integers(len(candidates)))]
+            self._victims.add(victim.container_id)
+            self._kill_times[victim.container_id] = trigger
+            self._affected.add(victim.container_id)
+        elif self.spec.kind == NETWORK:
+            # Prefer a node that serves data to peers (a map/executor/task
+            # container) so the failure is observable in fetch paths.
+            sources = [
+                c for c in candidates
+                if c.role in ("map", "executor", "task")
+            ] or candidates
+            victim = sources[int(self.rng.integers(len(sources)))]
+            self.network_victim_node = victim.node.name
+            # Fetch sources on the node are unreachable; the node's own
+            # containers keep running (only its NIC is down for peers).
+            self._affected.add(victim.container_id)
+        elif self.spec.kind == NODE_FAILURE:
+            victim = candidates[int(self.rng.integers(len(candidates)))]
+            node_name = victim.node.name
+            self.network_victim_node = node_name
+            for container in candidates:
+                if container.node.name == node_name:
+                    self._victims.add(container.container_id)
+                    self._kill_times[container.container_id] = trigger
+                    self._affected.add(container.container_id)
+
+    # -- queries used by the scripts ------------------------------------------
+
+    def is_victim(self, container: "Container") -> bool:
+        return container.container_id in self._victims
+
+    def killed_at(self, container: "Container") -> float | None:
+        return self._kill_times.get(container.container_id)
+
+    def mark_affected(self, container: "Container") -> None:
+        self._affected.add(container.container_id)
+
+    def affected_session_ids(self) -> set[str]:
+        return set(self._affected)
+
+    # -- post-run ---------------------------------------------------------------
+
+    def apply_kills(self, base_time: float) -> None:
+        """Stamp kill times onto containers (used to truncate sessions)."""
+        for container in self._containers:
+            kill = self._kill_times.get(container.container_id)
+            if kill is not None:
+                container.killed_at = kill

@@ -1,0 +1,902 @@
+"""Hadoop MapReduce job simulator.
+
+Emits per-container log sessions whose message texts are modelled on real
+Hadoop MapReduce 2.x log statements — including the exact fetcher snippet of
+the paper's Figure 1 — with realistic structure: an MRAppMaster session
+driving job/task/attempt state transitions, map-task sessions with the
+MapTask metrics system and sort/spill/flush phases, and reduce-task sessions
+with concurrent fetchers (interchangeable orders), merge and commit.
+
+Data-size-dependent task counts reproduce the paper's variable session
+lengths (§2.2); fault hooks implement §6.4's three injected problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cluster import Container, JobLogs, LogEmitter, Node, YarnCluster
+from .events import Simulation
+from .faults import FaultPlan, FaultSpec
+from .groundtruth import Role, Template, TemplateCatalog
+
+ID = Role.IDENTIFIER
+VAL = Role.VALUE
+LOC = Role.LOCALITY
+
+
+def mapreduce_catalog() -> TemplateCatalog:
+    """The logging statements of the simulated MapReduce system."""
+    cat = TemplateCatalog("mapreduce")
+
+    # ---- MRAppMaster (the application master session) ----------------------
+    cat.add(Template(
+        "mr.am.created",
+        "Created MRAppMaster for application {app}",
+        roles={"app": ID},
+        entities=("application", "mr app master"),
+        operations=(("", "create", "mrappmaster"),),
+        source="MRAppMaster",
+    ))
+    cat.add(Template(
+        "mr.am.job.init",
+        "job {job} Job Transitioned from NEW to INITED",
+        roles={"job": ID},
+        entities=("job",),
+        operations=(("job", "transition", "inited"),),
+        source="JobImpl",
+    ))
+    cat.add(Template(
+        "mr.am.job.setup",
+        "job {job} Job Transitioned from INITED to SETUP",
+        roles={"job": ID},
+        entities=("job",),
+        operations=(("job", "transition", "setup"),),
+        source="JobImpl",
+    ))
+    cat.add(Template(
+        "mr.am.job.running",
+        "job {job} Job Transitioned from SETUP to RUNNING",
+        roles={"job": ID},
+        entities=("job",),
+        operations=(("job", "transition", "running"),),
+        source="JobImpl",
+    ))
+    cat.add(Template(
+        "mr.am.input.splits",
+        "Input size for job {job} is {bytes} bytes . Number of splits is "
+        "{splits}",
+        roles={"job": ID, "bytes": VAL, "splits": VAL},
+        entities=("input size for job", "number of splits"),
+        operations=(),
+        source="JobImpl",
+    ))
+    cat.add(Template(
+        "mr.am.task.scheduled",
+        "task {task} Task Transitioned from NEW to SCHEDULED",
+        roles={"task": ID},
+        entities=("task",),
+        operations=(("task", "transition", "scheduled"),),
+        source="TaskImpl",
+    ))
+    cat.add(Template(
+        "mr.am.attempt.assigned",
+        "attempt {attempt} TaskAttempt Transitioned from UNASSIGNED to "
+        "ASSIGNED",
+        roles={"attempt": ID},
+        entities=("task attempt",),
+        operations=(("task attempt", "transition", "assigned"),),
+        source="TaskAttemptImpl",
+    ))
+    cat.add(Template(
+        "mr.am.container.assigned",
+        "Assigned container {container} to {attempt} on node {host}",
+        roles={"container": ID, "attempt": ID, "host": LOC},
+        entities=("container",),
+        operations=(("", "assign", "container"),),
+        source="ContainerAllocator",
+    ))
+    cat.add(Template(
+        "mr.am.attempt.running",
+        "attempt {attempt} TaskAttempt Transitioned from ASSIGNED to "
+        "RUNNING",
+        roles={"attempt": ID},
+        entities=("task attempt",),
+        operations=(("task attempt", "transition", "running"),),
+        source="TaskAttemptImpl",
+    ))
+    cat.add(Template(
+        "mr.am.attempt.progress",
+        "Progress of TaskAttempt {attempt} is : {pct}",
+        roles={"attempt": ID, "pct": VAL},
+        entities=("progress of task attempt",),
+        operations=(),
+        source="TaskAttemptListenerImpl",
+    ))
+    cat.add(Template(
+        "mr.am.attempt.succeeded",
+        "attempt {attempt} TaskAttempt Transitioned from RUNNING to "
+        "SUCCEEDED",
+        roles={"attempt": ID},
+        entities=("task attempt",),
+        operations=(("task attempt", "transition", "succeeded"),),
+        source="TaskAttemptImpl",
+    ))
+    cat.add(Template(
+        "mr.am.task.succeeded",
+        "task {task} Task Transitioned from RUNNING to SUCCEEDED",
+        roles={"task": ID},
+        entities=("task",),
+        operations=(("task", "transition", "succeeded"),),
+        source="TaskImpl",
+    ))
+    cat.add(Template(
+        "mr.am.tasks.completed",
+        "Num completed Tasks: {n}",
+        roles={"n": VAL},
+        entities=("completed task",),
+        operations=(),
+        source="JobImpl",
+    ))
+    cat.add(Template(
+        "mr.am.job.committing",
+        "job {job} Job Transitioned from RUNNING to COMMITTING",
+        roles={"job": ID},
+        entities=("job",),
+        operations=(("job", "transition", "committing"),),
+        source="JobImpl",
+    ))
+    cat.add(Template(
+        "mr.am.job.succeeded",
+        "job {job} Job Transitioned from COMMITTING to SUCCEEDED",
+        roles={"job": ID},
+        entities=("job",),
+        operations=(("job", "transition", "succeeded"),),
+        source="JobImpl",
+    ))
+    cat.add(Template(
+        "mr.am.history.flush",
+        "Stopping JobHistoryEventHandler . Size of the outstanding queue "
+        "size is {n}",
+        roles={"n": VAL},
+        entities=("job history event handler", "outstanding queue size"),
+        operations=(("", "stop", "jobhistoryeventhandler"),),
+        source="JobHistoryEventHandler",
+    ))
+    cat.add(Template(
+        "mr.am.staging.delete",
+        "Deleting staging directory {path}",
+        roles={"path": LOC},
+        entities=("staging directory",),
+        operations=(("", "delete", "directory"),),
+        source="MRAppMaster",
+    ))
+    cat.add(Template(
+        "mr.am.shutdown",
+        "Job end notification started for jobID : {job}",
+        roles={"job": ID},
+        entities=("job end notification",),
+        operations=(("notification", "start", "jobid"),),
+        source="JobEndNotifier",
+    ))
+
+    # ---- MapTask containers -------------------------------------------------
+    cat.add(Template(
+        "mr.map.metrics.start",
+        "Starting MapTask metrics system",
+        entities=("map task", "metrics system"),
+        operations=(("", "start", "system"),),
+        source="MetricsSystemImpl",
+    ))
+    cat.add(Template(
+        "mr.map.metrics.started",
+        "MapTask metrics system started",
+        entities=("map task", "metrics system"),
+        operations=(("system", "start", ""),),
+        source="MetricsSystemImpl",
+    ))
+    cat.add(Template(
+        "mr.map.split",
+        "Processing split: {path}",
+        roles={"path": LOC},
+        entities=("split",),
+        operations=(("", "process", "split"),),
+        source="MapTask",
+    ))
+    cat.add(Template(
+        "mr.map.output.collector",
+        "Map output collector class is {cls}",
+        roles={"cls": ID},
+        entities=("map output collector class",),
+        operations=(),
+        source="MapTask",
+    ))
+    cat.add(Template(
+        "mr.map.sort.kv",
+        "mapreduce.task.io.sort.mb = {mb} ; soft limit = {bytes} ; "
+        "bufstart = {b1} ; kvstart = {b2}",
+        roles={"mb": VAL, "bytes": VAL, "b1": VAL, "b2": VAL},
+        natural=False,
+        source="MapTask",
+    ))
+    cat.add(Template(
+        "mr.map.flush.start",
+        "Starting flush of map output",
+        entities=("flush of map output",),
+        operations=(("", "start", "flush"),),
+        source="MapTask",
+    ))
+    cat.add(Template(
+        "mr.map.spill.finished",
+        "Finished spill {spill}",
+        roles={"spill": ID},
+        entities=("spill",),
+        operations=(("", "finish", "spill"),),
+        source="MapTask",
+    ))
+    cat.add(Template(
+        "mr.map.spill.pressure",
+        "Spilling map output because buffer usage reached limit {bytes} "
+        "bytes",
+        roles={"bytes": VAL},
+        entities=("map output", "buffer usage"),
+        operations=(("usage", "reach", "limit"),),
+        source="MapTask",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "mr.task.committing",
+        "Task {attempt} is done . And is in the process of committing",
+        roles={"attempt": ID},
+        entities=("task", "process of committing"),
+        operations=(("task", "do", ""),),
+        source="Task",
+    ))
+    cat.add(Template(
+        "mr.task.done",
+        "Task {attempt} done .",
+        roles={"attempt": ID},
+        entities=("task",),
+        operations=(("task", "do", ""),),
+        source="Task",
+    ))
+    cat.add(Template(
+        "mr.map.metrics.stopped",
+        "MapTask metrics system stopped",
+        entities=("map task", "metrics system"),
+        operations=(("system", "stop", ""),),
+        source="MetricsSystemImpl",
+    ))
+    cat.add(Template(
+        "mr.map.metrics.shutdown",
+        "MapTask metrics system shutdown complete",
+        entities=("map task", "metrics system shutdown"),
+        operations=(),
+        source="MetricsSystemImpl",
+    ))
+
+    # ---- ReduceTask containers ------------------------------------------------
+    cat.add(Template(
+        "mr.reduce.metrics.start",
+        "Starting ReduceTask metrics system",
+        entities=("reduce task", "metrics system"),
+        operations=(("", "start", "system"),),
+        source="MetricsSystemImpl",
+    ))
+    cat.add(Template(
+        "mr.reduce.metrics.started",
+        "ReduceTask metrics system started",
+        entities=("reduce task", "metrics system"),
+        operations=(("system", "start", ""),),
+        source="MetricsSystemImpl",
+    ))
+    cat.add(Template(
+        "mr.reduce.merger.kv",
+        "MergerManager: memoryLimit = {bytes} ; maxSingleShuffleLimit = "
+        "{bytes2} ; mergeThreshold = {bytes3}",
+        roles={"bytes": VAL, "bytes2": VAL, "bytes3": VAL},
+        natural=False,
+        source="MergeManagerImpl",
+    ))
+    cat.add(Template(
+        "mr.reduce.need.outputs",
+        "attempt {attempt} Need another {n} map output where {m} is "
+        "already in progress",
+        roles={"attempt": ID, "n": VAL, "m": VAL},
+        entities=("map output",),
+        operations=(("attempt", "need", "output"),),
+        source="EventFetcher",
+    ))
+    cat.add(Template(
+        "mr.reduce.event.fetcher",
+        "event fetcher getting {n} map completion events from map task",
+        roles={"n": VAL},
+        entities=("event fetcher", "map completion events", "map task"),
+        operations=(("fetcher", "get", "event"),),
+        source="EventFetcher",
+    ))
+    cat.add(Template(
+        "mr.fetch.shuffle",
+        "fetcher#{fid} about to shuffle output of map {attempt}",
+        roles={"fid": ID, "attempt": ID},
+        entities=("fetcher", "output of map"),
+        operations=(("fetcher", "shuffle", "output"),),
+        source="Fetcher",
+    ))
+    cat.add(Template(
+        "mr.fetch.read",
+        "fetcher#{fid} read {bytes} bytes from map-output for {attempt}",
+        roles={"fid": ID, "bytes": VAL, "attempt": ID},
+        entities=("fetcher", "map-output"),
+        operations=(("fetcher", "read", "map-output"),),
+        source="Fetcher",
+    ))
+    cat.add(Template(
+        "mr.fetch.freed",
+        "{address} freed by fetcher#{fid} in {ms}ms",
+        roles={"address": LOC, "fid": ID, "ms": VAL},
+        entities=("fetcher",),
+        operations=(("", "free", "fetcher"),),
+        source="Fetcher",
+    ))
+    cat.add(Template(
+        "mr.fetch.failed",
+        "Failed to connect to {address} with {n} map outputs",
+        roles={"address": LOC, "n": VAL},
+        entities=("map output",),
+        operations=(("", "connect", "output"),),
+        source="Fetcher",
+        level="WARN",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "mr.fetch.retry",
+        "Retrying connect to server {address} . Already tried {n} time",
+        roles={"address": LOC, "n": VAL},
+        entities=("server",),
+        operations=(("", "retry", "server"),),
+        source="Client",
+        level="INFO",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "mr.reduce.final.merge",
+        "finalMerge called with {n} in-memory map-output and {m} on-disk "
+        "map-output",
+        roles={"n": VAL, "m": VAL},
+        entities=("final merge", "in-memory map-output",
+                  "on-disk map-output"),
+        operations=(("", "call", "finalmerge"),),
+        source="MergeManagerImpl",
+    ))
+    cat.add(Template(
+        "mr.reduce.merging",
+        "Merging {n} files , {bytes} bytes from disk",
+        roles={"n": VAL, "bytes": VAL},
+        entities=("file", "disk"),
+        operations=(("", "merge", "file"),),
+        source="Merger",
+    ))
+    cat.add(Template(
+        "mr.reduce.last.pass",
+        "Down to the last merge-pass , with {n} segments left of total "
+        "size : {bytes} bytes",
+        roles={"n": VAL, "bytes": VAL},
+        entities=("last merge-pass", "segment", "total size"),
+        operations=(),  # the paper notes this key has no predicate (§6.2)
+        source="Merger",
+    ))
+    cat.add(Template(
+        "mr.reduce.skipped.segments",
+        "Merged {n} segments , {bytes} bytes to disk to satisfy reduce "
+        "memory limit",
+        roles={"n": VAL, "bytes": VAL},
+        entities=("segment", "disk", "reduce memory limit"),
+        operations=(("", "merge", "segment"),),
+        source="MergeManagerImpl",
+    ))
+    cat.add(Template(
+        "mr.reduce.spill.disk",
+        "Spilling {n} segments to disk at {path} to free reduce memory",
+        roles={"n": VAL, "path": LOC},
+        entities=("segment", "disk", "reduce memory"),
+        operations=(("", "spill", "segment"),),
+        source="MergeManagerImpl",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "mr.reduce.output.saved",
+        "Saved output of task {attempt} to {path}",
+        roles={"attempt": ID, "path": LOC},
+        entities=("output of task",),
+        operations=(("", "save", "output"),),
+        source="FileOutputCommitter",
+    ))
+
+    # ---- fault-only statements (never seen in training) ----------------------
+    cat.add(Template(
+        "mr.am.attempt.failed",
+        "Diagnostics report from {attempt} : Container killed on request . "
+        "Exit code is {code}",
+        roles={"attempt": ID, "code": VAL},
+        entities=("diagnostics report", "container", "exit code"),
+        operations=(("container", "kill", ""),),
+        source="TaskAttemptImpl",
+        level="WARN",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "mr.am.node.unusable",
+        "Node {host} reported UNHEALTHY and is marked unusable",
+        roles={"host": LOC},
+        entities=("node",),
+        operations=(("node", "mark", ""),),
+        source="ContainerAllocator",
+        level="WARN",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "mr.am.attempt.relaunch",
+        "Relaunching failed attempt {attempt} on another node",
+        roles={"attempt": ID},
+        entities=("failed attempt", "node"),
+        operations=(("", "relaunch", "attempt"),),
+        source="TaskAttemptImpl",
+        level="WARN",
+        anomalous=True,
+    ))
+    return cat
+
+
+@dataclass(slots=True)
+class MapReduceConfig:
+    """Per-job configuration knobs (the paper's five config sets vary input
+    data size and resource allocation)."""
+
+    input_gb: float = 4.0
+    map_memory_mb: int = 2048
+    reduce_memory_mb: int = 4096
+    reducers: int = 2
+    #: GB of input per map task (controls task/session counts).
+    gb_per_map: float = 0.5
+    #: Memory pressure triggers spill messages (case study 2).
+    io_sort_mb: int = 256
+
+
+class MapReduceSimulator:
+    """Simulates one MapReduce job run on a YARN cluster."""
+
+    def __init__(
+        self,
+        cluster: YarnCluster | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.cluster = cluster or YarnCluster(nodes=8, rng=self.rng)
+        self.catalog = mapreduce_catalog()
+        self._app_seq = 0
+
+    def run_job(
+        self,
+        job_type: str = "wordcount",
+        config: MapReduceConfig | None = None,
+        fault: FaultSpec | None = None,
+        base_time: float = 0.0,
+    ) -> JobLogs:
+        config = config or MapReduceConfig()
+        self._app_seq += 1
+        app_num = f"{1528077000000 + self._app_seq}_{self._app_seq:04d}"
+        app_id = f"application_{app_num}"
+        job_id = f"job_{app_num}"
+
+        sim = Simulation(rng=self.rng)
+        plan = FaultPlan(fault, self.rng)
+
+        n_maps = max(1, int(round(config.input_gb / config.gb_per_map)))
+        n_reduces = max(1, config.reducers)
+
+        am = self.cluster.allocate(app_id, "appmaster", memory_mb=2048)
+        am_log = LogEmitter(am, self.catalog, sim, base_time)
+
+        maps = [
+            self.cluster.allocate(app_id, "map",
+                                  memory_mb=config.map_memory_mb)
+            for _ in range(n_maps)
+        ]
+        reduces = [
+            self.cluster.allocate(app_id, "reduce",
+                                  memory_mb=config.reduce_memory_mb)
+            for _ in range(n_reduces)
+        ]
+
+        # Fault planning: choose victims up front.
+        plan.choose_victims(self.cluster, maps + reduces)
+
+        self._script_appmaster(
+            sim, am_log, job_id, app_id, config, maps, reduces, plan
+        )
+        map_ends: list[float] = []
+        for index, container in enumerate(maps):
+            end = self._script_map(
+                sim, container, job_id, index, config, plan, base_time
+            )
+            map_ends.append(end)
+        shuffle_start = max(map_ends) if map_ends else 1.0
+        for index, container in enumerate(reduces):
+            self._script_reduce(
+                sim, container, job_id, index, config, maps, plan,
+                base_time, shuffle_start,
+            )
+
+        sim.run()
+        plan.apply_kills(base_time)
+
+        sessions = []
+        for container in [am, *maps, *reduces]:
+            container.session.sort()
+            if plan.killed_at(container) is not None:
+                container.session.records = [
+                    r for r in container.session.records
+                    if r.timestamp <= base_time + plan.killed_at(container)
+                ]
+                container.session.injected_fault = plan.spec.kind
+            sessions.append(container.session)
+
+        return JobLogs(
+            app_id=app_id,
+            system="mapreduce",
+            job_type=job_type,
+            sessions=sessions,
+            fault=plan.spec.kind if plan.spec else None,
+            affected_sessions=plan.affected_session_ids(),
+            config={
+                "input_gb": config.input_gb,
+                "maps": n_maps,
+                "reduces": n_reduces,
+                "map_memory_mb": config.map_memory_mb,
+            },
+        )
+
+    # -- per-container scripts ---------------------------------------------------
+
+    def _script_appmaster(
+        self,
+        sim: Simulation,
+        log: LogEmitter,
+        job_id: str,
+        app_id: str,
+        config: MapReduceConfig,
+        maps: list[Container],
+        reduces: list[Container],
+        plan: FaultPlan,
+    ) -> None:
+        t = 0.0
+        log_at = _scheduler(sim, log)
+        t = log_at(t, 0.2, "mr.am.created", app=app_id)
+        t = log_at(t, 0.3, "mr.am.job.init", job=job_id)
+        t = log_at(t, 0.2, "mr.am.job.setup", job=job_id)
+        t = log_at(
+            t, 0.2, "mr.am.input.splits",
+            job=job_id,
+            bytes=int(config.input_gb * 2 ** 30),
+            splits=len(maps),
+        )
+        t = log_at(t, 0.3, "mr.am.job.running", job=job_id)
+
+        tasks = [
+            (c, _task_id(job_id, "m", i)) for i, c in enumerate(maps)
+        ] + [
+            (c, _task_id(job_id, "r", i)) for i, c in enumerate(reduces)
+        ]
+        completed = 0
+        for container, task_id in tasks:
+            attempt = _attempt_id(task_id)
+            delay = sim.jitter(0.3)
+            t += delay
+            sim.schedule_at(
+                t, _emit(log, "mr.am.task.scheduled", task=task_id)
+            )
+            sim.schedule_at(
+                t + 0.1,
+                _emit(log, "mr.am.attempt.assigned", attempt=attempt),
+            )
+            sim.schedule_at(
+                t + 0.2,
+                _emit(
+                    log, "mr.am.container.assigned",
+                    container=container.container_id,
+                    attempt=attempt,
+                    host=container.node.name,
+                ),
+            )
+            sim.schedule_at(
+                t + 0.4,
+                _emit(log, "mr.am.attempt.running", attempt=attempt),
+            )
+            run_time = sim.jitter(6.0)
+            progress_at = t + run_time / 2
+            sim.schedule_at(
+                progress_at,
+                _emit(
+                    log, "mr.am.attempt.progress",
+                    attempt=attempt,
+                    pct=round(float(sim.rng.uniform(0.3, 0.9)), 2),
+                ),
+            )
+            finish_at = t + run_time
+
+            if plan.is_victim(container):
+                # The AM notices the failure and reports + relaunches.
+                fail_at = plan.killed_at(container) or finish_at
+                sim.schedule_at(
+                    fail_at + 0.5,
+                    _emit(
+                        log, "mr.am.attempt.failed",
+                        attempt=attempt,
+                        code=137,
+                    ),
+                )
+                sim.schedule_at(
+                    fail_at + 0.8,
+                    _emit(log, "mr.am.attempt.relaunch", attempt=attempt),
+                )
+                if plan.spec and plan.spec.kind == "node_failure":
+                    sim.schedule_at(
+                        fail_at + 0.6,
+                        _emit(
+                            log, "mr.am.node.unusable",
+                            host=container.node.name,
+                        ),
+                    )
+            else:
+                completed += 1
+                count = completed
+                sim.schedule_at(
+                    finish_at,
+                    _emit(
+                        log, "mr.am.attempt.succeeded", attempt=attempt
+                    ),
+                )
+                sim.schedule_at(
+                    finish_at + 0.1,
+                    _emit(log, "mr.am.task.succeeded", task=task_id),
+                )
+                sim.schedule_at(
+                    finish_at + 0.2,
+                    _emit(log, "mr.am.tasks.completed", n=count),
+                )
+
+        end = t + 12.0
+        sim.schedule_at(
+            end, _emit(log, "mr.am.job.committing", job=job_id)
+        )
+        sim.schedule_at(
+            end + 0.5, _emit(log, "mr.am.job.succeeded", job=job_id)
+        )
+        sim.schedule_at(
+            end + 0.7, _emit(log, "mr.am.history.flush", n=0)
+        )
+        sim.schedule_at(
+            end + 0.9,
+            _emit(
+                log, "mr.am.staging.delete",
+                path=f"hdfs://{self.cluster.master.name}:8020/tmp/hadoop-"
+                     f"yarn/staging/{job_id}",
+            ),
+        )
+        sim.schedule_at(
+            end + 1.0, _emit(log, "mr.am.shutdown", job=job_id)
+        )
+
+    def _script_map(
+        self,
+        sim: Simulation,
+        container: Container,
+        job_id: str,
+        index: int,
+        config: MapReduceConfig,
+        plan: FaultPlan,
+        base_time: float,
+    ) -> float:
+        log = LogEmitter(container, self.catalog, sim, base_time)
+        task_id = _task_id(job_id, "m", index)
+        attempt = _attempt_id(task_id)
+        start = 1.0 + sim.jitter(1.0)
+        t = start
+        log_at = _scheduler(sim, log)
+        t = log_at(t, 0.2, "mr.map.metrics.start")
+        t = log_at(t, 0.1, "mr.map.metrics.started")
+        t = log_at(
+            t, 0.2, "mr.map.split",
+            path=f"hdfs://{self.cluster.master.name}:8020/user/root/input/"
+                 f"part-{index:05d}",
+        )
+        t = log_at(
+            t, 0.1, "mr.map.output.collector",
+            cls="MapTask1MapOutputBuffer",
+        )
+        t = log_at(
+            t, 0.1, "mr.map.sort.kv",
+            mb=config.io_sort_mb,
+            bytes=int(config.io_sort_mb * 0.8 * 2 ** 20),
+            b1=0, b2=26214396,
+        )
+        work = sim.jitter(4.0)
+        t += work
+        # Memory pressure: extra spills when the sort buffer is small
+        # relative to the split (performance-issue case study).
+        split_mb = config.gb_per_map * 1024
+        spills = 1
+        if config.io_sort_mb < split_mb / 4:
+            spills = int(min(5, split_mb / (4 * config.io_sort_mb))) + 1
+            for s in range(spills - 1):
+                t = log_at(
+                    t, 0.3, "mr.map.spill.pressure",
+                    bytes=int(config.io_sort_mb * 0.8 * 2 ** 20),
+                )
+        t = log_at(t, 0.2, "mr.map.flush.start")
+        for s in range(spills):
+            t = log_at(t, 0.2, "mr.map.spill.finished", spill=f"spill{s}")
+        t = log_at(t, 0.4, "mr.task.committing", attempt=attempt)
+        t = log_at(t, 0.3, "mr.task.done", attempt=attempt)
+        t = log_at(t, 0.2, "mr.map.metrics.stopped")
+        t = log_at(t, 0.1, "mr.map.metrics.shutdown")
+        return t
+
+    def _script_reduce(
+        self,
+        sim: Simulation,
+        container: Container,
+        job_id: str,
+        index: int,
+        config: MapReduceConfig,
+        maps: list[Container],
+        plan: FaultPlan,
+        base_time: float,
+        shuffle_start: float,
+    ) -> None:
+        log = LogEmitter(container, self.catalog, sim, base_time)
+        task_id = _task_id(job_id, "r", index)
+        attempt = _attempt_id(task_id)
+        t = shuffle_start + sim.jitter(1.0)
+        log_at = _scheduler(sim, log)
+        t = log_at(t, 0.2, "mr.reduce.metrics.start")
+        t = log_at(t, 0.1, "mr.reduce.metrics.started")
+        t = log_at(
+            t, 0.1, "mr.reduce.merger.kv",
+            bytes=int(config.reduce_memory_mb * 0.7 * 2 ** 20),
+            bytes2=int(config.reduce_memory_mb * 0.17 * 2 ** 20),
+            bytes3=int(config.reduce_memory_mb * 0.62 * 2 ** 20),
+        )
+        t = log_at(
+            t, 0.2, "mr.reduce.need.outputs",
+            attempt=attempt, n=len(maps), m=0,
+        )
+        t = log_at(t, 0.2, "mr.reduce.event.fetcher", n=len(maps))
+
+        # Concurrent fetchers: each map output fetched by one of a few
+        # fetcher threads, interleaved (the Figure 1 subroutine).
+        n_fetchers = int(min(4, max(1, len(maps))))
+        fetch_end = t
+        for map_index, map_container in enumerate(maps):
+            fid = int(sim.rng.integers(1, n_fetchers + 1))
+            map_attempt = _attempt_id(_task_id(job_id, "m", map_index))
+            begin = t + float(sim.rng.uniform(0.0, 2.0))
+            net_fail = plan.network_victim_node is not None and (
+                map_container.node.name == plan.network_victim_node
+            )
+            if net_fail:
+                for retry in range(2):
+                    sim.schedule_at(
+                        begin + 0.4 * retry,
+                        _emit(
+                            log, "mr.fetch.retry",
+                            address=map_container.node.shuffle_address,
+                            n=retry + 1,
+                        ),
+                    )
+                sim.schedule_at(
+                    begin + 1.0,
+                    _emit(
+                        log, "mr.fetch.failed",
+                        address=map_container.node.shuffle_address,
+                        n=1,
+                    ),
+                )
+                plan.mark_affected(container)
+                continue
+            size = int(sim.rng.integers(1200, 90000))
+            sim.schedule_at(
+                begin,
+                _emit(
+                    log, "mr.fetch.shuffle", fid=fid, attempt=map_attempt
+                ),
+            )
+            sim.schedule_at(
+                begin + 0.2,
+                _emit(
+                    log, "mr.fetch.read",
+                    fid=fid, bytes=size, attempt=map_attempt,
+                ),
+            )
+            ms = int(sim.rng.integers(2, 40))
+            sim.schedule_at(
+                begin + 0.3,
+                _emit(
+                    log, "mr.fetch.freed",
+                    address=map_container.node.shuffle_address,
+                    fid=fid, ms=ms,
+                ),
+            )
+            fetch_end = max(fetch_end, begin + 0.3)
+
+        t = fetch_end + sim.jitter(0.5)
+        on_disk = 0
+        if config.reduce_memory_mb < 1024:
+            # Memory pressure in the reducer spills segments to disk.
+            on_disk = int(min(len(maps), 3))
+            t = log_at(
+                t, 0.3, "mr.reduce.spill.disk",
+                n=on_disk,
+                path=f"/tmp/hadoop-root/nm-local-dir/usercache/root/"
+                     f"appcache/spill_{index}.out",
+            )
+            t = log_at(
+                t, 0.2, "mr.reduce.skipped.segments",
+                n=on_disk, bytes=int(sim.rng.integers(10 ** 6, 10 ** 8)),
+            )
+        t = log_at(
+            t, 0.3, "mr.reduce.final.merge",
+            n=max(0, len(maps) - on_disk), m=on_disk,
+        )
+        t = log_at(
+            t, 0.2, "mr.reduce.merging",
+            n=max(1, on_disk), bytes=int(sim.rng.integers(10 ** 5, 10 ** 7)),
+        )
+        t = log_at(
+            t, 0.2, "mr.reduce.last.pass",
+            n=len(maps), bytes=int(sim.rng.integers(10 ** 6, 10 ** 8)),
+        )
+        t += sim.jitter(3.0)
+        t = log_at(t, 0.3, "mr.task.committing", attempt=attempt)
+        t = log_at(
+            t, 0.2, "mr.reduce.output.saved",
+            attempt=attempt,
+            path=f"hdfs://{self.cluster.master.name}:8020/user/root/output/"
+                 f"_temporary/1/task_{index:06d}",
+        )
+        t = log_at(t, 0.2, "mr.task.done", attempt=attempt)
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _task_id(job_id: str, kind: str, index: int) -> str:
+    suffix = job_id.split("_", 1)[1]
+    return f"task_{suffix}_{kind}_{index:06d}"
+
+
+def _attempt_id(task_id: str, attempt: int = 0) -> str:
+    return task_id.replace("task_", "attempt_") + f"_{attempt}"
+
+
+def _emit(log: LogEmitter, template_id: str, **values: object):
+    def action() -> None:
+        log.emit(template_id, **values)
+
+    return action
+
+
+def _scheduler(sim: Simulation, log: LogEmitter):
+    """Returns ``log_at(t, gap, template, **values) -> new_t`` which
+    schedules an emission ``gap`` (jittered) after ``t``."""
+
+    def log_at(t: float, gap: float, template_id: str,
+               **values: object) -> float:
+        t = t + sim.jitter(gap)
+        sim.schedule_at(t, _emit(log, template_id, **values))
+        return t
+
+    return log_at

@@ -1,0 +1,805 @@
+"""Apache Spark job simulator.
+
+Emits driver and executor container sessions with message texts modelled on
+Spark 2.x log statements.  The executor script is laid out so that the
+learned HW-graph reproduces the paper's Figure 8 structure:
+
+* ``acl`` first (SecurityManager messages);
+* four long-lived parents — ``memory``, ``directory``, ``driver`` and
+  ``block`` — spanning most of the session;
+* ``task`` and ``fetch`` activity nested inside them, with TASK/STAGE/TID
+  identifier subroutines (the Figure 4 log key lives here);
+* ``shutdown`` after ``task`` and ``directory``.
+
+The ``block`` group carries the paper's three subroutines: s1 keyed by
+BlockManager identifiers (registering / registered / initialized), s2 keyed
+by block identifiers (stored), and s3 with no identifier (getting blocks /
+stopped).
+
+Fault hooks and the memory-pressure ``spill`` path (case study 2) and the
+idle-executor path (case study 3, SPARK-19731) are included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cluster import Container, JobLogs, LogEmitter, YarnCluster
+from .events import Simulation
+from .faults import FaultPlan, FaultSpec
+from .groundtruth import Role, Template, TemplateCatalog
+
+ID = Role.IDENTIFIER
+VAL = Role.VALUE
+LOC = Role.LOCALITY
+
+
+def spark_catalog() -> TemplateCatalog:
+    """The logging statements of the simulated Spark system."""
+    cat = TemplateCatalog("spark")
+
+    # ---- security / acl -------------------------------------------------------
+    cat.add(Template(
+        "sp.acl.view",
+        "Changing view acls to : {user}",
+        roles={"user": ID},
+        entities=("view acl",),
+        operations=(("", "change", "acl"),),
+        source="SecurityManager",
+    ))
+    cat.add(Template(
+        "sp.acl.modify",
+        "Changing modify acls to : {user}",
+        roles={"user": ID},
+        entities=("modify acl",),
+        operations=(("", "change", "acl"),),
+        source="SecurityManager",
+    ))
+    cat.add(Template(
+        "sp.acl.summary",
+        "SecurityManager : authentication disabled ; acls disabled ; users "
+        "with view permissions : Set({user})",
+        roles={"user": ID},
+        entities=("security manager", "acl", "view permission"),
+        operations=(),
+        source="SecurityManager",
+    ))
+
+    # ---- memory ------------------------------------------------------------------
+    cat.add(Template(
+        "sp.memory.start",
+        "MemoryStore started with capacity {mb} MB",
+        roles={"mb": VAL},
+        entities=("memory store", "capacity"),
+        operations=(("memorystore", "start", ""),),
+        source="MemoryStore",
+    ))
+    cat.add(Template(
+        "sp.memory.acquire",
+        "Acquired {bytes} bytes of storage memory for computation",
+        roles={"bytes": VAL},
+        entities=("storage memory", "computation"),
+        operations=(("", "acquire", "memory"),),
+        source="MemoryManager",
+    ))
+    cat.add(Template(
+        "sp.memory.cleared",
+        "MemoryStore cleared",
+        entities=("memory store",),
+        operations=(("memorystore", "clear", ""),),
+        source="MemoryStore",
+    ))
+
+    # ---- directory ------------------------------------------------------------------
+    cat.add(Template(
+        "sp.dir.created",
+        "Created local directory at {path}",
+        roles={"path": LOC},
+        entities=("local directory",),
+        operations=(("", "create", "directory"),),
+        source="DiskBlockManager",
+    ))
+    cat.add(Template(
+        "sp.dir.deleting",
+        "Deleting directory {path}",
+        roles={"path": LOC},
+        entities=("directory",),
+        operations=(("", "delete", "directory"),),
+        source="ShutdownHookManager",
+    ))
+
+    # ---- driver connection ----------------------------------------------------------
+    cat.add(Template(
+        "sp.driver.connect",
+        "Connecting to driver : spark://CoarseGrainedScheduler@{addr}",
+        roles={"addr": LOC},
+        entities=("driver",),
+        operations=(("", "connect", "driver"),),
+        source="CoarseGrainedExecutorBackend",
+    ))
+    cat.add(Template(
+        "sp.driver.registered",
+        "Successfully registered with driver",
+        entities=("driver",),
+        operations=(("", "register", "driver"),),
+        source="CoarseGrainedExecutorBackend",
+    ))
+    cat.add(Template(
+        "sp.driver.shutdown",
+        "Driver commanded a shutdown",
+        entities=("driver", "shutdown"),
+        operations=(("driver", "command", "shutdown"),),
+        source="CoarseGrainedExecutorBackend",
+    ))
+    cat.add(Template(
+        "sp.driver.heartbeat.lost",
+        "Heartbeat to driver timed out after {ms} ms telling "
+        "disconnection of the driver",
+        roles={"ms": VAL},
+        entities=("heartbeat", "driver", "disconnection of the driver"),
+        operations=(("heartbeat", "time", "driver"),),
+        source="Executor",
+        level="WARN",
+        anomalous=True,
+    ))
+
+    # ---- executor lifecycle -------------------------------------------------------------
+    cat.add(Template(
+        "sp.exec.start",
+        "Starting executor ID {eid} on host {host}",
+        roles={"eid": ID, "host": LOC},
+        entities=("executor id",),
+        operations=(("", "start", "executor"),),
+        source="CoarseGrainedExecutorBackend",
+    ))
+
+    # ---- block management ------------------------------------------------------------------
+    cat.add(Template(
+        "sp.block.registering",
+        "Registering BlockManager {bmid}",
+        roles={"bmid": ID},
+        entities=("block manager",),
+        operations=(("", "register", "blockmanager"),),
+        source="BlockManager",
+    ))
+    cat.add(Template(
+        "sp.block.registered",
+        "Registered BlockManager {bmid}",
+        roles={"bmid": ID},
+        entities=("block manager",),
+        operations=(("", "register", "blockmanager"),),
+        source="BlockManager",
+    ))
+    cat.add(Template(
+        "sp.block.initialized",
+        "Initialized BlockManager {bmid}",
+        roles={"bmid": ID},
+        entities=("block manager",),
+        operations=(("", "initialize", "blockmanager"),),
+        source="BlockManager",
+    ))
+    cat.add(Template(
+        "sp.block.stored",
+        "Block {block} stored as values in memory ( estimated size {kb} "
+        "KB , free {mb} MB )",
+        roles={"block": ID, "kb": VAL, "mb": VAL},
+        entities=("block", "memory", "estimated size"),
+        operations=(("block", "store", "memory"),),
+        source="MemoryStore",
+    ))
+    cat.add(Template(
+        "sp.block.getting",
+        "Getting {n} non-empty blocks out of {m} blocks",
+        roles={"n": VAL, "m": VAL},
+        entities=("non-empty block",),
+        operations=(("", "get", "block"),),
+        source="ShuffleBlockFetcherIterator",
+    ))
+    cat.add(Template(
+        "sp.block.stopped",
+        "BlockManager stopped",
+        entities=("block manager",),
+        operations=(("blockmanager", "stop", ""),),
+        source="BlockManager",
+    ))
+
+    # ---- task execution -------------------------------------------------------------------------
+    cat.add(Template(
+        "sp.task.assigned",
+        "Got assigned task {tid}",
+        roles={"tid": ID},
+        entities=("task",),
+        operations=(("", "assign", "task"),),
+        source="CoarseGrainedExecutorBackend",
+    ))
+    cat.add(Template(
+        "sp.task.running",
+        "Running task {tindex} in stage {stage} ( TID {tid} )",
+        roles={"tindex": ID, "stage": ID, "tid": ID},
+        entities=("task", "stage", "tid"),
+        operations=(("", "run", "task"),),
+        source="Executor",
+    ))
+    cat.add(Template(
+        "sp.task.finished",
+        "Finished task {tindex} in stage {stage} ( TID {tid} ) . {bytes} "
+        "bytes result sent to driver",
+        roles={"tindex": ID, "stage": ID, "tid": ID, "bytes": VAL},
+        entities=("task", "stage", "tid", "result", "driver"),
+        operations=(("", "finish", "task"), ("result", "send", "driver")),
+        source="Executor",
+    ))
+
+    # ---- fetch / broadcast ---------------------------------------------------------------------------
+    cat.add(Template(
+        "sp.fetch.broadcast.start",
+        "Started reading broadcast variable {bid}",
+        roles={"bid": ID},
+        entities=("broadcast variable",),
+        operations=(("", "read", "variable"),),
+        source="TorrentBroadcast",
+    ))
+    cat.add(Template(
+        "sp.fetch.broadcast.done",
+        "Reading broadcast variable {bid} took {ms} ms",
+        roles={"bid": ID, "ms": VAL},
+        entities=("broadcast variable",),
+        operations=(("", "read", "variable"),),
+        source="TorrentBroadcast",
+    ))
+    cat.add(Template(
+        "sp.fetch.remote",
+        "Started {n} remote fetches in {ms} ms",
+        roles={"n": VAL, "ms": VAL},
+        entities=("remote fetch",),
+        operations=(("", "start", "fetch"),),
+        source="ShuffleBlockFetcherIterator",
+    ))
+    cat.add(Template(
+        "sp.fetch.of.blocks",
+        "fetch of {n} blocks from {addr} finished",
+        roles={"n": VAL, "addr": LOC},
+        entities=("fetch of block",),
+        operations=(("fetch", "finish", ""),),
+        source="ShuffleBlockFetcherIterator",
+    ))
+    cat.add(Template(
+        "sp.fetch.failed",
+        "Failed to fetch remote block from {addr} , connection refused",
+        roles={"addr": LOC},
+        entities=("remote block", "connection"),
+        operations=(("", "fetch", "block"),),
+        source="ShuffleBlockFetcherIterator",
+        level="WARN",
+        anomalous=True,
+    ))
+
+    # ---- spill (memory-pressure path, case study 2) -----------------------------------------------------
+    cat.add(Template(
+        "sp.spill.force",
+        "Task {tid} force spilling in-memory map to disk and it will "
+        "release {mb} MB memory",
+        roles={"tid": ID, "mb": VAL},
+        entities=("in-memory map", "disk", "memory"),
+        operations=(("task", "spill", "map"),),
+        source="ExternalSorter",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "sp.spill.completed",
+        "Spill of {mb} MB to {path} completed",
+        roles={"mb": VAL, "path": LOC},
+        entities=("spill",),
+        operations=(("spill", "complete", ""),),
+        source="ExternalAppendOnlyMap",
+        anomalous=True,
+    ))
+
+    # ---- shutdown ------------------------------------------------------------------------------------------
+    cat.add(Template(
+        "sp.shutdown.hook",
+        "Shutdown hook called",
+        entities=("shutdown hook",),
+        operations=(("", "call", "hook"),),
+        source="ShutdownHookManager",
+    ))
+
+    # ---- driver-side templates --------------------------------------------------------------------------------
+    cat.add(Template(
+        "sp.drv.version",
+        "Running Spark version {version}",
+        roles={"version": ID},
+        entities=("spark version",),
+        operations=(("", "run", "version"),),
+        source="SparkContext",
+    ))
+    cat.add(Template(
+        "sp.drv.submitted",
+        "Submitted application : {name}",
+        roles={"name": ID},
+        entities=("application",),
+        operations=(("", "submit", "application"),),
+        source="SparkContext",
+    ))
+    cat.add(Template(
+        "sp.drv.executor.added",
+        "Granted executor ID {eid} on hostPort {addr} with {n} cores , "
+        "{mb} MB RAM",
+        roles={"eid": ID, "addr": LOC, "n": VAL, "mb": VAL},
+        entities=("executor id",),
+        operations=(("", "grant", "executor"),),
+        source="YarnSchedulerBackend",
+    ))
+    cat.add(Template(
+        "sp.drv.job.start",
+        "Starting job : {name} at {site}",
+        roles={"name": ID, "site": ID},
+        entities=("job",),
+        operations=(("", "start", "job"),),
+        source="SparkContext",
+    ))
+    cat.add(Template(
+        "sp.drv.job.got",
+        "Got job {job} ( {name} ) with {n} output partitions",
+        roles={"job": ID, "name": ID, "n": VAL},
+        entities=("job", "output partition"),
+        operations=(("", "get", "job"),),
+        source="DAGScheduler",
+    ))
+    cat.add(Template(
+        "sp.drv.stage.submit",
+        "Submitting {n} missing tasks from ResultStage {stage}",
+        roles={"n": VAL, "stage": ID},
+        entities=("missing task", "result stage"),
+        operations=(("", "submit", "task"),),
+        source="DAGScheduler",
+    ))
+    cat.add(Template(
+        "sp.drv.task.start",
+        "Starting task {tindex} in stage {stage} ( TID {tid} , {host} , "
+        "executor {eid} )",
+        roles={"tindex": ID, "stage": ID, "tid": ID, "host": LOC,
+               "eid": ID},
+        entities=("task", "stage", "executor"),
+        operations=(("", "start", "task"),),
+        source="TaskSetManager",
+    ))
+    cat.add(Template(
+        "sp.drv.task.finish",
+        "Finished task {tindex} in stage {stage} ( TID {tid} ) in {ms} ms "
+        "on {host} ( executor {eid} ) ( {done} / {total} )",
+        roles={"tindex": ID, "stage": ID, "tid": ID, "ms": VAL,
+               "host": LOC, "eid": ID, "done": VAL, "total": VAL},
+        entities=("task", "stage", "executor"),
+        operations=(("", "finish", "task"),),
+        source="TaskSetManager",
+    ))
+    cat.add(Template(
+        "sp.drv.stage.finished",
+        "ResultStage {stage} ( {name} ) finished in {sec} s",
+        roles={"stage": ID, "name": ID, "sec": VAL},
+        entities=("result stage",),
+        operations=(("stage", "finish", ""),),
+        source="DAGScheduler",
+    ))
+    cat.add(Template(
+        "sp.drv.job.finished",
+        "Job {job} finished : {name} , took {sec} s",
+        roles={"job": ID, "name": ID, "sec": VAL},
+        entities=("job",),
+        operations=(("job", "finish", ""),),
+        source="DAGScheduler",
+    ))
+    cat.add(Template(
+        "sp.drv.blockmaster.register",
+        "Registering block manager {addr} with {mb} MB RAM , {bmid}",
+        roles={"addr": LOC, "mb": VAL, "bmid": ID},
+        entities=("block manager",),
+        operations=(("", "register", "manager"),),
+        source="BlockManagerMasterEndpoint",
+    ))
+    cat.add(Template(
+        "sp.drv.executor.lost",
+        "Lost executor {eid} on {host} : Container marked as failed",
+        roles={"eid": ID, "host": LOC},
+        entities=("executor", "container"),
+        operations=(("", "lose", "executor"),),
+        source="YarnSchedulerBackend",
+        level="ERROR",
+        anomalous=True,
+    ))
+    return cat
+
+
+@dataclass(slots=True)
+class SparkConfig:
+    """Per-job knobs (the paper's config sets vary input size and
+    resources)."""
+
+    input_gb: float = 4.0
+    executors: int = 4
+    executor_cores: int = 4
+    executor_memory_mb: int = 4096
+    stages: int = 2
+    #: GB of input handled per task (controls task counts / session length).
+    gb_per_task: float = 0.25
+    #: When executor memory is scarce relative to per-core data, tasks
+    #: spill (performance-issue case study 2).
+    spill_threshold_mb: int = 512
+
+
+class SparkSimulator:
+    """Simulates one Spark-on-YARN job."""
+
+    def __init__(
+        self,
+        cluster: YarnCluster | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.cluster = cluster or YarnCluster(nodes=8, rng=self.rng)
+        self.catalog = spark_catalog()
+        self._app_seq = 0
+
+    def run_job(
+        self,
+        job_type: str = "wordcount",
+        config: SparkConfig | None = None,
+        fault: FaultSpec | None = None,
+        base_time: float = 0.0,
+        idle_executor_bug: bool = False,
+    ) -> JobLogs:
+        """Run one job; ``idle_executor_bug`` reproduces SPARK-19731-like
+        behaviour where some executors never receive tasks (case 3)."""
+        config = config or SparkConfig()
+        self._app_seq += 1
+        app_num = f"{1528080000000 + self._app_seq}_{self._app_seq:04d}"
+        app_id = f"application_{app_num}"
+
+        sim = Simulation(rng=self.rng)
+        plan = FaultPlan(fault, self.rng)
+
+        driver = self.cluster.allocate(app_id, "driver", memory_mb=4096)
+        executors = [
+            self.cluster.allocate(
+                app_id, "executor", memory_mb=config.executor_memory_mb
+            )
+            for _ in range(config.executors)
+        ]
+        plan.choose_victims(self.cluster, executors)
+        user = ("root", "hadoop", "hive")[self._app_seq % 3]
+
+        n_tasks = max(1, int(round(config.input_gb / config.gb_per_task)))
+        # Assign tasks to executors round-robin; under the idle-executor
+        # bug, task count can be below executor count leaving some idle.
+        if idle_executor_bug:
+            n_tasks = min(n_tasks, max(1, config.executors // 2))
+        assignments: dict[int, list[int]] = {
+            i: [] for i in range(len(executors))
+        }
+        tid = 0
+        for stage in range(config.stages):
+            stage_tasks = max(1, n_tasks // config.stages)
+            for t in range(stage_tasks):
+                assignments[tid % len(executors)].append(tid)
+                tid += 1
+
+        self._script_driver(
+            sim, driver, app_id, job_type, config, executors,
+            assignments, plan, base_time, user,
+        )
+        for index, executor in enumerate(executors):
+            self._script_executor(
+                sim, executor, index, config, executors, assignments[index],
+                plan, base_time, user,
+            )
+
+        sim.run()
+        plan.apply_kills(base_time)
+
+        sessions = []
+        for container in [driver, *executors]:
+            container.session.sort()
+            kill = plan.killed_at(container)
+            if kill is not None:
+                container.session.records = [
+                    r for r in container.session.records
+                    if r.timestamp <= base_time + kill
+                ]
+                container.session.injected_fault = plan.spec.kind
+            sessions.append(container.session)
+
+        return JobLogs(
+            app_id=app_id,
+            system="spark",
+            job_type=job_type,
+            sessions=sessions,
+            fault=plan.spec.kind if plan.spec else None,
+            affected_sessions=plan.affected_session_ids(),
+            config={
+                "input_gb": config.input_gb,
+                "executors": config.executors,
+                "tasks": tid,
+                "executor_memory_mb": config.executor_memory_mb,
+            },
+        )
+
+    # -- scripts ----------------------------------------------------------------
+
+    def _script_driver(
+        self,
+        sim: Simulation,
+        driver: Container,
+        app_id: str,
+        job_type: str,
+        config: SparkConfig,
+        executors: list[Container],
+        assignments: dict[int, list[int]],
+        plan: FaultPlan,
+        base_time: float,
+        user: str,
+    ) -> None:
+        log = LogEmitter(driver, self.catalog, sim, base_time)
+        log_at = _scheduler(sim, log)
+        t = 0.0
+        t = log_at(t, 0.2, "sp.drv.version", version="2.1.0")
+        t = log_at(t, 0.2, "sp.acl.view", user=user)
+        t = log_at(t, 0.1, "sp.acl.modify", user=user)
+        t = log_at(t, 0.1, "sp.acl.summary", user=user)
+        t = log_at(t, 0.3, "sp.drv.submitted", name=job_type)
+        for index, executor in enumerate(executors):
+            t = log_at(
+                t, 0.2, "sp.drv.executor.added",
+                eid=index + 1,
+                addr=f"{executor.node.name}:4040",
+                n=config.executor_cores,
+                mb=config.executor_memory_mb,
+            )
+            t = log_at(
+                t, 0.1, "sp.drv.blockmaster.register",
+                addr=f"{executor.node.name}:41441",
+                mb=int(config.executor_memory_mb * 0.6),
+                bmid=f"BlockManagerId_{index + 1}",
+            )
+        t = log_at(
+            t, 0.3, "sp.drv.job.start",
+            name=f"{job_type}_0", site=f"{job_type}.scala:15",
+        )
+        total = sum(len(v) for v in assignments.values())
+        t = log_at(
+            t, 0.2, "sp.drv.job.got",
+            job=0, name=f"{job_type}_0", n=max(1, total // 2),
+        )
+        for stage in range(config.stages):
+            t = log_at(
+                t, 0.2, "sp.drv.stage.submit",
+                n=max(1, total // config.stages), stage=float(stage),
+            )
+        # Task start/finish bookkeeping interleaved across executors.
+        done = 0
+        for index, executor in enumerate(executors):
+            for tid in assignments[index]:
+                stage = tid % config.stages
+                begin = t + float(sim.rng.uniform(0.5, 4.0))
+                sim.schedule_at(begin, _emit(
+                    log, "sp.drv.task.start",
+                    tindex=f"{tid}.0", stage=f"{stage}.0", tid=tid,
+                    host=executor.node.name, eid=index + 1,
+                ))
+                done += 1
+                sim.schedule_at(begin + sim.jitter(2.5), _emit(
+                    log, "sp.drv.task.finish",
+                    tindex=f"{tid}.0", stage=f"{stage}.0", tid=tid,
+                    ms=int(sim.rng.integers(50, 3000)),
+                    host=executor.node.name, eid=index + 1,
+                    done=done, total=total,
+                ))
+            if plan.is_victim(executor):
+                kill = plan.killed_at(executor) or 8.0
+                sim.schedule_at(kill + 1.0, _emit(
+                    log, "sp.drv.executor.lost",
+                    eid=index + 1, host=executor.node.name,
+                ))
+        end = t + 9.0
+        for stage in range(config.stages):
+            sim.schedule_at(end + 0.2 * stage, _emit(
+                log, "sp.drv.stage.finished",
+                stage=f"{stage}.0", name=f"{job_type}_0",
+                sec=round(float(sim.rng.uniform(1.0, 9.0)), 3),
+            ))
+        sim.schedule_at(end + 0.6, _emit(
+            log, "sp.drv.job.finished",
+            job=0, name=f"{job_type}_0",
+            sec=round(float(sim.rng.uniform(2.0, 12.0)), 3),
+        ))
+        sim.schedule_at(end + 1.0, _emit(log, "sp.shutdown.hook"))
+        sim.schedule_at(end + 1.2, _emit(
+            log, "sp.dir.deleting",
+            path=f"/tmp/spark-{app_id}-driver",
+        ))
+
+    def _script_executor(
+        self,
+        sim: Simulation,
+        executor: Container,
+        index: int,
+        config: SparkConfig,
+        executors: list[Container],
+        task_ids: list[int],
+        plan: FaultPlan,
+        base_time: float,
+        user: str,
+    ) -> None:
+        log = LogEmitter(executor, self.catalog, sim, base_time)
+        log_at = _scheduler(sim, log)
+        eid = index + 1
+        bmid = f"BlockManagerId_{eid}"
+        t = 0.5 + sim.jitter(0.5)
+
+        # acl
+        t = log_at(t, 0.1, "sp.acl.view", user=user)
+        t = log_at(t, 0.1, "sp.acl.modify", user=user)
+        t = log_at(t, 0.1, "sp.acl.summary", user=user)
+        # executor + driver connection
+        t = log_at(
+            t, 0.2, "sp.exec.start", eid=eid, host=executor.node.name,
+        )
+        t = log_at(
+            t, 0.2, "sp.driver.connect",
+            addr=f"{self.cluster.master.name}:38211",
+        )
+        t = log_at(t, 0.2, "sp.driver.registered")
+        # directory + memory + block manager bring-up
+        t = log_at(
+            t, 0.1, "sp.dir.created",
+            path=f"/tmp/spark-{executor.container_id}/blockmgr-{eid}",
+        )
+        t = log_at(
+            t, 0.1, "sp.memory.start",
+            mb=round(config.executor_memory_mb * 0.6, 1),
+        )
+        t = log_at(t, 0.1, "sp.block.registering", bmid=bmid)
+        t = log_at(t, 0.1, "sp.block.registered", bmid=bmid)
+        t = log_at(t, 0.1, "sp.block.initialized", bmid=bmid)
+
+        # Broadcast of the job's closure.
+        t = log_at(t, 0.3, "sp.fetch.broadcast.start", bid="broadcast_0")
+        t = log_at(
+            t, 0.1, "sp.block.stored",
+            block=f"broadcast_{0}_piece0",
+            kb=round(float(sim.rng.uniform(3.0, 30.0)), 1),
+            mb=round(config.executor_memory_mb * 0.6 / 1024, 1),
+        )
+        t = log_at(
+            t, 0.1, "sp.fetch.broadcast.done",
+            bid="broadcast_0", ms=int(sim.rng.integers(5, 120)),
+        )
+
+        # Tasks (possibly concurrent across cores -> interleaved orders).
+        per_core_mb = (
+            config.gb_per_task * 1024
+        )
+        spilling = config.executor_memory_mb / max(
+            1, config.executor_cores
+        ) < min(per_core_mb, config.spill_threshold_mb)
+        task_end = t
+        for tid in task_ids:
+            stage = tid % config.stages
+            begin = t + float(sim.rng.uniform(0.5, 4.0))
+            log_task = _scheduler(sim, log)
+            u = begin
+            u = log_task(u, 0.05, "sp.task.assigned", tid=tid)
+            u = log_task(
+                u, 0.1, "sp.task.running",
+                tindex=f"{tid}.0", stage=f"{stage}.0", tid=tid,
+            )
+            if stage > 0:
+                u = log_task(
+                    u, 0.2, "sp.block.getting",
+                    n=int(sim.rng.integers(1, 8)),
+                    m=int(sim.rng.integers(8, 16)),
+                )
+                u = log_task(
+                    u, 0.1, "sp.fetch.remote",
+                    n=int(sim.rng.integers(1, 6)),
+                    ms=int(sim.rng.integers(1, 50)),
+                )
+                # The shuffle contacts every peer executor holding map
+                # output; an unreachable node (or this executor's own NIC
+                # being down) always surfaces as a fetch failure.
+                victim = plan.network_victim_node
+                nic_down = victim is not None and (
+                    executor.node.name == victim
+                )
+                unreachable = [
+                    p for p in executors
+                    if victim is not None and p.node.name == victim
+                    and p is not executor
+                ]
+                if nic_down and executors:
+                    unreachable = [
+                        p for p in executors if p is not executor
+                    ][:1]
+                if unreachable:
+                    u = log_task(
+                        u, 0.2, "sp.fetch.failed",
+                        addr=f"{unreachable[0].node.name}:7337",
+                    )
+                    plan.mark_affected(executor)
+                else:
+                    peer = executors[
+                        int(sim.rng.integers(len(executors)))
+                    ]
+                    u = log_task(
+                        u, 0.2, "sp.fetch.of.blocks",
+                        n=int(sim.rng.integers(1, 8)),
+                        addr=f"{peer.node.name}:7337",
+                    )
+            work = sim.jitter(2.0)
+            u += work
+            if spilling:
+                u = log_task(
+                    u, 0.2, "sp.spill.force",
+                    tid=tid,
+                    mb=int(per_core_mb // 2),
+                )
+                u = log_task(
+                    u, 0.1, "sp.spill.completed",
+                    mb=int(per_core_mb // 2),
+                    path=f"/tmp/spark-{executor.container_id}/spill-{tid}",
+                )
+            u = log_task(
+                u, 0.2, "sp.block.stored",
+                block=f"rdd_{stage}_{tid}",
+                kb=round(float(sim.rng.uniform(10.0, 900.0)), 1),
+                mb=round(config.executor_memory_mb * 0.5 / 1024, 1),
+            )
+            u = log_task(
+                u, 0.1, "sp.task.finished",
+                tindex=f"{tid}.0", stage=f"{stage}.0", tid=tid,
+                bytes=int(sim.rng.integers(900, 4000)),
+            )
+            task_end = max(task_end, u)
+
+        # Shutdown sequence after tasks.
+        end = task_end + sim.jitter(1.0)
+        end = _schedule_seq(sim, log, end, [
+            (0.2, "sp.driver.shutdown", {}),
+            (0.2, "sp.memory.cleared", {}),
+            (0.1, "sp.block.stopped", {}),
+            (0.2, "sp.shutdown.hook", {}),
+            (0.1, "sp.dir.deleting",
+             {"path": f"/tmp/spark-{executor.container_id}"}),
+        ])
+
+
+def _emit(log: LogEmitter, template_id: str, **values: object):
+    def action() -> None:
+        log.emit(template_id, **values)
+
+    return action
+
+
+def _scheduler(sim: Simulation, log: LogEmitter):
+    def log_at(t: float, gap: float, template_id: str,
+               **values: object) -> float:
+        t = t + sim.jitter(gap)
+        sim.schedule_at(t, _emit(log, template_id, **values))
+        return t
+
+    return log_at
+
+
+def _schedule_seq(
+    sim: Simulation,
+    log: LogEmitter,
+    start: float,
+    steps: list[tuple[float, str, dict]],
+) -> float:
+    t = start
+    for gap, template_id, values in steps:
+        t += sim.jitter(gap)
+        sim.schedule_at(t, _emit(log, template_id, **values))
+    return t

@@ -1,0 +1,288 @@
+"""Distributed TensorFlow training-job simulator (paper §9 future work).
+
+The paper's stated future work is extending IntelLog to distributed
+machine-learning systems, naming TensorFlow.  This module implements that
+extension's substrate: a parameter-server-architecture training job whose
+chief, parameter-server and worker containers emit log sessions modelled
+on TF 1.x distributed-runtime messages (session bring-up, variable
+placement, per-step training loops with loss values, checkpointing).
+
+The interesting property for IntelLog: worker sessions are dominated by a
+*step loop* — a long identifier-keyed subroutine whose length scales with
+the step count — which stresses the same variable-session-length behaviour
+(§2.2) that separates analytics systems from infrastructure systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cluster import Container, JobLogs, LogEmitter, YarnCluster
+from .events import Simulation
+from .faults import FaultPlan, FaultSpec
+from .groundtruth import Role, Template, TemplateCatalog
+
+ID = Role.IDENTIFIER
+VAL = Role.VALUE
+LOC = Role.LOCALITY
+
+
+def tensorflow_catalog() -> TemplateCatalog:
+    """The logging statements of the simulated TensorFlow runtime."""
+    cat = TemplateCatalog("tensorflow")
+    cat.add(Template(
+        "tf.server.start",
+        "Started server with target : grpc://{addr}",
+        roles={"addr": LOC},
+        entities=("server",),
+        operations=(("", "start", "server"),),
+        source="GrpcServer",
+    ))
+    cat.add(Template(
+        "tf.cluster.def",
+        "Initialize GrpcChannelCache for job worker with {n} tasks",
+        roles={"n": VAL},
+        entities=("grpc channel cache", "job worker"),
+        operations=(("", "initialize", "grpcchannelcache"),),
+        source="GrpcChannelCache",
+    ))
+    cat.add(Template(
+        "tf.session.created",
+        "Creating distributed session with master {addr}",
+        roles={"addr": LOC},
+        entities=("distributed session", "master"),
+        operations=(("", "create", "session"),),
+        source="Session",
+    ))
+    cat.add(Template(
+        "tf.var.placed",
+        "Placing variable {var} on parameter server task {task}",
+        roles={"var": ID, "task": ID},
+        entities=("variable", "parameter server task"),
+        operations=(("", "place", "variable"),),
+        source="Placer",
+    ))
+    cat.add(Template(
+        "tf.graph.built",
+        "Graph was finalized with {n} nodes",
+        roles={"n": VAL},
+        entities=("graph", "node"),
+        operations=(("graph", "finalize", ""),),
+        source="MonitoredSession",
+    ))
+    cat.add(Template(
+        "tf.step",
+        "step {step} : loss = {loss} ( {rate} examples/sec )",
+        roles={"step": ID, "loss": VAL, "rate": VAL},
+        entities=("step", "loss"),
+        operations=(),
+        source="LoggingTensorHook",
+    ))
+    cat.add(Template(
+        "tf.checkpoint.saved",
+        "Saving checkpoint for step {step} into {path}",
+        roles={"step": ID, "path": LOC},
+        entities=("checkpoint", "step"),
+        operations=(("", "save", "checkpoint"),),
+        source="CheckpointSaverHook",
+    ))
+    cat.add(Template(
+        "tf.session.closed",
+        "Closing the session and stopping all queue runners",
+        entities=("session", "queue runner"),
+        operations=(("", "close", "session"),),
+        source="MonitoredSession",
+    ))
+    cat.add(Template(
+        "tf.worker.lost",
+        "Lost connection to worker at {addr} , retrying after {ms} ms",
+        roles={"addr": LOC, "ms": VAL},
+        entities=("connection", "worker"),
+        operations=(("", "lose", "connection"),),
+        source="GrpcRemoteMaster",
+        level="WARN",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "tf.step.slow",
+        "step {step} took {sec} seconds , exceeding the stall threshold",
+        roles={"step": ID, "sec": VAL},
+        entities=("step", "stall threshold"),
+        operations=(("step", "exceed", "threshold"),),
+        source="LoggingTensorHook",
+        level="WARN",
+        anomalous=True,
+    ))
+    return cat
+
+
+@dataclass(slots=True)
+class TensorFlowConfig:
+    """Per-training-job knobs."""
+
+    workers: int = 2
+    parameter_servers: int = 1
+    steps: int = 30
+    checkpoint_every: int = 10
+    variables: int = 4
+
+
+class TensorFlowSimulator:
+    """Simulates one distributed training job on YARN."""
+
+    def __init__(
+        self,
+        cluster: YarnCluster | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.cluster = cluster or YarnCluster(nodes=6, rng=self.rng)
+        self.catalog = tensorflow_catalog()
+        self._app_seq = 0
+
+    def run_job(
+        self,
+        job_type: str = "mnist",
+        config: TensorFlowConfig | None = None,
+        fault: FaultSpec | None = None,
+        base_time: float = 0.0,
+    ) -> JobLogs:
+        config = config or TensorFlowConfig()
+        self._app_seq += 1
+        app_id = (
+            f"application_{1528100000000 + self._app_seq}_"
+            f"{self._app_seq:04d}"
+        )
+        sim = Simulation(rng=self.rng)
+        plan = FaultPlan(fault, self.rng)
+
+        ps = [
+            self.cluster.allocate(app_id, "ps", memory_mb=8192)
+            for _ in range(config.parameter_servers)
+        ]
+        workers = [
+            self.cluster.allocate(app_id, "worker", memory_mb=8192)
+            for _ in range(config.workers)
+        ]
+        plan.choose_victims(self.cluster, workers)
+
+        for server in ps:
+            self._script_ps(sim, server, config, base_time)
+        for index, worker in enumerate(workers):
+            self._script_worker(
+                sim, worker, index, config, plan, base_time
+            )
+
+        sim.run()
+        plan.apply_kills(base_time)
+
+        sessions = []
+        for container in [*ps, *workers]:
+            container.session.sort()
+            kill = plan.killed_at(container)
+            if kill is not None:
+                container.session.records = [
+                    r for r in container.session.records
+                    if r.timestamp <= base_time + kill
+                ]
+                container.session.injected_fault = plan.spec.kind
+            sessions.append(container.session)
+
+        return JobLogs(
+            app_id=app_id,
+            system="tensorflow",
+            job_type=job_type,
+            sessions=sessions,
+            fault=plan.spec.kind if plan.spec else None,
+            affected_sessions=plan.affected_session_ids(),
+            config={"workers": config.workers, "steps": config.steps},
+        )
+
+    def _script_ps(
+        self,
+        sim: Simulation,
+        server: Container,
+        config: TensorFlowConfig,
+        base_time: float,
+    ) -> None:
+        log = LogEmitter(server, self.catalog, sim, base_time)
+        t = sim.jitter(0.3)
+        sim.schedule_at(t, _emit(
+            log, "tf.server.start",
+            addr=f"{server.node.name}:2222",
+        ))
+        sim.schedule_at(t + 0.2, _emit(
+            log, "tf.cluster.def", n=config.workers,
+        ))
+        for v in range(config.variables):
+            sim.schedule_at(t + 0.4 + 0.1 * v, _emit(
+                log, "tf.var.placed",
+                var=f"dense_{v}/kernel", task=f"ps_{0}",
+            ))
+        end = t + 2.0 + config.steps * 0.2
+        sim.schedule_at(end, _emit(log, "tf.session.closed"))
+
+    def _script_worker(
+        self,
+        sim: Simulation,
+        worker: Container,
+        index: int,
+        config: TensorFlowConfig,
+        plan: FaultPlan,
+        base_time: float,
+    ) -> None:
+        log = LogEmitter(worker, self.catalog, sim, base_time)
+        t = 0.5 + sim.jitter(0.3)
+        sim.schedule_at(t, _emit(
+            log, "tf.server.start",
+            addr=f"{worker.node.name}:2223",
+        ))
+        sim.schedule_at(t + 0.2, _emit(
+            log, "tf.session.created",
+            addr=f"{self.cluster.master.name}:2222",
+        ))
+        sim.schedule_at(t + 0.5, _emit(
+            log, "tf.graph.built",
+            n=int(self.rng.integers(800, 3000)),
+        ))
+        loss = float(self.rng.uniform(2.0, 3.0))
+        step_time = 0.2
+        for step in range(1, config.steps + 1):
+            at = t + 0.8 + step * step_time
+            loss *= float(self.rng.uniform(0.93, 0.999))
+            victim_peer = (
+                plan.network_victim_node is not None
+                and worker.node.name != plan.network_victim_node
+                and step == config.steps // 2
+            )
+            if victim_peer:
+                sim.schedule_at(at, _emit(
+                    log, "tf.worker.lost",
+                    addr=f"{plan.network_victim_node}:2223",
+                    ms=int(self.rng.integers(100, 2000)),
+                ))
+                plan.mark_affected(worker)
+            sim.schedule_at(at + 0.05, _emit(
+                log, "tf.step",
+                step=f"step_{step}",
+                loss=round(loss, 4),
+                rate=round(float(self.rng.uniform(800, 4000)), 1),
+            ))
+            if step % config.checkpoint_every == 0 and index == 0:
+                sim.schedule_at(at + 0.1, _emit(
+                    log, "tf.checkpoint.saved",
+                    step=f"step_{step}",
+                    path=f"hdfs://{self.cluster.master.name}:8020/ckpt/"
+                         f"model-{step}",
+                ))
+        end = t + 1.0 + (config.steps + 1) * step_time
+        sim.schedule_at(end, _emit(log, "tf.session.closed"))
+
+
+def _emit(log: LogEmitter, template_id: str, **values: object):
+    def action() -> None:
+        log.emit(template_id, **values)
+
+    return action

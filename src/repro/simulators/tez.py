@@ -1,0 +1,612 @@
+"""Apache Tez (Hive-on-Tez) job simulator.
+
+Emits DAGAppMaster and task-container sessions modelled on Tez 0.8 / Hive
+1.2 log statements.  TPC-H-style queries parameterise the DAG shape (number
+of vertices, join/aggregate operator mix), reproducing the paper's
+observation that Tez logs are short, well-formatted sentences — which is
+why IntelLog's extraction accuracy is highest on Tez (§6.2/§7).  The two
+"vague" operator keys the paper quotes ('6 Close done', '4 finished .
+Closing') are included verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cluster import Container, JobLogs, LogEmitter, YarnCluster
+from .events import Simulation
+from .faults import FaultPlan, FaultSpec
+from .groundtruth import Role, Template, TemplateCatalog
+
+ID = Role.IDENTIFIER
+VAL = Role.VALUE
+LOC = Role.LOCALITY
+
+
+def tez_catalog() -> TemplateCatalog:
+    """The logging statements of the simulated Tez system."""
+    cat = TemplateCatalog("tez")
+
+    # ---- DAGAppMaster ------------------------------------------------------
+    cat.add(Template(
+        "tz.am.created",
+        "Created DAGAppMaster for application {app}",
+        roles={"app": ID},
+        entities=("application",),
+        operations=(("", "create", "dagappmaster"),),
+        source="DAGAppMaster",
+    ))
+    cat.add(Template(
+        "tz.am.dag.running",
+        "Running DAG : {dag}",
+        roles={"dag": ID},
+        entities=("dag",),
+        operations=(("", "run", "dag"),),
+        source="DAGAppMaster",
+    ))
+    cat.add(Template(
+        "tz.am.dag.submitted",
+        "Submitting DAG {dag} to session",
+        roles={"dag": ID},
+        entities=("dag", "session"),
+        operations=(("", "submit", "dag"),),
+        source="TezClient",
+    ))
+    cat.add(Template(
+        "tz.am.vertex.created",
+        "Creating vertex {vertex} with {n} tasks",
+        roles={"vertex": ID, "n": VAL},
+        entities=("vertex",),
+        operations=(("", "create", "vertex"),),
+        source="VertexImpl",
+    ))
+    cat.add(Template(
+        "tz.am.vertex.init",
+        "vertex {vertex} transitioned from NEW to INITED due to event "
+        "V_INIT",
+        roles={"vertex": ID},
+        entities=("vertex", "event"),
+        operations=(("vertex", "transition", "event"),),
+        source="VertexImpl",
+    ))
+    cat.add(Template(
+        "tz.am.vertex.start",
+        "vertex {vertex} transitioned from INITED to RUNNING due to event "
+        "V_START",
+        roles={"vertex": ID},
+        entities=("vertex", "event"),
+        operations=(("vertex", "transition", "event"),),
+        source="VertexImpl",
+    ))
+    cat.add(Template(
+        "tz.am.task.assigned",
+        "Assigning task {task} to container {container} on host {host}",
+        roles={"task": ID, "container": ID, "host": LOC},
+        entities=("task", "container"),
+        operations=(("", "assign", "task"),),
+        source="TaskSchedulerEventHandler",
+    ))
+    cat.add(Template(
+        "tz.am.attempt.succeeded",
+        "task attempt {attempt} transitioned from RUNNING to SUCCEEDED",
+        roles={"attempt": ID},
+        entities=("task attempt",),
+        operations=(("attempt", "transition", "succeeded"),),
+        source="TaskAttemptImpl",
+    ))
+    cat.add(Template(
+        "tz.am.vertex.succeeded",
+        "vertex {vertex} transitioned from RUNNING to SUCCEEDED due to "
+        "event V_COMPLETED",
+        roles={"vertex": ID},
+        entities=("vertex", "event"),
+        operations=(("vertex", "transition", "event"),),
+        source="VertexImpl",
+    ))
+    cat.add(Template(
+        "tz.am.dag.completed",
+        "DAG completed . FinalState = SUCCEEDED . Total vertices : {n}",
+        roles={"n": VAL},
+        entities=("dag", "total vertex"),
+        operations=(("dag", "complete", ""),),
+        source="DAGAppMaster",
+    ))
+    cat.add(Template(
+        "tz.am.shutdown",
+        "Calling stop for all the services of DAGAppMaster",
+        entities=("service of dagappmaster",),
+        operations=(("", "call", "stop"),),
+        source="DAGAppMaster",
+    ))
+    cat.add(Template(
+        "tz.am.attempt.failed",
+        "task attempt {attempt} transitioned from RUNNING to FAILED due "
+        "to container exit",
+        roles={"attempt": ID},
+        entities=("task attempt", "container exit"),
+        operations=(("attempt", "transition", "failed"),),
+        source="TaskAttemptImpl",
+        level="WARN",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "tz.am.node.blacklisted",
+        "Blacklisting node {host} after repeated task failures",
+        roles={"host": LOC},
+        entities=("node", "task failure"),
+        operations=(("", "blacklist", "node"),),
+        source="TaskSchedulerEventHandler",
+        level="WARN",
+        anomalous=True,
+    ))
+
+    # ---- task containers ------------------------------------------------------
+    cat.add(Template(
+        "tz.task.container.launch",
+        "Container {container} launched for vertex {vertex}",
+        roles={"container": ID, "vertex": ID},
+        entities=("container", "vertex"),
+        operations=(("container", "launch", "vertex"),),
+        source="TezChild",
+    ))
+    cat.add(Template(
+        "tz.task.init",
+        "Initializing task {attempt}",
+        roles={"attempt": ID},
+        entities=("task",),
+        operations=(("", "initialize", "task"),),
+        source="TezChild",
+    ))
+    cat.add(Template(
+        "tz.task.start",
+        "Starting task attempt {attempt}",
+        roles={"attempt": ID},
+        entities=("task attempt",),
+        operations=(("", "start", "attempt"),),
+        source="TezChild",
+    ))
+    cat.add(Template(
+        "tz.task.processor.init",
+        "Initialized processor for vertex {vertex}",
+        roles={"vertex": ID},
+        entities=("processor", "vertex"),
+        operations=(("", "initialize", "processor"),),
+        source="LogicalIOProcessorRuntimeTask",
+    ))
+    cat.add(Template(
+        "tz.task.input.fetch",
+        "Fetching input from vertex {vertex} via {n} fetchers",
+        roles={"vertex": ID, "n": VAL},
+        entities=("input from vertex", "fetcher"),
+        operations=(("", "fetch", "input"),),
+        source="ShuffleManager",
+    ))
+    cat.add(Template(
+        "tz.task.fetch.done",
+        "Completed fetch for {n} segments from {address} in {ms} ms",
+        roles={"n": VAL, "address": LOC, "ms": VAL},
+        entities=("fetch", "segment"),
+        operations=(("", "complete", "fetch"),),
+        source="ShuffleManager",
+    ))
+    cat.add(Template(
+        "tz.task.fetch.failed",
+        "Fetch failed for segment from {address} , will retry",
+        roles={"address": LOC},
+        entities=("fetch", "segment"),
+        operations=(("fetch", "fail", ""),),
+        source="ShuffleManager",
+        level="WARN",
+        anomalous=True,
+    ))
+    # Hive operator pipeline keys.
+    cat.add(Template(
+        "tz.op.ts.init",
+        "Initializing operator {op}",
+        roles={"op": ID},
+        entities=("operator",),
+        operations=(("", "initialize", "operator"),),
+        source="TableScanOperator",
+    ))
+    cat.add(Template(
+        "tz.op.fil.init",
+        "Initializing operator {op}",
+        roles={"op": ID},
+        entities=("operator",),
+        operations=(("", "initialize", "operator"),),
+        source="FilterOperator",
+    ))
+    cat.add(Template(
+        "tz.op.join.init",
+        "Initializing operator {op}",
+        roles={"op": ID},
+        entities=("operator",),
+        operations=(("", "initialize", "operator"),),
+        source="JoinOperator",
+    ))
+    cat.add(Template(
+        "tz.op.gby.init",
+        "Initializing operator {op}",
+        roles={"op": ID},
+        entities=("operator",),
+        operations=(("", "initialize", "operator"),),
+        source="GroupByOperator",
+    ))
+    cat.add(Template(
+        "tz.op.rows",
+        "Processed {n} rows for operator {op}",
+        roles={"n": VAL, "op": ID},
+        entities=("row", "operator"),
+        operations=(("", "process", "row"),),
+        source="ReduceSinkOperator",
+    ))
+    # The two vague operator keys quoted in §6.2, verbatim.
+    cat.add(Template(
+        "tz.op.close.done",
+        "{op} Close done",
+        roles={"op": ID},
+        entities=(),
+        operations=(),
+        source="Operator",
+    ))
+    cat.add(Template(
+        "tz.op.finished.closing",
+        "{op} finished . Closing",
+        roles={"op": ID},
+        entities=(),
+        operations=(("", "finish", ""),),
+        source="Operator",
+    ))
+    cat.add(Template(
+        "tz.task.rows.source",
+        "Reading {n} rows from source table {table}",
+        roles={"n": VAL, "table": ID},
+        entities=("row", "source table"),
+        operations=(("", "read", "row"),),
+        source="MapRecordSource",
+    ))
+    cat.add(Template(
+        "tz.task.spill",
+        "Out of sort memory ; spilling {n} rows to disk at {path}",
+        roles={"n": VAL, "path": LOC},
+        entities=("sort memory", "row", "disk"),
+        operations=(("", "spill", "row"),),
+        source="PipelinedSorter",
+        anomalous=True,
+    ))
+    cat.add(Template(
+        "tz.task.counters",
+        "Task attempt {attempt} completed . Final counters : {n}",
+        roles={"attempt": ID, "n": VAL},
+        entities=("task attempt", "final counter"),
+        operations=(("attempt", "complete", ""),),
+        source="TezChild",
+    ))
+    cat.add(Template(
+        "tz.task.close",
+        "Closing task {attempt}",
+        roles={"attempt": ID},
+        entities=("task",),
+        operations=(("", "close", "task"),),
+        source="TezChild",
+    ))
+    cat.add(Template(
+        "tz.task.shutdown",
+        "TezChild shutdown invoked . Shutting down executor service",
+        entities=("tez child shutdown", "executor service"),
+        operations=(("", "shut", "service"),),
+        source="TezChild",
+    ))
+    return cat
+
+
+#: TPC-H-like query profiles: (vertices, has_join, has_groupby) — the DAG
+#: shape drives which operator templates fire and how long sessions are.
+TPCH_PROFILES: dict[str, tuple[int, bool, bool]] = {
+    "q1": (2, False, True),
+    "q2": (5, True, True),
+    "q3": (4, True, True),
+    "q4": (3, True, False),
+    "q5": (6, True, True),
+    "q6": (2, False, False),
+    "q7": (6, True, True),
+    "q8": (7, True, True),
+    "q9": (6, True, True),
+    "q10": (4, True, True),
+    "q11": (4, True, True),
+    "q12": (3, True, True),
+    "q13": (3, True, True),
+    "q14": (3, True, False),
+    "q15": (4, True, True),
+    "q16": (4, True, True),
+    "q17": (4, True, True),
+    "q18": (5, True, True),
+    "q19": (3, True, False),
+    "q20": (5, True, True),
+    "q21": (6, True, True),
+    "q22": (4, True, True),
+}
+
+
+@dataclass(slots=True)
+class TezConfig:
+    """Per-query knobs."""
+
+    input_gb: float = 2.0
+    task_memory_mb: int = 2048
+    #: GB per task within a vertex.
+    gb_per_task: float = 0.5
+    #: Low task memory triggers sort spills (case study 2).
+    spill_threshold_mb: int = 1024
+
+
+class TezSimulator:
+    """Simulates one Hive-on-Tez query."""
+
+    def __init__(
+        self,
+        cluster: YarnCluster | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.cluster = cluster or YarnCluster(nodes=8, rng=self.rng)
+        self.catalog = tez_catalog()
+        self._app_seq = 0
+
+    def run_job(
+        self,
+        job_type: str = "q6",
+        config: TezConfig | None = None,
+        fault: FaultSpec | None = None,
+        base_time: float = 0.0,
+    ) -> JobLogs:
+        config = config or TezConfig()
+        profile = TPCH_PROFILES.get(job_type, (3, True, True))
+        vertices, has_join, has_groupby = profile
+
+        self._app_seq += 1
+        app_num = f"{1528090000000 + self._app_seq}_{self._app_seq:04d}"
+        app_id = f"application_{app_num}"
+        dag_id = f"dag_{app_num}_1"
+
+        sim = Simulation(rng=self.rng)
+        plan = FaultPlan(fault, self.rng)
+
+        am = self.cluster.allocate(app_id, "appmaster", memory_mb=2048)
+
+        tasks_per_vertex = max(
+            1, int(round(config.input_gb / config.gb_per_task / vertices))
+        )
+        workers: list[tuple[Container, str, int]] = []
+        for v in range(vertices):
+            vertex_name = f"vertex_{app_num}_1_{v:02d}"
+            for _ in range(tasks_per_vertex):
+                container = self.cluster.allocate(
+                    app_id, "task", memory_mb=config.task_memory_mb
+                )
+                workers.append((container, vertex_name, v))
+
+        plan.choose_victims(self.cluster, [w[0] for w in workers])
+
+        self._script_am(
+            sim, am, app_id, dag_id, app_num, vertices,
+            tasks_per_vertex, workers, plan, base_time,
+        )
+        for index, (container, vertex_name, v) in enumerate(workers):
+            self._script_task(
+                sim, container, index, vertex_name, v, config,
+                has_join, has_groupby, workers, plan, base_time,
+            )
+
+        sim.run()
+        plan.apply_kills(base_time)
+
+        sessions = []
+        for container in [am, *[w[0] for w in workers]]:
+            container.session.sort()
+            kill = plan.killed_at(container)
+            if kill is not None:
+                container.session.records = [
+                    r for r in container.session.records
+                    if r.timestamp <= base_time + kill
+                ]
+                container.session.injected_fault = plan.spec.kind
+            sessions.append(container.session)
+
+        return JobLogs(
+            app_id=app_id,
+            system="tez",
+            job_type=job_type,
+            sessions=sessions,
+            fault=plan.spec.kind if plan.spec else None,
+            affected_sessions=plan.affected_session_ids(),
+            config={
+                "input_gb": config.input_gb,
+                "vertices": vertices,
+                "tasks_per_vertex": tasks_per_vertex,
+                "task_memory_mb": config.task_memory_mb,
+            },
+        )
+
+    # -- scripts ---------------------------------------------------------------
+
+    def _script_am(
+        self,
+        sim: Simulation,
+        am: Container,
+        app_id: str,
+        dag_id: str,
+        app_num: str,
+        vertices: int,
+        tasks_per_vertex: int,
+        workers: list[tuple[Container, str, int]],
+        plan: FaultPlan,
+        base_time: float,
+    ) -> None:
+        log = LogEmitter(am, self.catalog, sim, base_time)
+        log_at = _scheduler(sim, log)
+        t = 0.0
+        t = log_at(t, 0.2, "tz.am.created", app=app_id)
+        t = log_at(t, 0.2, "tz.am.dag.submitted", dag=dag_id)
+        t = log_at(t, 0.2, "tz.am.dag.running", dag=dag_id)
+        vertex_names = sorted({w[1] for w in workers})
+        for vertex_name in vertex_names:
+            t = log_at(
+                t, 0.2, "tz.am.vertex.created",
+                vertex=vertex_name, n=tasks_per_vertex,
+            )
+            t = log_at(
+                t, 0.1, "tz.am.vertex.init", vertex=vertex_name,
+            )
+            t = log_at(
+                t, 0.1, "tz.am.vertex.start", vertex=vertex_name,
+            )
+        for index, (container, vertex_name, v) in enumerate(workers):
+            task_id = f"task_{app_num}_1_{v:02d}_{index:06d}"
+            attempt = f"attempt_{app_num}_1_{v:02d}_{index:06d}_0"
+            begin = t + float(sim.rng.uniform(0.2, 2.0))
+            sim.schedule_at(begin, _emit(
+                log, "tz.am.task.assigned",
+                task=task_id,
+                container=container.container_id,
+                host=container.node.name,
+            ))
+            finish = begin + sim.jitter(5.0)
+            if plan.is_victim(container):
+                fail_at = plan.killed_at(container) or finish
+                sim.schedule_at(fail_at + 0.4, _emit(
+                    log, "tz.am.attempt.failed", attempt=attempt,
+                ))
+                if plan.spec and plan.spec.kind == "node_failure":
+                    sim.schedule_at(fail_at + 0.6, _emit(
+                        log, "tz.am.node.blacklisted",
+                        host=container.node.name,
+                    ))
+            else:
+                sim.schedule_at(finish, _emit(
+                    log, "tz.am.attempt.succeeded", attempt=attempt,
+                ))
+        end = t + 10.0
+        for v, vertex_name in enumerate(vertex_names):
+            sim.schedule_at(end + 0.1 * v, _emit(
+                log, "tz.am.vertex.succeeded", vertex=vertex_name,
+            ))
+        sim.schedule_at(end + 0.8, _emit(
+            log, "tz.am.dag.completed", n=vertices,
+        ))
+        sim.schedule_at(end + 1.0, _emit(log, "tz.am.shutdown"))
+
+    def _script_task(
+        self,
+        sim: Simulation,
+        container: Container,
+        index: int,
+        vertex_name: str,
+        v: int,
+        config: TezConfig,
+        has_join: bool,
+        has_groupby: bool,
+        workers: list[tuple[Container, str, int]],
+        plan: FaultPlan,
+        base_time: float,
+    ) -> None:
+        log = LogEmitter(container, self.catalog, sim, base_time)
+        log_at = _scheduler(sim, log)
+        app_num = container.app_id.split("_", 1)[1]
+        attempt = f"attempt_{app_num}_1_{v:02d}_{index:06d}_0"
+        t = 0.8 + sim.jitter(1.2)
+        t = log_at(
+            t, 0.2, "tz.task.container.launch",
+            container=container.container_id, vertex=vertex_name,
+        )
+        t = log_at(t, 0.1, "tz.task.init", attempt=attempt)
+        t = log_at(t, 0.1, "tz.task.start", attempt=attempt)
+        t = log_at(t, 0.1, "tz.task.processor.init", vertex=vertex_name)
+
+        op = index % 10
+        t = log_at(t, 0.1, "tz.op.ts.init", op=f"TS_{op}")
+        t = log_at(t, 0.1, "tz.op.fil.init", op=f"FIL_{op + 1}")
+        if has_join and v > 0:
+            t = log_at(t, 0.1, "tz.op.join.init", op=f"JOIN_{op + 2}")
+        if has_groupby:
+            t = log_at(t, 0.1, "tz.op.gby.init", op=f"GBY_{op + 3}")
+
+        # Downstream vertices fetch from upstream ones.
+        if v > 0:
+            upstream = [w for w in workers if w[2] == v - 1]
+            t = log_at(
+                t, 0.2, "tz.task.input.fetch",
+                vertex=f"vertex_{app_num}_1_{v - 1:02d}",
+                n=min(4, len(upstream)),
+            )
+            # The shuffle reads every upstream task's output: fetches from
+            # an unreachable node always surface; successes are logged for
+            # a bounded sample of peers.
+            victim = plan.network_victim_node
+            unreachable = [
+                w[0] for w in upstream
+                if victim is not None and w[0].node.name == victim
+            ]
+            if victim is not None and container.node.name == victim:
+                # This task's own NIC is down: no upstream is reachable.
+                unreachable = [w[0] for w in upstream]
+            for peer in unreachable[:2]:
+                t = log_at(
+                    t, 0.2, "tz.task.fetch.failed",
+                    address=peer.node.shuffle_address,
+                )
+                plan.mark_affected(container)
+            reachable = [
+                w[0] for w in upstream if w[0] not in unreachable
+            ]
+            for _ in range(min(3, len(reachable))):
+                peer = reachable[int(sim.rng.integers(len(reachable)))]
+                t = log_at(
+                    t, 0.2, "tz.task.fetch.done",
+                    n=int(sim.rng.integers(1, 12)),
+                    address=peer.node.shuffle_address,
+                    ms=int(sim.rng.integers(2, 80)),
+                )
+        else:
+            t = log_at(
+                t, 0.2, "tz.task.rows.source",
+                n=int(config.input_gb * 1e6 / max(1, len(workers))),
+                table=["lineitem", "orders", "customer", "part",
+                       "supplier"][v % 5],
+            )
+
+        rows = int(config.input_gb * 5e5 / max(1, len(workers)))
+        work = sim.jitter(3.0)
+        t += work
+        if config.task_memory_mb < config.spill_threshold_mb:
+            t = log_at(
+                t, 0.2, "tz.task.spill",
+                n=rows // 2,
+                path=f"/tmp/tez-{container.container_id}/spill_{index}.out",
+            )
+        t = log_at(t, 0.2, "tz.op.rows", n=rows, op=f"RS_{op + 4}")
+        t = log_at(t, 0.1, "tz.op.finished.closing", op=op + 4)
+        t = log_at(t, 0.1, "tz.op.close.done", op=op + 4)
+        t = log_at(t, 0.2, "tz.task.counters",
+                   attempt=attempt, n=int(sim.rng.integers(20, 60)))
+        t = log_at(t, 0.1, "tz.task.close", attempt=attempt)
+        t = log_at(t, 0.1, "tz.task.shutdown")
+
+
+def _emit(log: LogEmitter, template_id: str, **values: object):
+    def action() -> None:
+        log.emit(template_id, **values)
+
+    return action
+
+
+def _scheduler(sim: Simulation, log: LogEmitter):
+    def log_at(t: float, gap: float, template_id: str,
+               **values: object) -> float:
+        t = t + sim.jitter(gap)
+        sim.schedule_at(t, _emit(log, template_id, **values))
+        return t
+
+    return log_at

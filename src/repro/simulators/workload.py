@@ -1,0 +1,179 @@
+"""Workload generator (paper §6.1).
+
+The paper's generator randomly chooses HiBench jobs for Spark and MapReduce
+and TPC-H queries (via Hive) for Tez, with resource configurations tuned so
+training jobs run cleanly.  This module reproduces that: job mixes, config
+sets (including the paper's five detection-phase configurations per system),
+and batch helpers that run many jobs through the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from .cluster import JobLogs, YarnCluster
+from .faults import FaultSpec
+from .mapreduce import MapReduceConfig, MapReduceSimulator
+from .spark import SparkConfig, SparkSimulator
+from .tez import TPCH_PROFILES, TezConfig, TezSimulator
+
+#: HiBench job mix used for Spark and MapReduce (text processing, machine
+#: learning and graph processing, §6.1).
+HIBENCH_JOBS = (
+    "wordcount", "sort", "terasort", "grep",
+    "kmeans", "bayes", "pagerank", "nutchindexing",
+)
+
+TPCH_QUERIES = tuple(TPCH_PROFILES)
+
+
+@dataclass(slots=True)
+class JobSpec:
+    """One generated job request."""
+
+    system: str
+    job_type: str
+    input_gb: float
+    memory_mb: int
+    cores: int = 1
+    fault: FaultSpec | None = None
+
+
+class WorkloadGenerator:
+    """Randomly generates and runs jobs against the simulators."""
+
+    def __init__(self, seed: int | None = None, nodes: int = 8) -> None:
+        self.rng = np.random.default_rng(seed)
+        cluster_rng = np.random.default_rng(
+            None if seed is None else seed + 1
+        )
+        self.cluster = YarnCluster(nodes=nodes, rng=cluster_rng)
+        self.mapreduce = MapReduceSimulator(self.cluster, seed=seed)
+        self.spark = SparkSimulator(self.cluster, seed=seed)
+        self.tez = TezSimulator(self.cluster, seed=seed)
+        self._clock = 0.0
+
+    # -- random job specs ----------------------------------------------------
+
+    def random_spec(self, system: str,
+                    fault: FaultSpec | None = None) -> JobSpec:
+        if system in ("spark", "mapreduce"):
+            job_type = HIBENCH_JOBS[
+                int(self.rng.integers(len(HIBENCH_JOBS)))
+            ]
+        elif system == "tez":
+            job_type = TPCH_QUERIES[
+                int(self.rng.integers(len(TPCH_QUERIES)))
+            ]
+        else:
+            raise ValueError(f"unknown system {system!r}")
+        return JobSpec(
+            system=system,
+            job_type=job_type,
+            input_gb=float(self.rng.choice([1.0, 2.0, 4.0, 8.0])),
+            memory_mb=int(self.rng.choice([2048, 4096, 8192])),
+            cores=int(self.rng.choice([1, 2, 4])),
+            fault=fault,
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_spec(self, spec: JobSpec) -> JobLogs:
+        """Run one job spec through the matching simulator."""
+        self._clock += 10_000.0
+        base_time = self._clock
+        if spec.system == "mapreduce":
+            config = MapReduceConfig(
+                input_gb=spec.input_gb,
+                map_memory_mb=spec.memory_mb,
+                reduce_memory_mb=spec.memory_mb,
+            )
+            return self.mapreduce.run_job(
+                spec.job_type, config, fault=spec.fault,
+                base_time=base_time,
+            )
+        if spec.system == "spark":
+            config = SparkConfig(
+                input_gb=spec.input_gb,
+                executor_memory_mb=spec.memory_mb,
+                executor_cores=spec.cores,
+            )
+            return self.spark.run_job(
+                spec.job_type, config, fault=spec.fault,
+                base_time=base_time,
+            )
+        if spec.system == "tez":
+            config = TezConfig(
+                input_gb=spec.input_gb,
+                task_memory_mb=spec.memory_mb,
+            )
+            return self.tez.run_job(
+                spec.job_type, config, fault=spec.fault,
+                base_time=base_time,
+            )
+        raise ValueError(f"unknown system {spec.system!r}")
+
+    def run_batch(
+        self, system: str, count: int,
+        fault: FaultSpec | None = None,
+    ) -> list[JobLogs]:
+        """Randomly submit ``count`` jobs to ``system`` (paper: "use the
+        generator to randomly submit 100 jobs to each system")."""
+        return [
+            self.run_spec(self.random_spec(system, fault))
+            for _ in range(count)
+        ]
+
+    # -- the paper's detection campaign (§6.4) --------------------------------------
+
+    def detection_campaign(
+        self, system: str
+    ) -> list[tuple[JobLogs, bool]]:
+        """Five config sets x (3 fault-injected + 3 clean) jobs = 30 jobs,
+        15 with problems.  Returns (job, has_fault) pairs."""
+        configs = self.five_configs(system)
+        out: list[tuple[JobLogs, bool]] = []
+        for input_gb, memory_mb in configs:
+            for kind in ("sigkill", "network", "node_failure"):
+                spec = JobSpec(
+                    system=system,
+                    job_type=self._default_job(system),
+                    input_gb=input_gb,
+                    memory_mb=memory_mb,
+                    fault=FaultSpec(kind),
+                )
+                out.append((self.run_spec(spec), True))
+            for _ in range(3):
+                spec = JobSpec(
+                    system=system,
+                    job_type=self._default_job(system),
+                    input_gb=input_gb,
+                    memory_mb=memory_mb,
+                )
+                out.append((self.run_spec(spec), False))
+        return out
+
+    @staticmethod
+    def five_configs(system: str) -> list[tuple[float, int]]:
+        """The five (input_gb, memory_mb) detection configurations; tuned
+        so un-injected jobs run cleanly (§6.4)."""
+        return [
+            (1.0, 2048),
+            (2.0, 2048),
+            (4.0, 4096),
+            (6.0, 4096),
+            (8.0, 8192),
+        ]
+
+    @staticmethod
+    def _default_job(system: str) -> str:
+        return {"mapreduce": "wordcount", "spark": "wordcount",
+                "tez": "q6"}[system]
+
+
+def sessions_of(jobs: Iterable[JobLogs]) -> list:
+    """Flatten jobs into one session list (training input)."""
+    return [s for job in jobs for s in job.sessions]

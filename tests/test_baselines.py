@@ -1,0 +1,191 @@
+"""Tests for the DeepLog / LogCluster / Stitch baselines."""
+
+import pytest
+
+from repro.baselines import (
+    DeepLogDetector,
+    LogClusterDetector,
+    StitchAnalyzer,
+)
+from repro.extraction.intelkey import IntelMessage
+from repro.parsing.records import LogRecord, Session
+
+
+def make_session(sid, messages, t0=0.0):
+    session = Session(session_id=sid)
+    for i, message in enumerate(messages):
+        session.append(LogRecord(
+            timestamp=t0 + i, level="INFO", source="X", message=message,
+        ))
+    return session
+
+
+REGULAR = [
+    "service started on port 8020",
+    "request accepted from client",
+    "request processed in 5 ms",
+    "service stopped cleanly",
+]
+
+
+class TestDeepLog:
+    def make_trained(self, n=20):
+        detector = DeepLogDetector(window=2, top_g=3)
+        detector.train(
+            [make_session(f"s{i}", REGULAR, t0=i * 10) for i in range(n)]
+        )
+        return detector
+
+    def test_regular_sequence_passes(self):
+        detector = self.make_trained()
+        report = detector.detect_session(make_session("t", REGULAR))
+        assert not report.anomalous
+
+    def test_foreign_key_flagged(self):
+        detector = self.make_trained()
+        report = detector.detect_session(make_session("t", [
+            REGULAR[0],
+            "kernel panic unexpected meltdown now",
+            *REGULAR[1:],
+        ]))
+        assert report.anomalous
+        assert any(key == "<unk>" for _, key, _ in report.misses)
+
+    def test_truncated_tail_not_flagged_without_end_marker(self):
+        # DeepLog's rule only fires on observed keys outside top-g; it
+        # cannot see a missing suffix (one of its blind spots).
+        detector = self.make_trained()
+        report = detector.detect_session(make_session("t", REGULAR[:2]))
+        assert not report.anomalous
+
+    def test_shuffled_order_flagged_with_narrow_g(self):
+        detector = DeepLogDetector(window=2, top_g=1)
+        detector.train(
+            [make_session(f"s{i}", REGULAR) for i in range(20)]
+        )
+        shuffled = [REGULAR[0], REGULAR[2], REGULAR[1], REGULAR[3]]
+        report = detector.detect_session(make_session("t", shuffled))
+        assert report.anomalous
+
+    def test_predict_backoff(self):
+        detector = self.make_trained()
+        # Unknown context backs off to shorter history.
+        predictions = detector.predict(["<nonexistent>"])
+        assert predictions == ()
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DeepLogDetector(window=0)
+
+
+class TestLogCluster:
+    def make_trained(self):
+        detector = LogClusterDetector(similarity_threshold=0.6)
+        sessions = [
+            make_session(f"a{i}", REGULAR) for i in range(10)
+        ] + [
+            make_session(f"b{i}", REGULAR[:2] + REGULAR[:2])
+            for i in range(10)
+        ]
+        detector.train(sessions)
+        return detector
+
+    def test_clusters_formed(self):
+        detector = self.make_trained()
+        assert detector.n_clusters >= 1
+
+    def test_known_session_not_reported(self):
+        detector = self.make_trained()
+        report = detector.detect_session(make_session("t", REGULAR))
+        assert not report.reported
+
+    def test_novel_session_reported(self):
+        detector = self.make_trained()
+        report = detector.detect_session(make_session("t", [
+            "disk controller exploded catastrophically",
+            "all bits lost forever",
+        ] * 3))
+        assert report.reported
+        assert report.best_similarity < 0.6
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LogClusterDetector(similarity_threshold=0.0)
+
+
+def intel_msg(identifiers, t=0.0, localities=None):
+    message = IntelMessage(
+        key_id="K", timestamp=t, session_id="s", message="m",
+        identifiers={k: list(v) for k, v in identifiers.items()},
+    )
+    if localities:
+        message.localities = {
+            k: list(v) for k, v in localities.items()
+        }
+    return message
+
+
+class TestStitch:
+    def test_one_to_n_hierarchy(self):
+        # One stage runs many TIDs (Figure 9's STAGE -> TID).
+        analyzer = StitchAnalyzer()
+        for tid in range(4):
+            analyzer.consume(intel_msg(
+                {"STAGE": ["0"], "TID": [str(tid)]}, t=float(tid)
+            ))
+        graph = analyzer.build()
+        assert graph.relation("STAGE", "TID") == "1:n"
+        assert graph.children("STAGE") == ["TID"]
+
+    def test_one_to_one(self):
+        analyzer = StitchAnalyzer()
+        for i in range(3):
+            analyzer.consume(intel_msg(
+                {"HOST": [f"h{i}"], "IP": [f"10.0.0.{i}"]}
+            ))
+        graph = analyzer.build()
+        assert graph.relation("HOST", "IP") == "1:1"
+        assert ("HOST", "IP") in graph.merged_aliases()
+
+    def test_m_to_n(self):
+        analyzer = StitchAnalyzer()
+        analyzer.consume(intel_msg({"A": ["1"], "B": ["x"]}))
+        analyzer.consume(intel_msg({"A": ["1"], "B": ["y"]}))
+        analyzer.consume(intel_msg({"A": ["2"], "B": ["x"]}))
+        graph = analyzer.build()
+        assert graph.relation("A", "B") == "m:n"
+
+    def test_empty_relation(self):
+        analyzer = StitchAnalyzer()
+        analyzer.consume(intel_msg({"A": ["1"]}))
+        analyzer.consume(intel_msg({"B": ["x"]}))
+        graph = analyzer.build()
+        assert graph.relation("A", "B") == "empty"
+        assert set(graph.isolated()) == {"A", "B"}
+
+    def test_localities_participate(self):
+        # Figure 9 includes HOST/IP ADDR locality identifiers.
+        analyzer = StitchAnalyzer()
+        analyzer.consume(intel_msg(
+            {"EXECUTOR": ["1"]}, localities={"host": ["h1"]}
+        ))
+        graph = analyzer.build()
+        assert "HOST" in graph.types
+
+    def test_lifespans_recorded(self):
+        analyzer = StitchAnalyzer()
+        analyzer.consume(intel_msg({"TID": ["7"]}, t=1.0))
+        analyzer.consume(intel_msg({"TID": ["7"]}, t=9.0))
+        graph = analyzer.build()
+        assert graph.lifespans["TID"]["7"] == (1.0, 9.0)
+
+    def test_render_contains_chain(self):
+        analyzer = StitchAnalyzer()
+        for tid in range(3):
+            analyzer.consume(intel_msg(
+                {"STAGE": ["0"], "TID": [str(tid)]}
+            ))
+        analyzer.consume(intel_msg({"BROADCAST": ["b0"]}))
+        text = analyzer.build().render()
+        assert "{STAGE} -[1:n]-> {TID}" in text
+        assert "{BROADCAST}" in text

@@ -1,0 +1,105 @@
+"""Tests for the ``intellog`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.simulators import (
+    FaultSpec,
+    MapReduceConfig,
+    MapReduceSimulator,
+)
+
+
+def render_hadoop_lines(job):
+    """Serialize a simulated job's records in the hadoop log4j layout."""
+    import datetime
+
+    lines = []
+    for session in job.sessions:
+        for record in session.records:
+            stamp = datetime.datetime.utcfromtimestamp(
+                record.timestamp + 1_500_000_000
+            )
+            text = stamp.strftime("%Y-%m-%d %H:%M:%S")
+            ms = int((record.timestamp % 1) * 1000)
+            lines.append(
+                f"{text},{ms:03d} {record.level} "
+                f"[{session.session_id}] "
+                f"org.apache.hadoop.{record.source}: {record.message}"
+            )
+    return lines
+
+
+@pytest.fixture()
+def log_files(tmp_path):
+    sim = MapReduceSimulator(seed=9)
+    train_lines = []
+    for i in range(4):
+        job = sim.run_job(
+            "wordcount", MapReduceConfig(input_gb=2.0),
+            base_time=i * 3600.0,
+        )
+        train_lines.extend(render_hadoop_lines(job))
+    train_file = tmp_path / "train.log"
+    train_file.write_text("\n".join(train_lines))
+
+    faulty = sim.run_job(
+        "wordcount", MapReduceConfig(input_gb=2.0),
+        fault=FaultSpec("network", at_fraction=0.4),
+        base_time=90_000.0,
+    )
+    detect_file = tmp_path / "detect.log"
+    detect_file.write_text("\n".join(render_hadoop_lines(faulty)))
+    return train_file, detect_file, tmp_path
+
+
+class TestCli:
+    def test_train_writes_model(self, log_files, capsys):
+        train_file, _, tmp_path = log_files
+        model_path = tmp_path / "model.json"
+        code = main([
+            "train", str(train_file),
+            "--model", str(model_path),
+            "--formatter", "hadoop",
+        ])
+        assert code == 0
+        model = json.loads(model_path.read_text())
+        assert model["log_keys"]
+        assert model["hw_graph"]["groups"]
+        out = capsys.readouterr().out
+        assert "entity groups" in out
+
+    def test_detect_flags_faulty_log(self, log_files, capsys):
+        train_file, detect_file, tmp_path = log_files
+        model_path = tmp_path / "model.json"
+        main(["train", str(train_file), "--model", str(model_path),
+              "--formatter", "hadoop"])
+        capsys.readouterr()  # drop training output
+        code = main([
+            "detect", str(detect_file), "--model", str(model_path),
+        ])
+        assert code == 1  # anomalous input -> non-zero exit
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["anomalous"] is True
+
+    def test_inspect_renders_graph(self, log_files, capsys):
+        train_file, _, tmp_path = log_files
+        model_path = tmp_path / "model.json"
+        main(["train", str(train_file), "--model", str(model_path),
+              "--formatter", "hadoop"])
+        code = main(["inspect", "--model", str(model_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "groups:" in out
+
+    def test_inspect_json(self, log_files, capsys):
+        train_file, _, tmp_path = log_files
+        model_path = tmp_path / "model.json"
+        main(["train", str(train_file), "--model", str(model_path),
+              "--formatter", "hadoop"])
+        capsys.readouterr()  # drop training output
+        main(["inspect", "--model", str(model_path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "groups" in payload

@@ -1,0 +1,109 @@
+"""Tests for the core façade, config and metrics."""
+
+import pytest
+
+from repro import IntelLog, IntelLogConfig, NotTrainedError
+from repro.core.errors import ConfigurationError
+from repro.core.metrics import (
+    DetectionCounts,
+    ExtractionAccuracy,
+    score_predictions,
+)
+from repro.parsing.records import LogRecord, Session
+
+
+class TestConfig:
+    def test_default_tau_is_paper_value(self):
+        assert IntelLogConfig().spell_tau == 1.7
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntelLog(IntelLogConfig(spell_tau=0.5))
+
+
+class TestLifecycle:
+    def test_detect_before_train_raises(self):
+        intellog = IntelLog()
+        with pytest.raises(NotTrainedError):
+            intellog.detect_job([])
+        with pytest.raises(NotTrainedError):
+            intellog.hw_graph()
+
+    def test_training_summary_counts(self, mr_model, mr_training_jobs):
+        summary = mr_model.train.__self__  # the trained instance
+        graph = mr_model.hw_graph()
+        assert graph.training_sessions == sum(
+            len(j.sessions) for j in mr_training_jobs
+        )
+
+    def test_train_lines_round_trip(self):
+        lines = []
+        base = "2019-06-22 10:15:{s:02d},000 INFO [main] " \
+               "org.apache.hadoop.mapred.MapTask: "
+        for s in range(30):
+            lines.append(base.format(s=s % 60) +
+                         f"Finished spill spill{s}")
+        intellog = IntelLog(IntelLogConfig(formatter="hadoop"))
+        summary = intellog.train_lines(lines)
+        assert summary.messages == 30
+        assert summary.log_keys == 1
+
+    def test_intel_messages_projection(self, mr_model, mr_training_jobs):
+        sessions = mr_training_jobs[0].sessions
+        messages = mr_model.intel_messages(sessions)
+        assert messages
+        assert all(m.session_id for m in messages)
+
+
+class TestDetectionCounts:
+    def test_perfect(self):
+        counts = DetectionCounts(10, 0, 0, 10)
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f_measure == 1.0
+
+    def test_paper_table8_shape(self):
+        # IntelLog's Table 8 row: 87.23% precision / 91.11% recall.
+        counts = DetectionCounts(41, 6, 4, 0)
+        assert counts.precision == pytest.approx(0.8723, abs=1e-3)
+        assert counts.recall == pytest.approx(0.9111, abs=1e-3)
+        assert counts.f_measure == pytest.approx(0.8913, abs=1e-3)
+
+    def test_zero_division_guards(self):
+        counts = DetectionCounts()
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.f_measure == 0.0
+
+    def test_addition(self):
+        total = DetectionCounts(1, 2, 3, 4) + DetectionCounts(5, 6, 7, 8)
+        assert total == DetectionCounts(6, 8, 10, 12)
+
+    def test_score_predictions(self):
+        counts = score_predictions(
+            [True, True, False, False], [True, False, True, False]
+        )
+        assert counts.true_positives == 1
+        assert counts.false_negatives == 1
+        assert counts.false_positives == 1
+        assert counts.true_negatives == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            score_predictions([True], [])
+
+
+class TestExtractionAccuracy:
+    def test_row_format(self):
+        acc = ExtractionAccuracy(63, 3, 0)
+        assert acc.row() == "63 / 3 / 0"
+
+    def test_precision_recall(self):
+        acc = ExtractionAccuracy(total=10, false_positives=2,
+                                 false_negatives=1)
+        assert acc.recall == pytest.approx(0.9)
+        assert acc.precision == pytest.approx(9 / 11)
+
+    def test_empty(self):
+        acc = ExtractionAccuracy(0, 0, 0)
+        assert acc.recall == 0.0

@@ -1,0 +1,145 @@
+"""Tests for anomaly detection (paper §4.2) using the MapReduce model."""
+
+import pytest
+
+from repro.detection.report import Anomaly, AnomalyKind, SessionReport
+from repro.parsing.records import LogRecord, Session
+from repro.simulators import FaultSpec, MapReduceConfig
+
+
+def run_detection(model, job):
+    return model.detect_job(job.sessions, job.app_id)
+
+
+class TestCleanJobs:
+    def test_clean_job_no_anomalies(self, mr_model, mr_simulator):
+        job = mr_simulator.run_job(
+            "wordcount", MapReduceConfig(input_gb=2.0), base_time=5e5
+        )
+        report = run_detection(mr_model, job)
+        assert not report.anomalous
+
+    def test_different_config_still_clean(self, mr_model, mr_simulator):
+        # The paper varies input sizes and resources for detection jobs
+        # that must still pass (§6.4).
+        job = mr_simulator.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=6.0, reducers=3),
+            base_time=6e5,
+        )
+        report = run_detection(mr_model, job)
+        assert not report.anomalous
+
+
+class TestInjectedFaults:
+    @pytest.mark.parametrize(
+        "kind", ["sigkill", "network", "node_failure"]
+    )
+    def test_fault_detected(self, mr_model, mr_simulator, kind):
+        job = mr_simulator.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=3.0),
+            fault=FaultSpec(kind, at_fraction=0.3),
+            base_time=7e5,
+        )
+        report = run_detection(mr_model, job)
+        assert report.anomalous
+
+    def test_network_fault_pinpoints_unexpected_messages(
+        self, mr_model, mr_simulator
+    ):
+        job = mr_simulator.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=3.0),
+            fault=FaultSpec("network", at_fraction=0.4),
+            base_time=8e5,
+        )
+        report = run_detection(mr_model, job)
+        unexpected = [
+            a
+            for s in report.sessions
+            for a in s.by_kind(AnomalyKind.UNEXPECTED_MESSAGE)
+        ]
+        assert unexpected
+        # §4.2: IntelLog extracts the five fields from unexpected
+        # messages; the connect-failure lines carry the failing address.
+        with_locality = [
+            a for a in unexpected if a.extraction.get("localities")
+        ]
+        assert with_locality
+
+    def test_sigkill_truncation_breaks_subroutines(
+        self, mr_model, mr_simulator
+    ):
+        job = mr_simulator.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=3.0),
+            fault=FaultSpec("sigkill", at_fraction=0.35),
+            base_time=9e5,
+        )
+        report = run_detection(mr_model, job)
+        kinds = {a.kind for s in report.sessions for a in s.anomalies}
+        assert kinds  # at least the AM-side diagnostics fire
+        assert report.anomalous
+
+    def test_problem_sessions_are_subset(self, mr_model, mr_simulator):
+        job = mr_simulator.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=3.0),
+            fault=FaultSpec("network", at_fraction=0.4),
+            base_time=10e5,
+        )
+        report = run_detection(mr_model, job)
+        # IntelLog "significantly reduces the log range for analysis":
+        # only some sessions are problematic.
+        assert 0 < len(report.problematic_sessions) < len(report.sessions)
+
+
+class TestUnexpectedMessageExtraction:
+    def test_foreign_message_reported_with_extraction(self, mr_model):
+        session = Session(session_id="x")
+        session.append(LogRecord(
+            timestamp=1.0, level="ERROR", source="X",
+            message="Zorkmid daemon failed to contact peer host9:1234 "
+                    "after 3 attempts",
+        ))
+        report = mr_model.detect_session(session)
+        assert report.anomalous
+        anomaly = report.anomalies[0]
+        assert anomaly.kind == AnomalyKind.UNEXPECTED_MESSAGE
+        assert anomaly.extraction["localities"]
+
+    def test_known_message_not_reported(self, mr_model):
+        session = Session(session_id="y")
+        session.append(LogRecord(
+            timestamp=1.0, level="INFO", source="Fetcher",
+            message="fetcher#9 about to shuffle output of map "
+                    "attempt_1528077000001_0001_m_000000_0",
+        ))
+        report = mr_model.detect_session(session)
+        unexpected = report.by_kind(AnomalyKind.UNEXPECTED_MESSAGE)
+        assert not unexpected
+
+
+class TestReports:
+    def test_session_report_shape(self):
+        report = SessionReport(session_id="s1")
+        report.anomalies.append(Anomaly(
+            kind=AnomalyKind.MISSING_GROUP,
+            description="missing",
+            group="task",
+        ))
+        data = report.to_dict()
+        assert data["anomalous"] is True
+        assert data["affected_groups"] == ["task"]
+
+    def test_job_report_json(self, mr_model, mr_simulator):
+        job = mr_simulator.run_job(
+            "wordcount", MapReduceConfig(input_gb=1.0), base_time=11e5
+        )
+        report = run_detection(mr_model, job)
+        import json
+
+        data = json.loads(report.to_json())
+        assert data["job_id"] == job.app_id
+        assert len(data["sessions"]) == len(job.sessions)

@@ -1,0 +1,98 @@
+"""Tests for DetectorConfig toggles and detector internals."""
+
+from repro.detection.detector import AnomalyDetector, DetectorConfig
+from repro.detection.report import AnomalyKind
+from repro.parsing.records import LogRecord, Session
+from repro.simulators import SparkConfig
+
+
+def make_session(sid, messages, t0=0.0):
+    session = Session(session_id=sid)
+    for i, message in enumerate(messages):
+        session.append(LogRecord(
+            timestamp=t0 + i, level="INFO", source="X", message=message,
+        ))
+    return session
+
+
+class TestToggles:
+    def test_missing_group_check_toggle(self, spark_model,
+                                        spark_simulator):
+        job = spark_simulator.run_job(
+            "wordcount",
+            SparkConfig(input_gb=1.0, executors=8),
+            base_time=3e6,
+            idle_executor_bug=True,
+        )
+        strict = spark_model.detect_job(job.sessions, job.app_id)
+        detector = AnomalyDetector(
+            spark_model.graph,
+            spark_model.spell,
+            spark_model.extractor,
+            DetectorConfig(report_missing_groups=False),
+        )
+        loose = detector.detect_job(job.sessions, job.app_id)
+        strict_missing = sum(
+            len(s.by_kind(AnomalyKind.MISSING_GROUP))
+            for s in strict.sessions
+        )
+        loose_missing = sum(
+            len(s.by_kind(AnomalyKind.MISSING_GROUP))
+            for s in loose.sessions
+        )
+        assert strict_missing > 0
+        assert loose_missing == 0
+
+    def test_min_session_length_guard(self, spark_model):
+        # A 2-message session must not trigger missing-group reports.
+        session = make_session("tiny", [
+            "Shutdown hook called",
+            "Deleting directory /tmp/spark-x",
+        ])
+        report = spark_model.detect_session(session)
+        assert not report.by_kind(AnomalyKind.MISSING_GROUP)
+
+    def test_hierarchy_toggle(self, spark_model, spark_simulator):
+        job = spark_simulator.run_job(
+            "sort", SparkConfig(input_gb=2.0), base_time=4e6
+        )
+        detector = AnomalyDetector(
+            spark_model.graph,
+            spark_model.spell,
+            spark_model.extractor,
+            DetectorConfig(check_hierarchy=False),
+        )
+        report = detector.detect_job(job.sessions, job.app_id)
+        assert not any(
+            s.by_kind(AnomalyKind.HIERARCHY_VIOLATION)
+            for s in report.sessions
+        )
+
+
+class TestIgnoredKeys:
+    def test_kv_dump_messages_not_reported(self, mr_model):
+        # Key-value dumps were learned in training and must be ignored at
+        # detection time instead of flagged (paper §5).
+        session = make_session("kv", [
+            "mapreduce.task.io.sort.mb = 256 ; soft limit = 214748364 ; "
+            "bufstart = 0 ; kvstart = 26214396",
+        ])
+        report = mr_model.detect_session(session)
+        assert not report.by_kind(AnomalyKind.UNEXPECTED_MESSAGE)
+
+
+class TestUnexpectedExtraction:
+    def test_extraction_has_five_fields(self, mr_model):
+        session = make_session("u", [
+            "Mystery subsystem florbed 977 bytes from node9:4040 for "
+            "wobble_07",
+        ])
+        report = mr_model.detect_session(session)
+        anomaly = report.by_kind(AnomalyKind.UNEXPECTED_MESSAGE)[0]
+        extraction = anomaly.extraction
+        for field in ("entities", "identifiers", "values", "localities",
+                      "operations"):
+            assert field in extraction
+        assert extraction["localities"]
+        assert extraction["values"].get("bytes") == [977.0]
+        assert "WOBBLE" in extraction["identifiers"]

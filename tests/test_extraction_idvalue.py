@@ -1,0 +1,141 @@
+"""Tests for identifier/value classification (paper §3.1's four
+heuristics) and locality extraction."""
+
+from repro.extraction.idvalue import (
+    FieldClassifier,
+    FieldRole,
+    identifier_type,
+    value_name,
+)
+from repro.extraction.locality import LocalityExtractor, classify_locality
+from repro.nlp.postagger import tag
+
+
+def classify(sample_text, field_text, prev=None, nxt=None):
+    classifier = FieldClassifier()
+    field_tokens = tag(field_text)
+    prev_tok = tag(prev)[0] if prev else None
+    next_tok = tag(nxt)[0] if nxt else None
+    return classifier.classify(field_tokens, prev_tok, next_tok)
+
+
+class TestHeuristic1Filters:
+    def test_verbal_field_filtered(self):
+        result = classify("", "started", prev="system")
+        assert result.role == FieldRole.OPERATION_WORD
+
+    def test_locality_field(self):
+        result = classify("", "host1:13562", prev="from")
+        assert result.role == FieldRole.LOCALITY
+
+    def test_path_field(self):
+        result = classify("", "/tmp/spark-abc/blockmgr-0", prev="at")
+        assert result.role == FieldRole.LOCALITY
+        assert result.name == "path"
+
+
+class TestHeuristic2Units:
+    def test_value_with_following_unit(self):
+        # "12 MB" -> the field before 'MB' is a value.
+        result = classify("", "12", prev="read", nxt="MB")
+        assert result.role == FieldRole.VALUE
+        assert result.unit == "MB"
+
+    def test_value_with_ms_unit(self):
+        result = classify("", "5", prev="in", nxt="ms")
+        assert result.role == FieldRole.VALUE
+
+    def test_unit_inside_capture(self):
+        result = classify("", "4 ms", prev="in")
+        assert result.role == FieldRole.VALUE
+        assert result.unit == "ms"
+
+
+class TestHeuristic3Mixed:
+    def test_mixed_letters_numbers_is_identifier(self):
+        result = classify("", "attempt_01", prev="map")
+        assert result.role == FieldRole.IDENTIFIER
+
+    def test_identifier_type_from_prefix(self):
+        result = classify("", "container_e01_000002", prev="assigned")
+        assert result.role == FieldRole.IDENTIFIER
+        assert result.name == "CONTAINER"
+
+
+class TestHeuristic4Numeric:
+    def test_number_after_noun_is_identifier(self):
+        # "task 1" -> 1 identifies the task.
+        result = classify("", "1", prev="task")
+        assert result.role == FieldRole.IDENTIFIER
+        assert result.name == "TASK"
+
+    def test_number_after_verb_is_value(self):
+        result = classify("", "42", prev="completed")
+        assert result.role == FieldRole.VALUE
+
+    def test_number_after_hash_is_identifier(self):
+        result = classify("", "1", prev="#")
+        assert result.role == FieldRole.IDENTIFIER
+
+
+class TestNames:
+    def test_identifier_type_prefix_wins(self):
+        assert identifier_type("attempt_01", "map") == "ATTEMPT"
+
+    def test_identifier_type_prev_noun_fallback(self):
+        assert identifier_type("17", "stage") == "STAGE"
+
+    def test_identifier_type_default(self):
+        assert identifier_type("99", None) == "ID"
+
+    def test_identifier_type_singularizes(self):
+        assert identifier_type("7", "tasks") == "TASK"
+
+    def test_value_name_unit(self):
+        assert value_name("read", "bytes") == "bytes"
+
+    def test_value_name_noun(self):
+        assert value_name("splits", None) == "split"
+
+    def test_value_name_default(self):
+        assert value_name(None, None) == "value"
+
+
+class TestLocalityPatterns:
+    def test_builtin_host_port(self):
+        assert classify_locality("host1:13562").kind == "host_port"
+
+    def test_builtin_ip(self):
+        assert classify_locality("10.1.2.3").kind == "ip"
+
+    def test_builtin_ip_port(self):
+        assert classify_locality("10.1.2.3:8020").kind == "ip_port"
+
+    def test_builtin_local_path(self):
+        assert classify_locality("/var/log/hadoop/x.log").kind == (
+            "local_path"
+        )
+
+    def test_builtin_dfs_path(self):
+        loc = classify_locality("hdfs://nn:8020/user/root/out")
+        assert loc.kind == "dfs_path"
+
+    def test_hostname_patterns(self):
+        assert classify_locality("worker12").kind == "hostname"
+        assert classify_locality("nn1.example.com").kind == "hostname"
+
+    def test_plain_words_not_localities(self):
+        assert classify_locality("fetcher") is None
+        assert classify_locality("1234") is None
+
+    def test_user_defined_pattern(self):
+        # §3.1: users can define new patterns for their systems.
+        extractor = LocalityExtractor()
+        assert extractor.classify("rack-A-07") is None
+        extractor.add_pattern("rack", r"^rack-[A-Z]-\d+$")
+        assert extractor.classify("rack-A-07").kind == "rack"
+
+    def test_find_all_scans_tokens(self):
+        extractor = LocalityExtractor()
+        found = extractor.find_all("freed host1:13562 and 10.0.0.1 ok")
+        assert {f.text for f in found} == {"host1:13562", "10.0.0.1"}

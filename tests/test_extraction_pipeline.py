@@ -1,0 +1,205 @@
+"""Tests for the full log-key -> Intel Key pipeline (paper §3, Figure 4)."""
+
+import pytest
+
+from repro.extraction import FieldRole, InformationExtractor
+from repro.extraction.pipeline import align_template, is_key_value_dump
+from repro.nlp.postagger import tag
+from repro.parsing.spell import SpellParser
+
+
+@pytest.fixture()
+def extractor():
+    return InformationExtractor()
+
+
+def build_key(messages, extractor):
+    parser = SpellParser()
+    for message in messages:
+        parser.consume(message)
+    assert len(parser) == 1, parser.keys()
+    return extractor.build_intel_key(parser.keys()[0])
+
+
+class TestAlignment:
+    def test_constant_positions(self):
+        sample = tag("read 2264 bytes")
+        aligned = align_template(["read", "*", "bytes"], sample)
+        assert aligned is not None
+        assert aligned.slots == [0, (1, 2), 2]
+
+    def test_trailing_star(self):
+        sample = tag("state NEW DONE")
+        aligned = align_template(["state", "*"], sample)
+        assert aligned.slots == [0, (1, 3)]
+
+    def test_mismatch_none(self):
+        sample = tag("totally different")
+        assert align_template(["read", "*"], sample) is None
+
+
+class TestKeyValueDump:
+    def test_kv_dump_detected(self):
+        assert is_key_value_dump(
+            "memoryLimit = 3006477107 ; maxSingleShuffleLimit = 730144440"
+        )
+
+    def test_sentence_not_dump(self):
+        assert not is_key_value_dump(
+            "fetcher#1 about to shuffle output of map attempt_01"
+        )
+
+
+class TestFigure1Keys:
+    """The paper's Figure 1 snippet end to end."""
+
+    def test_shuffle_key(self, extractor):
+        key = build_key(
+            [
+                "fetcher#1 about to shuffle output of map attempt_01",
+                "fetcher#2 about to shuffle output of map attempt_02",
+            ],
+            extractor,
+        )
+        assert "fetcher" in key.entities
+        assert "output of map" in key.entities
+        roles = [f.role for f in key.fields]
+        assert roles == [FieldRole.IDENTIFIER, FieldRole.IDENTIFIER]
+        assert key.fields[0].name == "FETCHER"
+        assert key.fields[1].name == "ATTEMPT"
+
+    def test_read_key(self, extractor):
+        key = build_key(
+            [
+                "fetcher#1 read 2264 bytes from map-output for attempt_01",
+                "fetcher#2 read 99 bytes from map-output for attempt_02",
+            ],
+            extractor,
+        )
+        by_role = {}
+        for field in key.fields:
+            by_role.setdefault(field.role, []).append(field)
+        assert len(by_role[FieldRole.IDENTIFIER]) == 2
+        assert len(by_role[FieldRole.VALUE]) == 1
+        assert by_role[FieldRole.VALUE][0].name == "bytes"
+
+    def test_freed_key(self, extractor):
+        key = build_key(
+            [
+                "host1:13562 freed by fetcher#1 in 4ms",
+                "host2:13562 freed by fetcher#2 in 7ms",
+            ],
+            extractor,
+        )
+        roles = [f.role for f in key.fields]
+        assert FieldRole.LOCALITY in roles
+        assert FieldRole.VALUE in roles
+        # operation: {*, free, fetcher} — the host is freed by the fetcher.
+        ops = [op.predicate for op in key.operations]
+        assert "free" in ops
+
+
+class TestFigure4Key:
+    """The paper's Figure 4 Spark log key end to end."""
+
+    @pytest.fixture()
+    def key(self, extractor):
+        return build_key(
+            [
+                "Finished task 1.0 in stage 0.0 ( TID 4 ) . 2010 bytes "
+                "result sent to driver",
+                "Finished task 2.0 in stage 1.0 ( TID 5 ) . 1900 bytes "
+                "result sent to driver",
+            ],
+            extractor,
+        )
+
+    def test_entities(self, key):
+        for expected in ("task", "stage", "result", "driver"):
+            assert expected in key.entities
+
+    def test_three_identifiers_one_value(self, key):
+        identifiers = key.fields_with_role(FieldRole.IDENTIFIER)
+        values = key.fields_with_role(FieldRole.VALUE)
+        assert len(identifiers) == 3
+        assert len(values) == 1
+        assert values[0].name == "bytes"
+
+    def test_two_operations(self, key):
+        # Figure 4: "Two operations are extracted".
+        assert len(key.operations) == 2
+        predicates = {op.predicate for op in key.operations}
+        assert predicates == {"finish", "send"}
+
+    def test_send_operation_slots(self, key):
+        send = next(op for op in key.operations if op.predicate == "send")
+        assert send.subject == "result"
+        assert send.obj == "driver"
+
+    def test_identifier_types(self, key):
+        assert set(key.identifier_types) == {"TASK", "STAGE", "TID"}
+
+
+class TestIntelMessages:
+    def test_round_trip(self, extractor):
+        key = build_key(
+            [
+                "Finished spill spill0",
+                "Finished spill spill1",
+            ],
+            extractor,
+        )
+        message = extractor.to_intel_message(
+            key, "Finished spill spill7", timestamp=3.5, session_id="c1"
+        )
+        assert message is not None
+        assert message.identifiers["SPILL"] == ["spill7"]
+        assert message.timestamp == 3.5
+        assert message.session_id == "c1"
+
+    def test_no_match_returns_none(self, extractor):
+        key = build_key(
+            ["Finished spill spill0", "Finished spill spill1"], extractor
+        )
+        assert extractor.to_intel_message(key, "unrelated text") is None
+
+    def test_values_parsed_to_float(self, extractor):
+        key = build_key(
+            [
+                "read 2264 bytes from map-output for attempt_01",
+                "read 99 bytes from map-output for attempt_02",
+            ],
+            extractor,
+        )
+        message = extractor.to_intel_message(
+            key, "read 512 bytes from map-output for attempt_09"
+        )
+        assert message.values["bytes"] == [512.0]
+
+    def test_identifier_signature(self, extractor):
+        key = build_key(
+            [
+                "fetcher#1 read 2264 bytes from map-output for attempt_01",
+                "fetcher#2 read 99 bytes from map-output for attempt_02",
+            ],
+            extractor,
+        )
+        message = extractor.to_intel_message(
+            key, "fetcher#3 read 10 bytes from map-output for attempt_05"
+        )
+        assert message.identifier_signature == ("ATTEMPT", "FETCHER")
+        assert message.identifier_values == {"3", "attempt_05"}
+
+    def test_serialization_round_trip(self, extractor):
+        from repro.extraction.intelkey import IntelKey, IntelMessage
+
+        key = build_key(
+            ["Finished spill spill0", "Finished spill spill1"], extractor
+        )
+        restored = IntelKey.from_dict(key.to_dict())
+        assert restored.template == key.template
+        assert restored.fields == key.fields
+
+        message = extractor.to_intel_message(key, "Finished spill spill3")
+        restored_msg = IntelMessage.from_dict(message.to_dict())
+        assert restored_msg.identifiers == message.identifiers

@@ -1,0 +1,100 @@
+"""Tests for entity grouping (paper §4.1, Algorithm 1)."""
+
+from repro.graph.grouping import (
+    group_entities,
+    longest_common_phrase,
+    longest_common_word_substring,
+)
+
+
+def lcp(a, b):
+    return longest_common_phrase(tuple(a.split()), tuple(b.split()))
+
+
+class TestLongestCommonWordSubstring:
+    def test_contiguous_match(self):
+        assert longest_common_word_substring(
+            ("block", "manager", "endpoint"), ("block", "manager")
+        ) == ("block", "manager")
+
+    def test_no_match(self):
+        assert longest_common_word_substring(("a",), ("b",)) == ()
+
+    def test_single_word_overlap(self):
+        assert longest_common_word_substring(
+            ("memory", "store"), ("storage", "memory")
+        ) == ("memory",)
+
+
+class TestLongestCommonPhrase:
+    def test_one_word_contained(self):
+        # Algorithm 1: a one-word phrase that is part of a multi-word
+        # phrase is correlated with it.
+        assert lcp("block", "block manager") == ("block",)
+
+    def test_paper_spark_example(self):
+        # §4.1: block, block manager, block manager endpoint share 'block'.
+        assert lcp("block manager", "block manager endpoint") == (
+            "block", "manager",
+        )
+
+    def test_generic_suffix_rejected(self):
+        # §4.1: "'block manager' and 'security manager' share 'manager'
+        # but they are not tightly correlated."
+        assert lcp("block manager", "security manager") == ()
+
+    def test_function_word_common_rejected(self):
+        assert lcp("output of map", "of task") == ()
+
+    def test_disjoint_phrases(self):
+        assert lcp("task attempt", "memory store") == ()
+
+
+class TestGroupEntities:
+    def test_paper_block_group(self):
+        result = group_entities(
+            ["block", "block manager", "block manager endpoint"]
+        )
+        labels = result.labels()
+        assert "block" in labels
+        block = next(g for g in result.groups if g.label == "block")
+        assert len(block.entities) == 3
+
+    def test_managers_stay_apart(self):
+        result = group_entities(["block manager", "security manager"])
+        assert len(result.groups) == 2
+
+    def test_singleton_group(self):
+        result = group_entities(["fetcher"])
+        assert result.labels() == ["fetcher"]
+
+    def test_reverse_index(self):
+        result = group_entities(["block", "block manager", "fetcher"])
+        groups = result.groups_for("block manager")
+        assert [g.label for g in groups] == ["block"]
+
+    def test_entity_can_join_multiple_groups(self):
+        # "map task output" shares 'map task' with one group and could
+        # correlate with others; the reverse index is a set.
+        result = group_entities(
+            ["map task", "map task output", "task"]
+        )
+        joined = result.groups_for("map task")
+        assert len(joined) >= 1
+
+    def test_accepts_word_tuples(self):
+        result = group_entities([("event", "fetcher"), ("fetcher",)])
+        assert any(g.label == "fetcher" for g in result.groups)
+
+    def test_deduplicates_input(self):
+        result = group_entities(["task", "task", "task"])
+        assert len(result.groups) == 1
+        assert len(result.groups[0].entities) == 1
+
+    def test_group_name_shrinks_to_common(self):
+        result = group_entities(["memory store", "storage memory"])
+        labels = result.labels()
+        assert "memory" in labels
+
+    def test_empty_input(self):
+        assert group_entities([]).groups == []

@@ -1,0 +1,100 @@
+"""Tests for lifespan relations (paper §4.1, Figure 6)."""
+
+from repro.graph.lifespan import (
+    BEFORE,
+    CHILD,
+    PARALLEL,
+    PARENT,
+    Lifespan,
+    RelationMatrix,
+    session_lifespans,
+)
+
+
+def observe(matrix, spans):
+    matrix.observe_session(
+        {name: Lifespan(start, end) for name, (start, end) in spans.items()}
+    )
+
+
+class TestLifespan:
+    def test_contains(self):
+        assert Lifespan(0, 10).contains(Lifespan(2, 8))
+        assert not Lifespan(2, 8).contains(Lifespan(0, 10))
+
+    def test_strict_containment_excludes_equal(self):
+        assert not Lifespan(0, 10).strictly_contains(Lifespan(0, 10))
+        assert Lifespan(0, 10).strictly_contains(Lifespan(0, 9))
+
+    def test_precedes(self):
+        assert Lifespan(0, 5).precedes(Lifespan(5, 9))
+        assert not Lifespan(0, 6).precedes(Lifespan(5, 9))
+
+
+class TestRelationMatrix:
+    def test_parent_when_always_contained(self):
+        matrix = RelationMatrix(min_support=1)
+        for _ in range(3):
+            observe(matrix, {"a": (0, 10), "b": (2, 8)})
+        assert matrix.relation("a", "b") == PARENT
+        assert matrix.relation("b", "a") == CHILD
+
+    def test_before_when_always_ordered(self):
+        matrix = RelationMatrix(min_support=1)
+        for _ in range(3):
+            observe(matrix, {"a": (0, 4), "b": (5, 9)})
+        assert matrix.relation("a", "b") == BEFORE
+
+    def test_disagreement_collapses_to_parallel(self):
+        # Figure 6: PARENT/BEFORE only if satisfied in *every* session.
+        matrix = RelationMatrix(min_support=1)
+        observe(matrix, {"a": (0, 10), "b": (2, 8)})
+        observe(matrix, {"a": (0, 5), "b": (2, 8)})
+        assert matrix.relation("a", "b") == PARALLEL
+
+    def test_zero_width_equal_is_not_before(self):
+        # Regression: two single-message groups at the same timestamp must
+        # not read as an ordering.
+        matrix = RelationMatrix(min_support=1)
+        observe(matrix, {"a": (5, 5), "b": (5, 5)})
+        assert matrix.relation("a", "b") == PARALLEL
+
+    def test_equal_spans_do_not_break_parent_votes(self):
+        matrix = RelationMatrix(min_support=1)
+        observe(matrix, {"a": (0, 10), "b": (2, 8)})
+        observe(matrix, {"a": (1, 6), "b": (1, 6)})
+        assert matrix.relation("a", "b") == PARENT
+
+    def test_min_support_guards_scarce_pairs(self):
+        matrix = RelationMatrix(min_support=5)
+        for _ in range(4):
+            observe(matrix, {"a": (0, 4), "b": (5, 9)})
+        assert matrix.relation("a", "b") == PARALLEL
+        observe(matrix, {"a": (0, 4), "b": (5, 9)})
+        assert matrix.relation("a", "b") == BEFORE
+
+    def test_never_cooccurring_is_parallel(self):
+        matrix = RelationMatrix(min_support=1)
+        observe(matrix, {"a": (0, 4)})
+        observe(matrix, {"b": (0, 4)})
+        assert matrix.relation("a", "b") == PARALLEL
+
+    def test_self_relation(self):
+        matrix = RelationMatrix()
+        assert matrix.relation("a", "a") == "SELF"
+
+    def test_relations_of(self):
+        matrix = RelationMatrix(min_support=1)
+        observe(matrix, {"a": (0, 10), "b": (2, 8), "c": (12, 15)})
+        relations = matrix.relations_of("a")
+        assert relations["b"] == PARENT
+        assert relations["c"] == BEFORE
+
+
+class TestSessionLifespans:
+    def test_built_from_timestamps(self):
+        spans = session_lifespans({"g": [3.0, 1.0, 2.0]})
+        assert spans["g"] == Lifespan(1.0, 3.0)
+
+    def test_empty_group_skipped(self):
+        assert session_lifespans({"g": []}) == {}

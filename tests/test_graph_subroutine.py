@@ -1,0 +1,166 @@
+"""Tests for subroutine construction (paper §4.1, Algorithm 2 +
+UpdateSubroutine, Figure 5)."""
+
+from repro.extraction.intelkey import IntelMessage
+from repro.graph.subroutine import (
+    Subroutine,
+    SubroutineModel,
+    assign_instances,
+)
+
+
+def msg(key_id, identifiers=None, t=0.0):
+    message = IntelMessage(
+        key_id=key_id, timestamp=t, session_id="s", message=key_id
+    )
+    if identifiers:
+        message.identifiers = {
+            k: list(v) for k, v in identifiers.items()
+        }
+    return message
+
+
+class TestAssignInstances:
+    def test_no_identifier_goes_to_none_instance(self):
+        # Algorithm 2 line 7-8: identifier-less messages share the NONE
+        # sequence.
+        instances = assign_instances(
+            [msg("A"), msg("B", {"T": ["1"]}), msg("C")]
+        )
+        none_instance = instances[0]
+        assert none_instance.values == frozenset()
+        assert none_instance.key_sequence == ["A", "C"]
+
+    def test_subset_joins_existing_instance(self):
+        # Algorithm 2 line 9-12: subset/superset identifier sets merge.
+        instances = assign_instances([
+            msg("A", {"T": ["1"], "S": ["x"]}),
+            msg("B", {"T": ["1"]}),
+        ])
+        assert len(instances) == 1
+        assert instances[0].key_sequence == ["A", "B"]
+
+    def test_superset_extends_values(self):
+        instances = assign_instances([
+            msg("A", {"T": ["1"]}),
+            msg("B", {"T": ["1"], "S": ["x"]}),
+        ])
+        assert len(instances) == 1
+        assert instances[0].values == {"1", "x"}
+
+    def test_disjoint_values_new_instance(self):
+        # Algorithm 2 line 14.
+        instances = assign_instances([
+            msg("A", {"T": ["1"]}),
+            msg("A", {"T": ["2"]}),
+        ])
+        assert len(instances) == 2
+
+    def test_signature_is_sorted_types(self):
+        instances = assign_instances([
+            msg("A", {"T": ["1"], "F": ["9"]}),
+        ])
+        assert instances[0].signature == ("F", "T")
+
+
+class TestFigure5:
+    """The paper's Figure 5 UpdateSubroutine walk-through."""
+
+    def test_before_relation_breaks_on_interchange(self):
+        sub = Subroutine(signature=("ID_1", "ID_2"))
+        # Session 1: two sequences, same order A B C D.
+        sub.update(["A", "B", "C", "D"])
+        sub.update(["A", "B", "C", "D"])
+        assert sub.relation("B", "C") == "BEFORE"
+        assert sub.critical_keys == {"A", "B", "C", "D"}
+        # Session 2, Seq3: B and C interchanged -> parallel.
+        sub.update(["A", "C", "B", "D"])
+        assert sub.relation("B", "C") == "PARALLEL"
+        assert sub.relation("A", "B") == "BEFORE"
+        # Seq4: no D -> D loses its critical mark.
+        sub.update(["A", "B", "C"])
+        assert "D" not in sub.critical_keys
+        assert {"A", "B", "C"} <= sub.critical_keys
+
+    def test_ordered_keys_respects_before(self):
+        sub = Subroutine(signature=())
+        sub.update(["A", "B", "C"])
+        assert sub.ordered_keys() == ["A", "B", "C"]
+
+    def test_new_key_mid_training_not_critical(self):
+        sub = Subroutine(signature=())
+        sub.update(["A", "B"])
+        sub.update(["A", "B", "E"])
+        assert "E" not in sub.critical_keys
+        assert "A" in sub.critical_keys
+
+
+class TestCheckInstance:
+    def make_trained(self):
+        sub = Subroutine(signature=("T",))
+        sub.update(["A", "B", "C"])
+        sub.update(["A", "B", "C"])
+        return sub
+
+    def test_clean_instance_passes(self):
+        sub = self.make_trained()
+        assert sub.check_instance(["A", "B", "C"]) == []
+
+    def test_missing_critical_key_reported(self):
+        sub = self.make_trained()
+        problems = sub.check_instance(["A", "B"])
+        assert any("missing critical" in p for p in problems)
+
+    def test_order_violation_reported(self):
+        sub = self.make_trained()
+        problems = sub.check_instance(["B", "A", "C"])
+        assert any("order violation" in p for p in problems)
+
+    def test_unexpected_key_reported(self):
+        sub = self.make_trained()
+        problems = sub.check_instance(["A", "B", "C", "Z"])
+        assert any("unexpected key" in p for p in problems)
+
+    def test_incomplete_session_skips_missing_check(self):
+        sub = self.make_trained()
+        assert sub.check_instance(["A"], complete=False) == []
+
+
+class TestSubroutineModel:
+    def test_signature_partitioning(self):
+        model = SubroutineModel()
+        model.train_session([
+            msg("A", {"T": ["1"]}),
+            msg("B", {"T": ["1"]}),
+            msg("C"),
+        ])
+        assert ("T",) in model.subroutines
+        assert () in model.subroutines
+
+    def test_best_match_exact(self):
+        model = SubroutineModel()
+        model.train_session([msg("A", {"T": ["1"]})])
+        assert model.best_match(("T",)) is model.subroutines[("T",)]
+
+    def test_best_match_subset(self):
+        model = SubroutineModel()
+        model.train_session([
+            msg("A", {"T": ["1"], "S": ["s1"]}),
+        ])
+        # An instance that only accumulated T so far matches the (S, T)
+        # subroutine.
+        assert model.best_match(("T",)) is model.subroutines[("S", "T")]
+
+    def test_best_match_none_for_foreign(self):
+        model = SubroutineModel()
+        model.train_session([msg("A", {"T": ["1"]})])
+        assert model.best_match(("X",)) is None
+
+    def test_stats(self):
+        model = SubroutineModel()
+        model.train_session(
+            [msg("A", {"T": ["1"]}), msg("B", {"T": ["1"]})]
+        )
+        stats = model.stats()
+        assert stats["max"] == 2
+        assert stats["count"] == 1

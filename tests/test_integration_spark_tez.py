@@ -1,0 +1,133 @@
+"""Integration tests: trained Spark and Tez models end to end."""
+
+import pytest
+
+from repro.detection.report import AnomalyKind
+from repro.simulators import FaultSpec, SparkConfig, TezConfig
+
+
+class TestSparkModel:
+    def test_figure8_groups_exist(self, spark_model):
+        graph = spark_model.hw_graph()
+        for label in ("acl", "block", "task", "driver", "memory",
+                      "directory", "shutdown"):
+            assert label in graph.groups, sorted(graph.groups)
+
+    def test_block_group_has_three_subroutine_kinds(self, spark_model):
+        block = spark_model.hw_graph().groups["block"]
+        signatures = set(block.model.subroutines)
+        assert () in signatures  # s3: no identifier
+        assert any(sig for sig in signatures)  # identifier-keyed s1/s2
+
+    def test_task_group_keyed_by_tid(self, spark_model):
+        task = spark_model.hw_graph().groups["task"]
+        assert any(
+            "TID" in sig for sig in task.model.subroutines
+        )
+
+    def test_clean_spark_job_passes(self, spark_model, spark_simulator):
+        job = spark_simulator.run_job(
+            "sort", SparkConfig(input_gb=2.0), base_time=7e5
+        )
+        report = spark_model.detect_job(job.sessions, job.app_id)
+        assert not report.anomalous
+
+    @pytest.mark.parametrize("kind", ["network", "sigkill"])
+    def test_spark_fault_detected(self, spark_model, spark_simulator,
+                                  kind):
+        job = spark_simulator.run_job(
+            "sort",
+            SparkConfig(input_gb=2.0),
+            fault=FaultSpec(kind, at_fraction=0.4),
+            base_time=8e5,
+        )
+        report = spark_model.detect_job(job.sessions, job.app_id)
+        assert report.anomalous
+
+    def test_idle_executor_bug_reported(self, spark_model,
+                                        spark_simulator):
+        # Case 3: sessions lacking the 'task' group are erroneous
+        # HW-graph instances even though no unexpected message appears.
+        job = spark_simulator.run_job(
+            "wordcount",
+            SparkConfig(input_gb=1.0, executors=8),
+            base_time=9e5,
+            idle_executor_bug=True,
+        )
+        report = spark_model.detect_job(job.sessions, job.app_id)
+        missing = [
+            anomaly
+            for session in report.sessions
+            for anomaly in session.by_kind(AnomalyKind.MISSING_GROUP)
+        ]
+        assert any(a.group == "task" for a in missing)
+
+    def test_spill_reported_as_unexpected(self, spark_model,
+                                          spark_simulator):
+        job = spark_simulator.run_job(
+            "kmeans",
+            SparkConfig(input_gb=8.0, executor_memory_mb=512,
+                        executor_cores=4),
+            base_time=10e5,
+        )
+        report = spark_model.detect_job(job.sessions, job.app_id)
+        unexpected = [
+            anomaly
+            for session in report.sessions
+            for anomaly in session.by_kind(
+                AnomalyKind.UNEXPECTED_MESSAGE
+            )
+        ]
+        assert any(
+            "spill" in (a.message or "").lower() for a in unexpected
+        )
+
+
+class TestTezModel:
+    def test_core_groups_exist(self, tez_model):
+        graph = tez_model.hw_graph()
+        assert "vertex" in graph.groups or "dag" in graph.groups
+        assert "task" in graph.groups
+
+    def test_clean_query_passes(self, tez_model, tez_simulator):
+        job = tez_simulator.run_job(
+            "q3", TezConfig(input_gb=2.0), base_time=7e5
+        )
+        report = tez_model.detect_job(job.sessions, job.app_id)
+        assert not report.anomalous
+
+    def test_tez_network_fault_detected(self, tez_model, tez_simulator):
+        job = tez_simulator.run_job(
+            "q8",
+            TezConfig(input_gb=4.0),
+            fault=FaultSpec("network", at_fraction=0.4),
+            base_time=8e5,
+        )
+        report = tez_model.detect_job(job.sessions, job.app_id)
+        assert report.anomalous
+
+    def test_tez_spill_detected(self, tez_model, tez_simulator):
+        job = tez_simulator.run_job(
+            "q8", TezConfig(input_gb=5.0, task_memory_mb=256),
+            base_time=9e5,
+        )
+        report = tez_model.detect_job(job.sessions, job.app_id)
+        assert report.anomalous
+
+    def test_vague_operator_keys_do_not_alarm(self, tez_model,
+                                              tez_simulator):
+        # '6 Close done' style keys are learned during training and must
+        # not trigger unexpected-message reports on clean queries.
+        job = tez_simulator.run_job(
+            "q1", TezConfig(input_gb=1.0), base_time=10e5
+        )
+        report = tez_model.detect_job(job.sessions, job.app_id)
+        unexpected = [
+            anomaly
+            for session in report.sessions
+            for anomaly in session.by_kind(
+                AnomalyKind.UNEXPECTED_MESSAGE
+            )
+            if "Close done" in (anomaly.message or "")
+        ]
+        assert not unexpected

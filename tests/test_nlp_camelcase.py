@@ -1,0 +1,90 @@
+"""Tests for the camel-case name filter (paper §3.1)."""
+
+from repro.nlp.camelcase import (
+    FilterChain,
+    camel_filter,
+    is_camel_case,
+    make_default_chain,
+    snake_filter,
+    split_camel_case,
+)
+
+
+class TestDetection:
+    def test_simple_camel(self):
+        assert is_camel_case("MapTask")
+        assert is_camel_case("BlockManager")
+
+    def test_lower_camel(self):
+        assert is_camel_case("blockManager")
+
+    def test_plain_words_rejected(self):
+        assert not is_camel_case("task")
+        assert not is_camel_case("Task")
+
+    def test_all_caps_rejected(self):
+        assert not is_camel_case("HDFS")
+
+    def test_non_alnum_rejected(self):
+        assert not is_camel_case("map-output")
+
+    def test_short_rejected(self):
+        assert not is_camel_case("A")
+
+
+class TestSplitting:
+    def test_paper_example(self):
+        # §3.1: "'MapTask' is transformed to 'map task'".
+        assert split_camel_case("MapTask") == ["map", "task"]
+
+    def test_three_parts(self):
+        assert split_camel_case("BlockManagerEndpoint") == [
+            "block", "manager", "endpoint",
+        ]
+
+    def test_acronym_prefix(self):
+        assert split_camel_case("HTTPServer") == ["http", "server"]
+
+    def test_digits_split(self):
+        assert split_camel_case("task0Output") == ["task", "0", "output"]
+
+
+class TestFilters:
+    def test_camel_filter_matches(self):
+        assert camel_filter("MapTask") == ["map", "task"]
+
+    def test_camel_filter_rejects_digits(self):
+        # "task0" is an identifier, not a class-name entity.
+        assert camel_filter("Task0") is None
+
+    def test_camel_filter_rejects_plain(self):
+        assert camel_filter("task") is None
+
+    def test_snake_filter(self):
+        assert snake_filter("block_manager") == ["block", "manager"]
+
+    def test_snake_filter_rejects_identifiers(self):
+        assert snake_filter("attempt_01") is None
+
+    def test_chain_first_match_wins(self):
+        chain = FilterChain([camel_filter, snake_filter])
+        assert chain.split("MapTask") == ["map", "task"]
+        assert chain.split("block_manager") == ["block", "manager"]
+
+    def test_chain_user_extension(self):
+        # §3.1: users can define their own filters.
+        def kebab(word):
+            if "-" in word.strip("-"):
+                parts = [p for p in word.split("-") if p]
+                if all(p.isalpha() for p in parts) and len(parts) > 1:
+                    return [p.lower() for p in parts]
+            return None
+
+        chain = make_default_chain()
+        assert chain.split("map-output") is None
+        chain.add(kebab)
+        assert chain.split("map-output") == ["map", "output"]
+
+    def test_default_chain_is_camel_only(self):
+        chain = make_default_chain()
+        assert chain.split("block_manager") is None

@@ -1,0 +1,106 @@
+"""Tests for the shallow UD dependency parser (paper §3.2, Table 3)."""
+
+from repro.nlp.depparser import contains_clause, parse
+
+
+def arcs_by_relation(parse_result):
+    out = {}
+    for arc in parse_result.arcs:
+        out.setdefault(arc.relation, []).append(arc)
+    return out
+
+
+def token_text(parse_result, index):
+    return parse_result.tokens[index].text
+
+
+class TestRootDetection:
+    def test_simple_active_clause(self):
+        result = parse("fetcher reads bytes")
+        assert token_text(result, result.root) == "reads"
+
+    def test_sentence_initial_participle(self):
+        result = parse("Registered BlockManager")
+        assert token_text(result, result.root) == "Registered"
+
+    def test_sentence_initial_gerund(self):
+        result = parse("Starting MapTask metrics system")
+        assert token_text(result, result.root) == "Starting"
+
+    def test_infinitive_after_about_to(self):
+        result = parse("fetcher#1 about to shuffle output of map attempt_01")
+        assert token_text(result, result.root) == "shuffle"
+
+    def test_no_clause_no_root(self):
+        result = parse("memoryLimit 12345 mergeThreshold 99")
+        assert result.root is None
+
+
+class TestSubjects:
+    def test_nsubj_active(self):
+        result = parse("fetcher reads bytes")
+        rels = arcs_by_relation(result)
+        assert token_text(result, rels["nsubj"][0].dep) == "fetcher"
+
+    def test_nsubjpass_with_by_phrase(self):
+        # Figure 1 line 3: "host1:13562 freed by fetcher#1 in 4ms".
+        result = parse("host1:13562 freed by fetcher#1 in 4ms")
+        rels = arcs_by_relation(result)
+        assert "nsubjpass" in rels
+        assert token_text(result, rels["nsubjpass"][0].dep) == "host1:13562"
+
+    def test_agent_in_nmod(self):
+        result = parse("host1:13562 freed by fetcher in 4ms")
+        rels = arcs_by_relation(result)
+        nmod_texts = [token_text(result, a.dep) for a in rels["nmod"]]
+        assert "fetcher" in nmod_texts
+
+
+class TestObjects:
+    def test_dobj(self):
+        result = parse("fetcher reads bytes")
+        rels = arcs_by_relation(result)
+        assert token_text(result, rels["dobj"][0].dep) == "bytes"
+
+    def test_nmod_after_preposition(self):
+        result = parse("read 2264 bytes from map-output for attempt_01")
+        rels = arcs_by_relation(result)
+        nmods = [token_text(result, a.dep) for a in rels["nmod"]]
+        assert "map-output" in nmods
+
+    def test_multi_sentence_two_roots(self):
+        # Figure 4's two-clause log key yields two ROOT arcs.
+        result = parse(
+            "Finished task 1.0 in stage 0.0 ( TID 4 ) . "
+            "2010 bytes result sent to driver"
+        )
+        roots = [a for a in result.arcs if a.relation == "ROOT"]
+        assert len(roots) == 2
+        texts = {token_text(result, a.dep) for a in roots}
+        assert texts == {"Finished", "sent"}
+
+    def test_second_clause_subject(self):
+        result = parse(
+            "Finished task 1.0 in stage 0.0 . 2010 bytes result sent to "
+            "driver"
+        )
+        rels = arcs_by_relation(result)
+        subj_texts = [
+            token_text(result, a.dep)
+            for a in rels.get("nsubj", []) + rels.get("nsubjpass", [])
+        ]
+        assert "result" in subj_texts
+
+
+class TestClauseDetection:
+    def test_natural_language_message(self):
+        # §2.2: a message is NL if it contains at least one clause.
+        assert contains_clause("fetcher#1 about to shuffle output of map")
+        assert contains_clause("Registered BlockManager")
+        assert contains_clause("the task is done")
+
+    def test_kv_dump_is_not_clause(self):
+        assert not contains_clause("bufstart 0 kvstart 26214396")
+
+    def test_empty_string(self):
+        assert not contains_clause("")

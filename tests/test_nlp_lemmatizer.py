@@ -1,0 +1,114 @@
+"""Tests for the rule-based lemmatizer."""
+
+from repro.nlp.lemmatizer import (
+    lemmatize,
+    lemmatize_phrase,
+    singularize,
+    verb_base,
+)
+
+
+class TestSingularize:
+    def test_regular_plural(self):
+        assert singularize("tasks") == "task"
+        assert singularize("blocks") == "block"
+        assert singularize("fetchers") == "fetcher"
+
+    def test_ies_plural(self):
+        assert singularize("directories") == "directory"
+        assert singularize("retries") == "retry"
+
+    def test_es_plural(self):
+        assert singularize("caches") == "cache"
+        assert singularize("processes") == "process"
+
+    def test_irregular(self):
+        assert singularize("vertices") == "vertex"
+        assert singularize("indices") == "index"
+        assert singularize("children") == "child"
+
+    def test_s_final_singulars_untouched(self):
+        assert singularize("status") == "status"
+        assert singularize("progress") == "progress"
+        assert singularize("class") == "class"
+
+    def test_already_singular(self):
+        assert singularize("task") == "task"
+
+    def test_lowercases(self):
+        assert singularize("Tasks") == "task"
+
+    def test_invariant_mass_nouns(self):
+        assert singularize("data") == "data"
+        assert singularize("metrics") == "metrics"
+
+
+class TestVerbBase:
+    def test_gerund(self):
+        assert verb_base("starting") == "start"
+        assert verb_base("shuffling") == "shuffle"
+        assert verb_base("registering") == "register"
+
+    def test_gerund_doubled_consonant(self):
+        assert verb_base("committing") == "commit"
+        assert verb_base("spilling") == "spill"
+
+    def test_past_regular(self):
+        assert verb_base("finished") == "finish"
+        assert verb_base("assigned") == "assign"
+
+    def test_past_with_final_e(self):
+        assert verb_base("stored") == "store"
+        assert verb_base("created") == "create"
+        assert verb_base("initialized") == "initialize"
+
+    def test_irregular_past(self):
+        assert verb_base("sent") == "send"
+        assert verb_base("wrote") == "write"
+        assert verb_base("ran") == "run"
+
+    def test_irregular_participle(self):
+        assert verb_base("written") == "write"
+        assert verb_base("held") == "hold"
+
+    def test_third_person(self):
+        assert verb_base("reads") == "read"
+        assert verb_base("frees") == "free"
+
+    def test_auxiliaries(self):
+        assert verb_base("is") == "be"
+        assert verb_base("was") == "be"
+        assert verb_base("has") == "have"
+
+    def test_base_unchanged(self):
+        assert verb_base("shuffle") == "shuffle"
+
+
+class TestLemmatizeDispatch:
+    def test_noun_tag_singularizes(self):
+        assert lemmatize("tasks", "NNS") == "task"
+
+    def test_verb_tag_gets_base(self):
+        assert lemmatize("started", "VBD") == "start"
+
+    def test_other_tags_lowercase_only(self):
+        assert lemmatize("Remote", "JJ") == "remote"
+
+
+class TestLemmatizePhrase:
+    def test_head_noun_singularized(self):
+        # Only the head of the phrase is singularized.
+        assert lemmatize_phrase(
+            ["map", "completion", "events"], ["NN", "NN", "NNS"]
+        ) == ["map", "completion", "event"]
+
+    def test_non_head_words_kept(self):
+        assert lemmatize_phrase(
+            ["metrics", "system"], ["NNS", "NN"]
+        ) == ["metrics", "system"]
+
+    def test_empty_phrase(self):
+        assert lemmatize_phrase([], []) == []
+
+    def test_single_noun(self):
+        assert lemmatize_phrase(["blocks"], ["NNS"]) == ["block"]

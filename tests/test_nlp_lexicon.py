@@ -1,0 +1,91 @@
+"""Tests for the lexicon's verb paradigm expansion and tag inventory."""
+
+from repro.nlp.lexicon import (
+    MEASURE_UNITS,
+    UNITS,
+    build_lexicon,
+    is_measure_unit,
+    is_unit,
+)
+from repro.nlp.tags import (
+    ALL_TAGS,
+    is_content_tag,
+    is_noun,
+    is_preposition,
+    is_verb,
+)
+
+
+class TestParadigms:
+    def test_regular_verb_forms_present(self):
+        lexicon = build_lexicon()
+        for form, tag in (
+            ("start", "VB"), ("starts", "VBZ"), ("starting", "VBG"),
+            ("started", "VBD"),
+        ):
+            assert tag in lexicon[form], (form, lexicon[form])
+
+    def test_irregular_base_keeps_vb(self):
+        # Regression: "run" is both VB and VBN; both must survive.
+        lexicon = build_lexicon()
+        assert "VB" in lexicon["run"]
+        assert "VBN" in lexicon["run"]
+        assert "VBD" in lexicon["ran"]
+
+    def test_y_verbs(self):
+        lexicon = build_lexicon()
+        assert "VBZ" in lexicon["retries"]
+        assert "VBD" in lexicon["retried"]
+
+    def test_doubling_verbs(self):
+        lexicon = build_lexicon()
+        assert "VBG" in lexicon["committing"]
+        assert "VBG" in lexicon["spilling"]
+
+    def test_noun_first_words_prefer_noun(self):
+        lexicon = build_lexicon()
+        for word in ("task", "block", "map", "fetch", "shuffle"):
+            assert lexicon[word][0] == "NN", (word, lexicon[word])
+
+    def test_closed_classes(self):
+        lexicon = build_lexicon()
+        assert lexicon["of"] == ("IN",)
+        assert lexicon["the"][0] == "DT"
+        assert lexicon["to"][0] == "TO"
+        assert "MD" in lexicon["will"]
+
+    def test_auxiliaries_verbal_first(self):
+        lexicon = build_lexicon()
+        assert lexicon["is"][0] == "VBZ"
+        assert lexicon["was"][0] == "VBD"
+
+
+class TestUnits:
+    def test_measure_units_subset_of_units(self):
+        assert MEASURE_UNITS <= UNITS
+
+    def test_bytes_is_measure_unit(self):
+        assert is_measure_unit("bytes")
+        assert is_measure_unit("MB")
+        assert is_measure_unit("ms")
+
+    def test_task_is_count_unit_only(self):
+        assert is_unit("tasks")
+        assert not is_measure_unit("task")
+
+    def test_non_units(self):
+        assert not is_unit("fetcher")
+        assert not is_measure_unit("driver")
+
+
+class TestTagInventory:
+    def test_inventory_contains_core_tags(self):
+        for tag in ("NN", "NNS", "VB", "VBZ", "JJ", "IN", "CD", "DT"):
+            assert tag in ALL_TAGS
+
+    def test_predicates(self):
+        assert is_noun("NNPS")
+        assert is_verb("MD")
+        assert is_preposition("TO")
+        assert is_content_tag("JJ")
+        assert not is_content_tag("VB")

@@ -1,0 +1,126 @@
+"""Tests for the Penn Treebank POS tagger."""
+
+from repro.nlp.postagger import tag
+from repro.nlp.tags import coarse, is_noun, is_verb
+
+
+def tags_of(text):
+    return [(t.text, t.tag) for t in tag(text)]
+
+
+class TestBasicTagging:
+    def test_figure3_example(self):
+        # Paper Figure 3: "Starting MapTask metrics system".
+        tagged = tag("Starting MapTask metrics system")
+        assert tagged[0].tag == "VBG"
+        assert is_noun(tagged[2].tag)  # metrics
+        assert is_noun(tagged[3].tag)  # system
+
+    def test_numbers_are_cd(self):
+        tagged = tag("read 2264 bytes")
+        assert tagged[1].tag == "CD"
+
+    def test_identifiers_are_sym(self):
+        tagged = tag("output of map attempt_01")
+        assert tagged[-1].tag == "SYM"
+
+    def test_star_is_sym(self):
+        tagged = tag("freed by fetcher # * in")
+        stars = [t for t in tagged if t.text == "*"]
+        assert stars[0].tag == "SYM"
+
+    def test_hostport_is_sym(self):
+        tagged = tag("host1:13562 freed by fetcher")
+        assert tagged[0].tag == "SYM"
+
+    def test_preposition(self):
+        tagged = tag("output of map")
+        assert tagged[1].tag == "IN"
+
+    def test_determiner(self):
+        tagged = tag("the driver commanded a shutdown")
+        assert tagged[0].tag == "DT"
+        assert tagged[3].tag == "DT"
+
+    def test_modal_then_base_verb(self):
+        tagged = tag("the task will run")
+        assert tagged[2].tag == "MD"
+        assert tagged[3].tag == "VB"
+
+    def test_to_plus_verb(self):
+        tagged = tag("about to shuffle output")
+        assert tagged[1].tag == "TO"
+        assert tagged[2].tag == "VB"
+
+
+class TestNounVerbDisambiguation:
+    def test_map_as_noun_in_compound(self):
+        # "map output" is a noun-noun compound.
+        tagged = tag("Starting flush of map output")
+        by_text = {t.text: t.tag for t in tagged}
+        assert is_noun(by_text["map"])
+        assert is_noun(by_text["output"])
+
+    def test_block_sentence_initial_is_noun(self):
+        tagged = tag("Block rdd_0_1 stored as values in memory")
+        assert is_noun(tagged[0].tag)
+
+    def test_starting_sentence_initial_is_verb(self):
+        assert tag("Starting task")[0].tag == "VBG"
+
+    def test_registered_sentence_initial_is_participle(self):
+        assert tag("Registered BlockManager")[0].tag in ("VBN", "VBD")
+
+    def test_verb_after_subject(self):
+        tagged = tag("fetcher reads bytes")
+        assert is_verb(tagged[1].tag)
+
+    def test_noun_after_determiner(self):
+        tagged = tag("the fetch completed")
+        assert is_noun(tagged[1].tag)
+
+    def test_noun_after_preposition(self):
+        tagged = tag("output of map")
+        assert is_noun(tagged[2].tag)
+
+    def test_be_plus_participle(self):
+        tagged = tag("the task is done")
+        assert tagged[3].tag in ("VBN", "JJ")
+
+
+class TestUnknownWords:
+    def test_camel_case_is_nnp(self):
+        assert tag("BlockManagerMasterEndpoint")[0].tag == "NNP"
+
+    def test_ly_suffix_is_adverb(self):
+        tagged = tag("successfully registered blockwise")
+        assert tagged[0].tag == "RB"
+
+    def test_tion_suffix_is_noun(self):
+        tagged = tag("the prelocalization finished")
+        assert is_noun(tagged[1].tag)
+
+    def test_ing_suffix_unknown_verb(self):
+        assert tag("Blorping the queue")[0].tag == "VBG"
+
+    def test_capitalized_unknown_is_nnp(self):
+        tagged = tag("stopping Zorkmid now")
+        assert tagged[1].tag == "NNP"
+
+
+class TestCoarseMapping:
+    def test_noun_tags_coarsen(self):
+        for fine in ("NN", "NNS", "NNP", "NNPS"):
+            assert coarse(fine) == "NN"
+
+    def test_adjective_tags_coarsen(self):
+        for fine in ("JJ", "JJR", "JJS"):
+            assert coarse(fine) == "JJ"
+
+    def test_verb_tags_coarsen(self):
+        for fine in ("VB", "VBD", "VBG", "VBN", "VBP", "VBZ"):
+            assert coarse(fine) == "VB"
+
+    def test_other_tags_pass_through(self):
+        assert coarse("IN") == "IN"
+        assert coarse("CD") == "CD"

@@ -1,0 +1,96 @@
+"""Tests for the log-aware tokenizer."""
+
+from repro.nlp.tokenizer import Token, detokenize, tokenize, words
+
+
+class TestAtomPreservation:
+    def test_identifier_with_underscore_survives(self):
+        assert "attempt_01" in words("output of map attempt_01")
+
+    def test_long_hadoop_attempt_id_survives(self):
+        text = "Task attempt_1528077349332_0001_m_000000_0 done"
+        assert "attempt_1528077349332_0001_m_000000_0" in words(text)
+
+    def test_host_port_survives(self):
+        tokens = tokenize("host1:13562 freed by fetcher")
+        assert tokens[0].text == "host1:13562"
+        assert tokens[0].kind == "hostport"
+
+    def test_ipv4_with_port(self):
+        tokens = tokenize("connecting to 10.0.0.3:8020 now")
+        kinds = {t.text: t.kind for t in tokens}
+        assert kinds["10.0.0.3:8020"] == "hostport"
+
+    def test_ipv4_without_port(self):
+        tokens = tokenize("ping 192.168.1.1 ok")
+        assert any(
+            t.text == "192.168.1.1" and t.kind == "hostport"
+            for t in tokens
+        )
+
+    def test_absolute_path(self):
+        tokens = tokenize("Deleting directory /tmp/spark-abc/blockmgr-1")
+        assert any(t.kind == "path" for t in tokens)
+
+    def test_hdfs_uri(self):
+        tokens = tokenize("Saved to hdfs://host0:8020/user/root/output")
+        path_tokens = [t for t in tokens if t.kind == "path"]
+        assert len(path_tokens) == 1
+        assert path_tokens[0].text.startswith("hdfs://")
+
+    def test_number_with_decimal(self):
+        tokens = tokenize("Finished task 1.0 in stage 0.0")
+        numbers = [t.text for t in tokens if t.kind == "number"]
+        assert numbers == ["1.0", "0.0"]
+
+    def test_glued_unit_splits(self):
+        # "4ms" must split into the number and its unit.
+        texts = words("freed by fetcher in 4ms")
+        assert "4" in texts and "ms" in texts
+
+    def test_star_is_its_own_kind(self):
+        tokens = tokenize("fetcher # * about to shuffle")
+        star = [t for t in tokens if t.kind == "star"]
+        assert len(star) == 1
+
+
+class TestWordsAndPunct:
+    def test_simple_sentence(self):
+        assert words("Starting MapTask metrics system") == [
+            "Starting", "MapTask", "metrics", "system",
+        ]
+
+    def test_brackets_are_single_tokens(self):
+        tokens = tokenize("[fetcher#1] read bytes")
+        assert tokens[0].text == "["
+        assert tokens[0].kind == "punct"
+
+    def test_hyphenated_word_stays_joined(self):
+        assert "map-output" in words("read 10 bytes from map-output")
+
+    def test_apostrophe_word(self):
+        assert "don't" in words("we don't retry")
+
+    def test_empty_string(self):
+        assert words("") == []
+
+    def test_whitespace_only(self):
+        assert words("   \t  ") == []
+
+    def test_offsets_are_correct(self):
+        text = "freed by fetcher"
+        for token in tokenize(text):
+            assert text[token.start:token.end] == token.text
+
+
+class TestDetokenize:
+    def test_round_trip_token_objects(self):
+        tokens = tokenize("Starting flush of map output")
+        assert detokenize(tokens) == "Starting flush of map output"
+
+    def test_round_trip_strings(self):
+        assert detokenize(["a", "b", "c"]) == "a b c"
+
+    def test_token_end_property(self):
+        token = Token("abc", "word", 4)
+        assert token.end == 7

@@ -1,0 +1,112 @@
+"""Tests for the Intel Message store and its GroupBy operators (§6.4)."""
+
+import io
+
+from repro.extraction.intelkey import IntelMessage
+from repro.query import MessageStore
+
+
+def msg(key="K1", sid="s1", t=0.0, ids=None, locs=None, vals=None,
+        entities=()):
+    message = IntelMessage(
+        key_id=key, timestamp=t, session_id=sid, message="m",
+        entities=tuple(entities),
+    )
+    if ids:
+        message.identifiers = {k: list(v) for k, v in ids.items()}
+    if locs:
+        message.localities = {k: list(v) for k, v in locs.items()}
+    if vals:
+        message.values = {k: list(v) for k, v in vals.items()}
+    return message
+
+
+def fetcher_failure_store():
+    """The case study 1 scenario: 11 fetchers failing against one host."""
+    store = MessageStore()
+    for fid in range(1, 12):
+        store.add(msg(
+            key="Kfail", sid=f"reduce{fid % 4}", t=float(fid),
+            ids={"FETCHER": [str(fid)]},
+            locs={"address": ["hostA:13562"]},
+            entities=("fetcher",),
+        ))
+    store.add(msg(
+        key="Kok", sid="reduce0", t=99.0,
+        ids={"FETCHER": ["12"]},
+        locs={"address": ["hostB:13562"]},
+        entities=("fetcher",),
+    ))
+    return store
+
+
+class TestFilters:
+    def test_with_key(self):
+        store = fetcher_failure_store()
+        assert len(store.with_key("Kfail")) == 11
+
+    def test_with_entity(self):
+        store = fetcher_failure_store()
+        assert len(store.with_entity("fetcher")) == 12
+
+    def test_in_session(self):
+        store = fetcher_failure_store()
+        assert len(store.in_session("reduce0")) >= 1
+
+    def test_between(self):
+        store = fetcher_failure_store()
+        assert len(store.between(1.0, 3.0)) == 3
+
+    def test_with_identifier_type(self):
+        store = fetcher_failure_store()
+        assert len(store.with_identifier_type("FETCHER")) == 12
+
+
+class TestCaseStudy1GroupBy:
+    """The paper's diagnosis chain: GroupBy identifier, then locality."""
+
+    def test_group_by_identifier_yields_11_groups(self):
+        store = fetcher_failure_store().with_key("Kfail")
+        by_fetcher = store.group_by_identifier("FETCHER")
+        assert len(by_fetcher) == 11
+
+    def test_group_by_locality_isolates_one_host(self):
+        store = fetcher_failure_store().with_key("Kfail")
+        by_host = store.group_by_locality("address")
+        assert list(by_host) == ["hostA:13562"]
+        assert len(by_host["hostA:13562"]) == 11
+
+    def test_group_by_session(self):
+        store = fetcher_failure_store()
+        by_session = store.group_by_session()
+        assert sum(len(s) for s in by_session.values()) == 12
+
+
+class TestAggregates:
+    def test_value_series_sorted(self):
+        store = MessageStore([
+            msg(t=2.0, vals={"bytes": [20.0]}),
+            msg(t=1.0, vals={"bytes": [10.0]}),
+        ])
+        assert store.value_series("bytes") == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_identifier_values(self):
+        store = fetcher_failure_store()
+        values = store.identifier_values("FETCHER")
+        assert len(values) == 12
+
+
+class TestJsonIO:
+    def test_round_trip(self):
+        store = fetcher_failure_store()
+        text = store.to_json()
+        restored = MessageStore.from_json(text)
+        assert len(restored) == len(store)
+        assert restored.all()[0].identifiers == store.all()[0].identifiers
+
+    def test_dump_load(self):
+        store = fetcher_failure_store()
+        buffer = io.StringIO()
+        store.dump(buffer)
+        buffer.seek(0)
+        assert len(MessageStore.load(buffer)) == len(store)

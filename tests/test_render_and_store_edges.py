@@ -1,0 +1,114 @@
+"""Edge-case tests for rendering, the message store and reports."""
+
+import json
+
+from repro.extraction.intelkey import IntelMessage
+from repro.graph.render import render_summary, render_tree, to_json
+from repro.query import MessageStore
+
+
+class TestRenderEdges:
+    def test_empty_graph(self):
+        from repro.graph.hwgraph import HWGraph
+
+        graph = HWGraph()
+        assert render_tree(graph) == ""
+        assert "groups: 0" in render_summary(graph)
+        assert json.loads(to_json(graph))["groups"] == {}
+
+    def test_critical_only_filter(self, mr_model):
+        graph = mr_model.hw_graph()
+        full = render_tree(graph)
+        filtered = render_tree(graph, critical_only=True)
+        assert len(filtered.splitlines()) <= len(full.splitlines())
+        # Every critical group still appears.
+        for label in graph.critical_groups():
+            assert label in filtered
+
+    def test_subroutine_rendering(self, mr_model):
+        graph = mr_model.hw_graph()
+        tree = render_tree(graph, show_subroutines=True)
+        assert "s{" in tree
+
+    def test_fetcher_subroutine_in_tree(self, mr_model):
+        # Figure 1's subroutine surfaces under the 'fetcher' group with
+        # its three operations.
+        graph = mr_model.hw_graph()
+        fetcher = graph.groups.get("fetcher")
+        assert fetcher is not None
+        assert fetcher.critical
+        signatures = set(fetcher.model.subroutines)
+        assert any(
+            "FETCHER" in sig or "ATTEMPT" in sig for sig in signatures
+        )
+
+
+class TestStoreEdges:
+    def test_empty_store(self):
+        store = MessageStore()
+        assert len(store) == 0
+        assert store.group_by_identifier("X") == {}
+        assert store.value_series("bytes") == []
+        assert MessageStore.from_json(store.to_json()).all() == []
+
+    def test_filter_chaining(self):
+        store = MessageStore([
+            IntelMessage(key_id="K1", timestamp=1.0, session_id="a",
+                         message="m1",
+                         identifiers={"T": ["1"]}),
+            IntelMessage(key_id="K1", timestamp=2.0, session_id="b",
+                         message="m2",
+                         identifiers={"T": ["2"]}),
+            IntelMessage(key_id="K2", timestamp=3.0, session_id="a",
+                         message="m3"),
+        ])
+        result = store.with_key("K1").in_session("a")
+        assert len(result) == 1
+        assert result.all()[0].message == "m1"
+
+    def test_group_by_custom_key(self):
+        store = MessageStore([
+            IntelMessage(key_id=f"K{i}", timestamp=float(i),
+                         session_id="s", message=f"m{i}")
+            for i in range(4)
+        ])
+        groups = store.group_by(
+            lambda m: ("even" if int(m.timestamp) % 2 == 0 else "odd",)
+        )
+        assert len(groups["even"]) == 2
+        assert len(groups["odd"]) == 2
+
+    def test_multivalued_identifiers_fan_out(self):
+        store = MessageStore([
+            IntelMessage(key_id="K", timestamp=0.0, session_id="s",
+                         message="m",
+                         identifiers={"T": ["1", "2"]}),
+        ])
+        groups = store.group_by_identifier("T")
+        assert set(groups) == {"1", "2"}
+
+
+class TestWorkloadConfigs:
+    def test_five_configs_are_five(self):
+        from repro.simulators import WorkloadGenerator
+
+        for system in ("mapreduce", "spark", "tez"):
+            configs = WorkloadGenerator.five_configs(system)
+            assert len(configs) == 5
+            assert all(gb > 0 and mb >= 1024 for gb, mb in configs)
+
+    def test_cluster_colocated_lookup(self):
+        from repro.simulators import YarnCluster
+
+        cluster = YarnCluster(nodes=2, rng=0)
+        a = cluster.allocate("application_1_0001", "map",
+                             node=cluster.nodes[0])
+        b = cluster.allocate("application_1_0001", "map",
+                             node=cluster.nodes[0])
+        c = cluster.allocate("application_1_0001", "map",
+                             node=cluster.nodes[1])
+        colocated = cluster.containers_on(cluster.nodes[0])
+        assert {x.container_id for x in colocated} == {
+            a.container_id, b.container_id,
+        }
+        assert c not in colocated

@@ -1,0 +1,358 @@
+"""Tests for the simulated targeted systems."""
+
+import pytest
+
+from repro.parsing.records import split_sessions
+from repro.simulators import (
+    FaultSpec,
+    MapReduceConfig,
+    MapReduceSimulator,
+    SparkConfig,
+    SparkSimulator,
+    TezConfig,
+    TezSimulator,
+    WorkloadGenerator,
+    YarnCluster,
+    generate_nova_records,
+    generate_yarn_records,
+    mapreduce_catalog,
+    sessions_of,
+    spark_catalog,
+    tez_catalog,
+)
+from repro.simulators.events import Simulation
+from repro.simulators.groundtruth import Role, Template
+
+
+class TestTemplates:
+    def test_catalogs_have_distinct_ids(self):
+        for catalog in (mapreduce_catalog(), spark_catalog(),
+                        tez_catalog()):
+            ids = [t.template_id for t in catalog.all()]
+            assert len(ids) == len(set(ids))
+
+    def test_placeholder_roles_enforced(self):
+        with pytest.raises(ValueError):
+            Template("t.bad", "value is {x}")
+
+    def test_render_records_field_roles(self):
+        template = Template(
+            "t.ok", "task {tid} read {n} bytes",
+            roles={"tid": Role.IDENTIFIER, "n": Role.VALUE},
+        )
+        message, truth = template.render(tid="task_01", n=17)
+        assert message == "task task_01 read 17 bytes"
+        assert truth.fields == {"task_01": "identifier", "17": "value"}
+
+    def test_missing_value_raises(self):
+        template = Template(
+            "t.miss", "task {tid}", roles={"tid": Role.IDENTIFIER}
+        )
+        with pytest.raises(KeyError):
+            template.render()
+
+    def test_paper_figure1_templates_present(self):
+        catalog = mapreduce_catalog()
+        assert "mr.fetch.shuffle" in catalog
+        assert "mr.fetch.read" in catalog
+        assert "mr.fetch.freed" in catalog
+
+    def test_paper_vague_tez_keys_present(self):
+        catalog = tez_catalog()
+        close_done = catalog.get("tz.op.close.done")
+        assert "Close done" in close_done.text
+
+    def test_role_counts(self):
+        counts = mapreduce_catalog().role_counts()
+        assert counts[Role.IDENTIFIER] > 10
+        assert counts[Role.VALUE] > 10
+        assert counts[Role.LOCALITY] > 3
+
+
+class TestEventEngine:
+    def test_ordering(self):
+        sim = Simulation(rng=0)
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_fifo_at_same_time(self):
+        sim = Simulation(rng=0)
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_jitter_positive(self):
+        sim = Simulation(rng=0)
+        for _ in range(100):
+            assert sim.jitter(0.5) > 0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation(rng=0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulation(rng=0)
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(10.0, lambda: hits.append(2))
+        sim.run(until=5.0)
+        assert hits == [1]
+
+
+class TestCluster:
+    def test_container_ids_unique(self):
+        cluster = YarnCluster(nodes=4, rng=1)
+        ids = {
+            cluster.allocate("application_1_0001", "map").container_id
+            for _ in range(10)
+        }
+        assert len(ids) == 10
+
+    def test_sessions_sorted(self):
+        cluster = YarnCluster(nodes=4, rng=1)
+        container = cluster.allocate("application_1_0001", "map")
+        from repro.parsing.records import LogRecord
+
+        container.session.append(
+            LogRecord(timestamp=2.0, level="INFO", source="X", message="b")
+        )
+        container.session.append(
+            LogRecord(timestamp=1.0, level="INFO", source="X", message="a")
+        )
+        sessions = cluster.sessions()
+        assert sessions[0].records[0].message == "a"
+
+
+class TestMapReduceSimulator:
+    def test_session_count_scales_with_input(self):
+        sim = MapReduceSimulator(seed=1)
+        small = sim.run_job("wordcount", MapReduceConfig(input_gb=1.0))
+        large = sim.run_job("wordcount", MapReduceConfig(input_gb=8.0))
+        assert len(large.sessions) > len(small.sessions)
+
+    def test_sessions_are_per_container(self):
+        sim = MapReduceSimulator(seed=1)
+        job = sim.run_job("wordcount", MapReduceConfig(input_gb=2.0))
+        ids = [s.session_id for s in job.sessions]
+        assert len(ids) == len(set(ids))
+
+    def test_ground_truth_attached(self):
+        sim = MapReduceSimulator(seed=1)
+        job = sim.run_job("wordcount", MapReduceConfig(input_gb=1.0))
+        assert all(
+            r.truth is not None for s in job.sessions for r in s.records
+        )
+
+    def test_clean_run_has_no_anomalous_templates(self):
+        sim = MapReduceSimulator(seed=1)
+        job = sim.run_job("wordcount", MapReduceConfig(input_gb=2.0))
+        assert not any(
+            r.truth.anomalous for s in job.sessions for r in s.records
+        )
+
+    def test_low_memory_triggers_spills(self):
+        sim = MapReduceSimulator(seed=1)
+        job = sim.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=4.0, io_sort_mb=16,
+                            reduce_memory_mb=512),
+        )
+        spill_msgs = [
+            r
+            for s in job.sessions
+            for r in s.records
+            if r.truth.template_id in ("mr.map.spill.pressure",
+                                       "mr.reduce.spill.disk")
+        ]
+        assert spill_msgs
+
+    def test_interleaved_fetcher_orders_vary(self):
+        # §2.2: parallel executions cause interchangeable orders.
+        sim = MapReduceSimulator(seed=1)
+        orders = set()
+        for i in range(4):
+            job = sim.run_job(
+                "wordcount", MapReduceConfig(input_gb=2.0),
+                base_time=i * 1e4,
+            )
+            reduce_sessions = [
+                s for s in job.sessions if s.role == "reduce"
+            ]
+            for session in reduce_sessions:
+                fetch_order = tuple(
+                    r.truth.fields and r.message.split()[-1]
+                    for r in session.records
+                    if r.truth.template_id == "mr.fetch.shuffle"
+                )
+                orders.add(fetch_order)
+        assert len(orders) > 1
+
+
+class TestFaultInjection:
+    def test_sigkill_truncates_victim(self):
+        sim = MapReduceSimulator(seed=3)
+        job = sim.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=4.0),
+            fault=FaultSpec("sigkill", at_fraction=0.2),
+        )
+        assert job.fault == "sigkill"
+        assert job.affected_sessions
+
+    def test_network_failure_emits_retries(self):
+        sim = MapReduceSimulator(seed=3)
+        job = sim.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=4.0),
+            fault=FaultSpec("network"),
+        )
+        anomalous = [
+            r.truth.template_id
+            for s in job.sessions
+            for r in s.records
+            if r.truth.anomalous
+        ]
+        assert "mr.fetch.failed" in anomalous or (
+            "mr.fetch.retry" in anomalous
+        )
+
+    def test_node_failure_kills_colocated(self):
+        sim = MapReduceSimulator(seed=3)
+        job = sim.run_job(
+            "wordcount",
+            MapReduceConfig(input_gb=6.0),
+            fault=FaultSpec("node_failure", at_fraction=0.3),
+        )
+        assert job.fault == "node_failure"
+
+    def test_invalid_fault_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            FaultSpec("sigkill", at_fraction=1.5)
+
+
+class TestSparkSimulator:
+    def test_driver_plus_executor_sessions(self):
+        sim = SparkSimulator(seed=2)
+        job = sim.run_job("wordcount", SparkConfig(executors=3))
+        roles = [s.role for s in job.sessions]
+        assert roles.count("driver") == 1
+        assert roles.count("executor") == 3
+
+    def test_idle_executor_bug(self):
+        # Case study 3 (SPARK-19731): executors without tasks.
+        sim = SparkSimulator(seed=2)
+        job = sim.run_job(
+            "wordcount",
+            SparkConfig(input_gb=1.0, executors=8),
+            idle_executor_bug=True,
+        )
+        task_counts = []
+        for session in job.sessions:
+            if session.role != "executor":
+                continue
+            tasks = [
+                r for r in session.records
+                if r.truth.template_id == "sp.task.running"
+            ]
+            task_counts.append(len(tasks))
+        assert any(count == 0 for count in task_counts)
+
+    def test_memory_pressure_spills(self):
+        sim = SparkSimulator(seed=2)
+        job = sim.run_job(
+            "kmeans",
+            SparkConfig(input_gb=8.0, executor_memory_mb=512,
+                        executor_cores=4),
+        )
+        spills = [
+            r for s in job.sessions for r in s.records
+            if r.truth.template_id.startswith("sp.spill")
+        ]
+        assert spills
+
+
+class TestTezSimulator:
+    def test_query_profile_drives_vertices(self):
+        sim = TezSimulator(seed=2)
+        q6 = sim.run_job("q6", TezConfig(input_gb=2.0))
+        q8 = sim.run_job("q8", TezConfig(input_gb=2.0))
+        assert q8.config["vertices"] > q6.config["vertices"]
+
+    def test_spill_under_low_memory(self):
+        sim = TezSimulator(seed=2)
+        job = sim.run_job("q8", TezConfig(task_memory_mb=256))
+        spills = [
+            r for s in job.sessions for r in s.records
+            if r.truth.template_id == "tz.task.spill"
+        ]
+        assert spills
+
+    def test_vague_operator_keys_emitted(self):
+        sim = TezSimulator(seed=2)
+        job = sim.run_job("q1", TezConfig(input_gb=1.0))
+        ids = {
+            r.truth.template_id
+            for s in job.sessions for r in s.records
+        }
+        assert "tz.op.close.done" in ids
+        assert "tz.op.finished.closing" in ids
+
+
+class TestWorkloadGenerator:
+    def test_batch_runs(self):
+        gen = WorkloadGenerator(seed=1)
+        jobs = gen.run_batch("mapreduce", 3)
+        assert len(jobs) == 3
+        assert all(j.system == "mapreduce" for j in jobs)
+
+    def test_detection_campaign_shape(self):
+        gen = WorkloadGenerator(seed=1)
+        campaign = gen.detection_campaign("mapreduce")
+        # §6.4: 5 configs x (3 injected + 3 clean) = 30 jobs, 15 faulty.
+        assert len(campaign) == 30
+        assert sum(1 for _, faulty in campaign if faulty) == 15
+
+    def test_unknown_system_rejected(self):
+        gen = WorkloadGenerator(seed=1)
+        with pytest.raises(ValueError):
+            gen.random_spec("flink")
+
+    def test_sessions_of_flattens(self):
+        gen = WorkloadGenerator(seed=1)
+        jobs = gen.run_batch("tez", 2)
+        sessions = sessions_of(jobs)
+        assert len(sessions) == sum(len(j.sessions) for j in jobs)
+
+
+class TestInfraGenerators:
+    def test_yarn_stream_mostly_nl(self):
+        records = generate_yarn_records(n_apps=10, seed=1)
+        assert records
+        kv = [r for r in records
+              if r.truth.template_id == "yn.nm.heartbeat.kv"]
+        nl = [r for r in records
+              if r.truth.template_id != "yn.nm.heartbeat.kv"]
+        assert len(nl) > len(kv) * 5
+
+    def test_nova_requests_fixed_short_sessions(self):
+        # §2.2: OpenStack requests generate short fixed-length sequences.
+        records = generate_nova_records(n_requests=20, seed=1)
+        sessions = split_sessions(records)
+        lengths = {len(s) for s in sessions}
+        assert max(lengths) <= 5
+
+    def test_nova_audit_excluded_by_default(self):
+        records = generate_nova_records(n_requests=10, seed=1)
+        assert not any(
+            r.truth.template_id == "nv.audit.kv" for r in records
+        )

@@ -1,0 +1,181 @@
+"""Tests for the Spell log-key extractor."""
+
+import pytest
+
+from repro.parsing.spell import (
+    STAR,
+    SpellParser,
+    extract_parameters,
+    lcs_length,
+    lcs_merge,
+    mask_message,
+)
+
+
+class TestLcs:
+    def test_identical(self):
+        assert lcs_length(["a", "b", "c"], ["a", "b", "c"]) == 3
+
+    def test_disjoint(self):
+        assert lcs_length(["a", "b"], ["c", "d"]) == 0
+
+    def test_subsequence(self):
+        assert lcs_length(["a", "x", "b", "y"], ["a", "b"]) == 2
+
+    def test_empty(self):
+        assert lcs_length([], ["a"]) == 0
+
+    def test_order_matters(self):
+        assert lcs_length(["a", "b"], ["b", "a"]) == 1
+
+
+class TestLcsMerge:
+    def test_single_difference_becomes_star(self):
+        merged = lcs_merge(
+            ["read", "2264", "bytes"], ["read", "99", "bytes"]
+        )
+        assert merged == ["read", STAR, "bytes"]
+
+    def test_adjacent_gaps_collapse(self):
+        merged = lcs_merge(["a", "x", "y", "b"], ["a", "z", "b"])
+        assert merged == ["a", STAR, "b"]
+
+    def test_existing_star_preserved(self):
+        merged = lcs_merge(["read", STAR, "bytes"], ["read", "77", "bytes"])
+        assert merged == ["read", STAR, "bytes"]
+
+    def test_trailing_difference(self):
+        merged = lcs_merge(["state", "NEW"], ["state", "DONE"])
+        assert merged == ["state", STAR]
+
+
+class TestMasking:
+    def test_identifiers_masked(self):
+        masked, raw = mask_message("Task attempt_01 done")
+        assert masked == ["Task", STAR, "done"]
+        assert raw == ["Task", "attempt_01", "done"]
+
+    def test_numbers_masked(self):
+        masked, _ = mask_message("read 2264 bytes")
+        assert masked == ["read", STAR, "bytes"]
+
+    def test_localities_masked(self):
+        masked, _ = mask_message("host1:13562 freed")
+        assert masked[0] == STAR
+
+    def test_words_kept(self):
+        masked, _ = mask_message("Starting flush of map output")
+        assert STAR not in masked
+
+
+class TestParser:
+    def test_identical_messages_one_key(self):
+        parser = SpellParser()
+        parser.consume("Starting flush of map output")
+        parser.consume("Starting flush of map output")
+        assert len(parser) == 1
+        assert parser.keys()[0].count == 2
+
+    def test_variable_field_discovered(self):
+        parser = SpellParser()
+        parser.consume("Finished spill spill0")
+        parser.consume("Finished spill spill1")
+        keys = parser.keys()
+        assert len(keys) == 1
+        assert STAR in keys[0].tokens
+
+    def test_figure3_metrics_system_key(self):
+        # The paper's Figure 3 shows '* MapTask metrics system' as the
+        # abstraction of start/started messages.
+        parser = SpellParser()
+        parser.consume("Starting MapTask metrics system")
+        parser.consume("MapTask metrics system started")
+        keys = parser.keys()
+        assert len(keys) == 1
+        assert "MapTask" in keys[0].tokens
+
+    def test_different_templates_different_keys(self):
+        parser = SpellParser()
+        parser.consume("fetcher#1 about to shuffle output of map attempt_01")
+        parser.consume("Deleting staging directory /tmp/staging")
+        assert len(parser) == 2
+
+    def test_sample_is_first_message(self):
+        parser = SpellParser()
+        first = "Finished spill spill0"
+        parser.consume(first)
+        parser.consume("Finished spill spill1")
+        assert parser.keys()[0].sample == first
+
+    def test_match_does_not_mutate(self):
+        parser = SpellParser()
+        parser.consume("Finished spill spill0")
+        parser.consume("Finished spill spill1")
+        n_before = len(parser)
+        assert parser.match("Finished spill spill9") is not None
+        assert parser.match("completely unrelated gibberish here") is None
+        assert len(parser) == n_before
+
+    def test_match_extracts_parameters(self):
+        parser = SpellParser()
+        parser.consume("read 2264 bytes from map-output for attempt_01")
+        parser.consume("read 99 bytes from map-output for attempt_02")
+        result = parser.match(
+            "read 512 bytes from map-output for attempt_07"
+        )
+        assert result is not None
+        assert "512" in result.parameters
+        assert "attempt_07" in result.parameters
+
+    def test_job_transition_generalizes_across_jobs(self):
+        # Regression: one job's transitions must not freeze the job id
+        # into the template.
+        parser = SpellParser()
+        for job in ("job_001_0001", "job_002_0002"):
+            for state in ("NEW to INITED", "INITED to SETUP",
+                          "SETUP to RUNNING"):
+                parser.consume(f"job {job} Job Transitioned from {state}")
+        result = parser.match(
+            "job job_999_0099 Job Transitioned from NEW to INITED"
+        )
+        assert result is not None
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            SpellParser(tau=1.0)
+
+    def test_line_ids_recorded(self):
+        parser = SpellParser()
+        parser.consume("alpha beta gamma")
+        parser.consume("alpha beta gamma")
+        assert parser.keys()[0].line_ids == [1, 2]
+
+
+class TestExtractParameters:
+    def test_exact_constant_match(self):
+        assert extract_parameters(["a", "b"], ["a", "b"]) == []
+
+    def test_single_star(self):
+        params = extract_parameters(["a", STAR, "c"], ["a", "X", "c"])
+        assert params == ["X"]
+
+    def test_star_spans_multiple_tokens(self):
+        params = extract_parameters(["a", STAR, "c"], ["a", "X", "Y", "c"])
+        assert params == ["X Y"]
+
+    def test_trailing_star(self):
+        params = extract_parameters(["a", STAR], ["a", "X", "Y"])
+        assert params == ["X Y"]
+
+    def test_mismatch_returns_none(self):
+        assert extract_parameters(["a", "b"], ["a", "c"]) is None
+
+    def test_missing_anchor_returns_none(self):
+        assert extract_parameters(["a", STAR, "c"], ["a", "X"]) is None
+
+    def test_extra_trailing_tokens_rejected(self):
+        assert extract_parameters(["a", "b"], ["a", "b", "c"]) is None
+
+    def test_empty_star_capture(self):
+        params = extract_parameters(["a", STAR, "c"], ["a", "c"])
+        assert params == [""]

@@ -1,0 +1,114 @@
+"""Tests for the §9 future-work extension: distributed TensorFlow.
+
+The paper closes with "we plan to extend IntelLog to distributed machine
+learning systems (e.g., TensorFlow)"; this module verifies that the same
+untouched pipeline — Spell, Intel Keys, HW-graph, detection — works on
+parameter-server-style training logs.
+"""
+
+import pytest
+
+from repro import IntelLog
+from repro.detection.report import AnomalyKind
+from repro.simulators import (
+    FaultSpec,
+    TensorFlowConfig,
+    TensorFlowSimulator,
+    sessions_of,
+)
+
+
+@pytest.fixture(scope="module")
+def tf_model():
+    simulator = TensorFlowSimulator(seed=17)
+    jobs = [
+        simulator.run_job(
+            "mnist",
+            TensorFlowConfig(steps=10 + 10 * (i % 3)),
+            base_time=i * 10_000.0,
+        )
+        for i in range(6)
+    ]
+    intellog = IntelLog()
+    intellog.train(sessions_of(jobs))
+    return intellog, simulator
+
+
+class TestTraining:
+    def test_step_loop_learned_as_subroutine(self, tf_model):
+        intellog, _ = tf_model
+        graph = intellog.hw_graph()
+        step_group = graph.groups.get("step")
+        assert step_group is not None
+        # The per-step key repeats many times per session -> critical.
+        assert step_group.critical
+
+    def test_variable_session_lengths(self, tf_model):
+        # Step count drives session length, the §2.2 analytics property.
+        _, simulator = tf_model
+        short = simulator.run_job(
+            "mnist", TensorFlowConfig(steps=5), base_time=8e5
+        )
+        long = simulator.run_job(
+            "mnist", TensorFlowConfig(steps=60), base_time=9e5
+        )
+        shortest = min(len(s) for s in short.sessions)
+        longest = max(len(s) for s in long.sessions)
+        assert longest > shortest * 3
+
+    def test_loss_values_extracted(self, tf_model):
+        intellog, simulator = tf_model
+        job = simulator.run_job(
+            "mnist", TensorFlowConfig(steps=8), base_time=10e5
+        )
+        messages = intellog.intel_messages(job.sessions)
+        losses = [
+            value
+            for message in messages
+            for value in message.values.get("loss", ())
+        ]
+        assert losses
+        assert all(0.0 < loss < 4.0 for loss in losses)
+
+
+class TestDetection:
+    def test_clean_training_job_passes(self, tf_model):
+        intellog, simulator = tf_model
+        job = simulator.run_job(
+            "mnist", TensorFlowConfig(steps=25), base_time=11e5
+        )
+        report = intellog.detect_job(job.sessions, job.app_id)
+        assert not report.anomalous
+
+    def test_network_fault_detected(self, tf_model):
+        intellog, simulator = tf_model
+        job = simulator.run_job(
+            "mnist",
+            TensorFlowConfig(steps=20),
+            fault=FaultSpec("network", at_fraction=0.5),
+            base_time=12e5,
+        )
+        report = intellog.detect_job(job.sessions, job.app_id)
+        assert report.anomalous
+        unexpected = [
+            anomaly
+            for session in report.sessions
+            for anomaly in session.by_kind(
+                AnomalyKind.UNEXPECTED_MESSAGE
+            )
+        ]
+        assert any(
+            "Lost connection" in (a.message or "") for a in unexpected
+        )
+
+    def test_killed_worker_detected(self, tf_model):
+        intellog, simulator = tf_model
+        job = simulator.run_job(
+            "mnist",
+            TensorFlowConfig(steps=30),
+            fault=FaultSpec("sigkill", at_fraction=0.3),
+            base_time=13e5,
+        )
+        report = intellog.detect_job(job.sessions, job.app_id)
+        # The truncated worker misses its session-close critical key.
+        assert report.anomalous
