@@ -1,0 +1,36 @@
+"""Static analysis: HW-graph artifact validation + codebase lint.
+
+Two halves (both report :class:`Diagnostic` records with stable codes):
+
+* :mod:`repro.analysis.validate` — structural checks over trained
+  ``HWGraph`` / ``IntelKey`` / subroutine artifacts (``HW001``-``HW006``,
+  ``IK001``, ``SR001``, ``RT001``), in memory and over the ``to_dict()``
+  / :class:`~repro.query.store.ModelStore` serialization;
+* :mod:`repro.analysis.astlint` — AST lint of the codebase itself for
+  the determinism contract and Python hygiene (``DET001``, ``DET002``,
+  ``PY001``, ``PY002``).
+
+CLI: ``repro lint-model`` / ``repro lint-code``.
+"""
+
+from .astlint import Linter, lint_paths, lint_source
+from .diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+)
+from .validate import validate_graph, validate_model_dict, validate_round_trip
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Linter",
+    "Severity",
+    "lint_paths",
+    "lint_source",
+    "validate_graph",
+    "validate_model_dict",
+    "validate_round_trip",
+]

@@ -1,0 +1,377 @@
+"""AST-based determinism and hygiene lint for the codebase itself.
+
+The simulators' determinism contract — every random draw flows through a
+seeded ``np.random.Generator``, no wall-clock time in library code — was
+enforced only by convention.  This module makes it mechanical: a small
+AST-walker framework with repo-specific rules, runnable as
+``repro lint-code [paths...]``, via ``tools/run_astlint.py``, and as a
+pytest-collected check (``tests/test_astlint.py``) so it rides tier-1.
+
+Rules (codes registered in :mod:`repro.analysis.diagnostics`):
+
+* ``DET001`` — unseeded ``np.random.default_rng()`` call, or any use of
+  the stdlib ``random`` module;
+* ``DET002`` — wall-clock time sources: ``time.time()``,
+  ``time.time_ns()``, ``datetime.now()``, ``datetime.utcnow()``,
+  ``datetime.today()``, ``date.today()``;
+* ``PY001`` — mutable default argument (list/dict/set literal or
+  constructor call);
+* ``PY002`` — bare ``except:``, or ``except Exception:`` whose body is
+  only ``pass`` (error swallowing).
+
+A finding on a line carrying ``# noqa: CODE`` is suppressed (used e.g. in
+lint fixtures' self-documentation, never needed in ``src/repro`` today).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .diagnostics import Diagnostic, DiagnosticReport
+
+__all__ = ["LintRule", "Linter", "lint_source", "lint_paths", "main"]
+
+#: Wall-clock call suffixes flagged by DET002: dotted-name endings.
+_WALL_CLOCK_SUFFIXES = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+)
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """Per-module facts gathered in a pre-pass over the tree."""
+
+    path: str
+    source_lines: list[str]
+    #: Local names bound to the stdlib ``random`` module.
+    random_aliases: set[str] = field(default_factory=set)
+    #: Local names bound to ``numpy.random.default_rng``.
+    default_rng_aliases: set[str] = field(default_factory=set)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        if 1 <= line <= len(self.source_lines):
+            text = self.source_lines[line - 1]
+            if "# noqa" in text:
+                tail = text.split("# noqa", 1)[1]
+                return not tail.strip(": ") or code in tail
+        return False
+
+
+class LintRule:
+    """One lint rule: a code plus per-node checks.
+
+    Subclasses set :attr:`code` and override :meth:`check`; the linter
+    calls :meth:`check` for every node whose type is in
+    :attr:`node_types`.
+    """
+
+    code: str = ""
+    #: AST node classes this rule wants to see (dispatch filter).
+    node_types: tuple[type, ...] = ()
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self, message: str, node: ast.AST, ctx: ModuleContext
+    ) -> Diagnostic:
+        line = getattr(node, "lineno", 0)
+        return Diagnostic.make(
+            self.code, message,
+            subject=ctx.path,
+            location=f"{ctx.path}:{line}",
+        )
+
+
+def _dotted_suffix(func: ast.AST) -> tuple[str, ...]:
+    """Trailing dotted names of a call target, e.g. ``a.b.c`` -> (a,b,c)."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+class UnseededRandomRule(LintRule):
+    """DET001: unseeded ``default_rng()`` / stdlib ``random`` use."""
+
+    code = "DET001"
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                names = ", ".join(a.name for a in node.names)
+                yield self.diagnostic(
+                    f"import of stdlib random primitives ({names}); use a "
+                    f"seeded np.random.Generator instead",
+                    node, ctx,
+                )
+            return
+        assert isinstance(node, ast.Call)
+        dotted = _dotted_suffix(node.func)
+        if not dotted:
+            return
+        # Unseeded np.random.default_rng() (any alias of numpy).
+        is_default_rng = (
+            (len(dotted) == 1 and dotted[0] in ctx.default_rng_aliases)
+            or (len(dotted) > 1 and dotted[-1] == "default_rng"
+                and (dotted[0] in ("np", "numpy")
+                     or dotted[-2] == "random"))
+        )
+        if is_default_rng:
+            if not node.args and not node.keywords:
+                yield self.diagnostic(
+                    "np.random.default_rng() called without a seed "
+                    "(non-deterministic generator)",
+                    node, ctx,
+                )
+            return
+        # Any call through the stdlib random module (random.random(), ...).
+        if len(dotted) >= 2 and dotted[0] in ctx.random_aliases:
+            yield self.diagnostic(
+                f"call through stdlib random module "
+                f"('{'.'.join(dotted)}'); use a seeded "
+                f"np.random.Generator instead",
+                node, ctx,
+            )
+
+
+class WallClockRule(LintRule):
+    """DET002: wall-clock time sources in library code."""
+
+    code = "DET002"
+    node_types = (ast.Call,)
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Diagnostic]:
+        assert isinstance(node, ast.Call)
+        dotted = _dotted_suffix(node.func)
+        if len(dotted) < 2:
+            return
+        for suffix in _WALL_CLOCK_SUFFIXES:
+            if dotted[-2:] == suffix:
+                yield self.diagnostic(
+                    f"wall-clock call '{'.'.join(dotted)}' — timestamps "
+                    f"must come from the simulated event clock or the "
+                    f"input records",
+                    node, ctx,
+                )
+                return
+
+
+class MutableDefaultRule(LintRule):
+    """PY001: mutable default arguments."""
+
+    code = "PY001"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _mutable_calls = {"list", "dict", "set", "defaultdict", "OrderedDict"}
+
+    def _is_mutable(self, default: ast.AST) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(default, ast.Call):
+            dotted = _dotted_suffix(default.func)
+            return bool(dotted) and dotted[-1] in self._mutable_calls
+        return False
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Diagnostic]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults):],
+            args.defaults,
+        ):
+            if self._is_mutable(default):
+                yield self.diagnostic(
+                    f"mutable default for argument '{arg.arg}' of "
+                    f"'{node.name}' is shared across calls",
+                    default, ctx,
+                )
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None and self._is_mutable(kw_default):
+                yield self.diagnostic(
+                    f"mutable default for argument '{arg.arg}' of "
+                    f"'{node.name}' is shared across calls",
+                    kw_default, ctx,
+                )
+
+
+class SwallowedExceptionRule(LintRule):
+    """PY002: bare except / ``except Exception: pass``."""
+
+    code = "PY002"
+    node_types = (ast.ExceptHandler,)
+
+    def _broad(self, expr: ast.AST | None) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in ("Exception", "BaseException")
+        if isinstance(expr, ast.Tuple):
+            return any(self._broad(el) for el in expr.elts)
+        return False
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Diagnostic]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield self.diagnostic(
+                "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                "name the exception type",
+                node, ctx,
+            )
+            return
+        body_is_pass = all(
+            isinstance(stmt, ast.Pass) for stmt in node.body
+        )
+        if body_is_pass and self._broad(node.type):
+            yield self.diagnostic(
+                "'except Exception: pass' silently swallows errors; "
+                "narrow the type or handle/log the failure",
+                node, ctx,
+            )
+
+
+DEFAULT_RULES: tuple[type[LintRule], ...] = (
+    UnseededRandomRule,
+    WallClockRule,
+    MutableDefaultRule,
+    SwallowedExceptionRule,
+)
+
+
+class Linter:
+    """Walks Python sources once, dispatching nodes to registered rules."""
+
+    def __init__(
+        self, rules: Sequence[type[LintRule]] = DEFAULT_RULES
+    ) -> None:
+        self.rules: list[LintRule] = [rule() for rule in rules]
+
+    # -- context pre-pass ---------------------------------------------------
+
+    @staticmethod
+    def _gather_context(tree: ast.Module, ctx: ModuleContext) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        ctx.random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        if alias.name == "default_rng":
+                            ctx.default_rng_aliases.add(
+                                alias.asname or alias.name
+                            )
+
+    # -- linting ------------------------------------------------------------
+
+    def lint_tree(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> list[Diagnostic]:
+        self._gather_context(tree, ctx)
+        findings: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            for rule in self.rules:
+                if not isinstance(node, rule.node_types):
+                    continue
+                for diag in rule.check(node, ctx):
+                    line = getattr(node, "lineno", 0)
+                    if not ctx.suppressed(line, rule.code):
+                        findings.append(diag)
+        findings.sort(key=lambda d: (d.location, d.code))
+        return findings
+
+    def lint_source(self, source: str, path: str) -> list[Diagnostic]:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Diagnostic.make(
+                "PY002",
+                f"file does not parse: {exc.msg}",
+                subject=path,
+                location=f"{path}:{exc.lineno or 0}",
+            )]
+        ctx = ModuleContext(path=path, source_lines=source.splitlines())
+        return self.lint_tree(tree, ctx)
+
+    def lint_file(self, path: Path) -> list[Diagnostic]:
+        return self.lint_source(
+            path.read_text(encoding="utf-8"), str(path)
+        )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, sorted, deduplicated."""
+    seen: set[Path] = set()
+    for entry in paths:
+        root = Path(entry)
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {entry!r}")
+        candidates = (
+            sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        )
+        for candidate in candidates:
+            if candidate.suffix == ".py" and candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_source(source: str, path: str = "<string>") -> DiagnosticReport:
+    report = DiagnosticReport()
+    report.extend(Linter().lint_source(source, path))
+    return report
+
+
+def lint_paths(paths: Iterable[str | Path]) -> DiagnosticReport:
+    """Lint every ``.py`` file under ``paths`` with the default rules."""
+    linter = Linter()
+    report = DiagnosticReport()
+    for path in iter_python_files(paths):
+        report.extend(linter.lint_file(path))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``tools/run_astlint.py`` delegates here)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="astlint",
+        description="Determinism & hygiene lint for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    if report:
+        print(report.render())
+    print(report.summary())
+    return 1 if report else 0

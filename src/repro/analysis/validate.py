@@ -1,0 +1,416 @@
+"""Static validation of trained HW-graph artifacts.
+
+Detection quality (paper §6) rests on the structural soundness of the
+trained model: a dangling group reference, a cyclic BEFORE relation or an
+ill-formed subroutine signature silently corrupts anomaly reports.  This
+module checks those invariants *statically* — over the in-memory
+:class:`~repro.graph.hwgraph.HWGraph` and over its ``to_dict()`` /
+:class:`~repro.query.store.ModelStore` serialization — and reports
+findings as :class:`~repro.analysis.diagnostics.Diagnostic` records with
+stable codes (``HW001`` ... ``SR001``; see
+:data:`~repro.analysis.diagnostics.DIAGNOSTIC_CODES`).
+
+Entry points:
+
+* :func:`validate_graph` — invariants of an in-memory graph;
+* :func:`validate_model_dict` — the same invariants over a serialized
+  model dict (as produced by ``HWGraph.to_dict`` or stored by
+  ``ModelStore``), by reconstructing the graph;
+* :func:`validate_round_trip` — ``to_dict -> from_dict -> to_dict``
+  fidelity (``RT001``) plus the structural checks on the reloaded graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..extraction.intelkey import IntelKey
+from ..graph.hwgraph import HWGraph
+from ..graph.lifespan import PARENT
+from .diagnostics import DiagnosticReport
+
+__all__ = [
+    "validate_graph",
+    "validate_model_dict",
+    "validate_round_trip",
+]
+
+
+def validate_graph(graph: HWGraph) -> DiagnosticReport:
+    """Run every structural check over an in-memory HW-graph."""
+    report = DiagnosticReport()
+    _check_dangling(graph, report)
+    _check_before_cycles(graph, report)
+    _check_parent_forest(graph, report)
+    _check_lifespan_containment(graph, report)
+    _check_subroutine_keys(graph, report)
+    _check_reachability(graph, report)
+    _check_intel_keys(graph.intel_keys, report)
+    _check_signatures(graph, report)
+    return report
+
+
+def validate_model_dict(data: Mapping[str, Any]) -> DiagnosticReport:
+    """Validate a serialized model dict (``HWGraph.to_dict()`` shape).
+
+    Malformed payloads that cannot even be reconstructed yield a single
+    ``RT001`` diagnostic instead of raising.
+    """
+    report = DiagnosticReport()
+    try:
+        graph = HWGraph.from_dict(dict(data))
+    except Exception as exc:
+        report.add(
+            "RT001",
+            f"model dict cannot be reconstructed: {exc!r}",
+            location="from_dict",
+        )
+        return report
+    report.extend(validate_graph(graph))
+    return report
+
+
+def validate_round_trip(graph: HWGraph) -> DiagnosticReport:
+    """Check ``to_dict -> from_dict -> to_dict`` fidelity (``RT001``).
+
+    Also runs the full structural validation on the reloaded graph, so a
+    round trip that *loses* an edge surfaces both as ``RT001`` and as the
+    structural code the loss causes.
+    """
+    report = DiagnosticReport()
+    first = graph.to_dict()
+    try:
+        reloaded = HWGraph.from_dict(first)
+    except Exception as exc:
+        report.add(
+            "RT001",
+            f"from_dict failed on to_dict output: {exc!r}",
+            location="from_dict",
+        )
+        return report
+    second = reloaded.to_dict()
+    for path in _dict_diff_paths(first, second):
+        report.add(
+            "RT001",
+            f"round-trip mismatch at {path}",
+            subject=path,
+            location="to_dict/from_dict",
+        )
+    report.extend(validate_graph(reloaded))
+    return report
+
+
+# -- individual checks ---------------------------------------------------------
+
+
+def _check_dangling(graph: HWGraph, report: DiagnosticReport) -> None:
+    """HW001: every reference between artifacts must resolve."""
+    groups = graph.groups
+    for label, node in groups.items():
+        loc = f"group '{label}'"
+        if node.parent is not None and node.parent not in groups:
+            report.add(
+                "HW001",
+                f"parent '{node.parent}' of group '{label}' does not exist",
+                subject=label, location=loc,
+            )
+        for child in node.children:
+            if child not in groups:
+                report.add(
+                    "HW001",
+                    f"child '{child}' of group '{label}' does not exist",
+                    subject=label, location=loc,
+                )
+        for later in node.before:
+            if later not in groups:
+                report.add(
+                    "HW001",
+                    f"BEFORE edge of group '{label}' targets missing "
+                    f"group '{later}'",
+                    subject=label, location=loc,
+                )
+        for key_id in node.key_ids:
+            if key_id not in graph.intel_keys:
+                report.add(
+                    "HW001",
+                    f"group '{label}' references unknown Intel Key "
+                    f"'{key_id}'",
+                    subject=key_id, location=loc,
+                )
+    for key_id, labels in graph.key_groups.items():
+        for label in labels:
+            if label not in groups:
+                report.add(
+                    "HW001",
+                    f"key_groups maps '{key_id}' to missing group "
+                    f"'{label}'",
+                    subject=key_id, location="key_groups",
+                )
+
+
+def _check_before_cycles(graph: HWGraph, report: DiagnosticReport) -> None:
+    """HW002: the sibling BEFORE relation must be acyclic."""
+    edges = {
+        label: sorted(t for t in node.before if t in graph.groups)
+        for label, node in graph.groups.items()
+    }
+    # Iterative DFS with colouring; report each cycle once via its
+    # lexicographically-smallest member.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {label: WHITE for label in edges}
+    reported: set[frozenset[str]] = set()
+
+    def visit(start: str) -> None:
+        stack: list[tuple[str, int]] = [(start, 0)]
+        path = [start]
+        colour[start] = GREY
+        while stack:
+            label, idx = stack[-1]
+            targets = edges[label]
+            if idx < len(targets):
+                stack[-1] = (label, idx + 1)
+                target = targets[idx]
+                if colour[target] == GREY:
+                    cycle = path[path.index(target):] + [target]
+                    members = frozenset(cycle)
+                    if members not in reported:
+                        reported.add(members)
+                        report.add(
+                            "HW002",
+                            "BEFORE cycle: " + " -> ".join(cycle),
+                            subject=min(members),
+                            location="BEFORE relation",
+                        )
+                elif colour[target] == WHITE:
+                    colour[target] = GREY
+                    stack.append((target, 0))
+                    path.append(target)
+            else:
+                colour[label] = BLACK
+                stack.pop()
+                path.pop()
+
+    for label in sorted(edges):
+        if colour[label] == WHITE:
+            visit(label)
+
+
+def _check_parent_forest(graph: HWGraph, report: DiagnosticReport) -> None:
+    """HW003: the PARENT relation must form a forest."""
+    groups = graph.groups
+    for label, node in groups.items():
+        seen: set[str] = set()
+        for child in node.children:
+            if child in seen:
+                report.add(
+                    "HW003",
+                    f"group '{label}' lists child '{child}' twice",
+                    subject=label, location=f"group '{label}'",
+                )
+            seen.add(child)
+            child_node = groups.get(child)
+            if child_node is not None and child_node.parent != label:
+                report.add(
+                    "HW003",
+                    f"group '{label}' lists '{child}' as child but "
+                    f"'{child}'.parent is {child_node.parent!r}",
+                    subject=child, location=f"group '{label}'",
+                )
+        if node.parent is not None:
+            parent_node = groups.get(node.parent)
+            if (parent_node is not None
+                    and label not in parent_node.children):
+                report.add(
+                    "HW003",
+                    f"group '{label}' points at parent '{node.parent}' "
+                    f"which does not list it as a child",
+                    subject=label, location=f"group '{label}'",
+                )
+    # Parent-pointer cycles (a forest has none).
+    for label in sorted(groups):
+        slow = groups[label].parent
+        hops = 0
+        while slow is not None and slow in groups:
+            hops += 1
+            if slow == label:
+                report.add(
+                    "HW003",
+                    f"parent-pointer cycle through group '{label}'",
+                    subject=label, location=f"group '{label}'",
+                )
+                break
+            if hops > len(groups):
+                break
+            slow = groups[slow].parent
+
+
+def _check_lifespan_containment(
+    graph: HWGraph, report: DiagnosticReport
+) -> None:
+    """HW004: each PARENT edge must be backed by the relation matrix.
+
+    Only applicable when lifespan observations are present (a freshly
+    reconstructed graph without a relation matrix is skipped).
+    """
+    if not graph.relations.groups:
+        return
+    for label, node in graph.groups.items():
+        if node.parent is None or node.parent not in graph.groups:
+            continue
+        relation = graph.relations.relation(node.parent, label)
+        if relation != PARENT:
+            report.add(
+                "HW004",
+                f"group '{label}' is parented under '{node.parent}' but "
+                f"observed lifespans say {relation}, not PARENT "
+                f"(child not contained in parent)",
+                subject=label, location=f"group '{label}'",
+            )
+
+
+def _check_subroutine_keys(
+    graph: HWGraph, report: DiagnosticReport
+) -> None:
+    """HW005: subroutines may only reference keys of their own group."""
+    for label, node in graph.groups.items():
+        for signature, sub in node.model.subroutines.items():
+            sig_text = "|".join(signature) or "NONE"
+            for key_id in sub.keys:
+                if key_id not in node.key_ids:
+                    report.add(
+                        "HW005",
+                        f"subroutine {sig_text} of group '{label}' "
+                        f"references key '{key_id}' absent from the group",
+                        subject=key_id,
+                        location=f"group '{label}' subroutine {sig_text}",
+                    )
+
+
+def _check_reachability(graph: HWGraph, report: DiagnosticReport) -> None:
+    """HW006: critical keys must live in groups reachable from a root."""
+    reachable: set[str] = set()
+    stack = [label for label in graph.roots]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(
+            child for child in graph.groups[label].children
+            if child in graph.groups
+        )
+    for label in sorted(graph.groups):
+        node = graph.groups[label]
+        if label in reachable or not node.critical:
+            continue
+        keys = ", ".join(sorted(node.key_ids)) or "<none>"
+        report.add(
+            "HW006",
+            f"critical group '{label}' (keys {keys}) is unreachable "
+            f"from any root",
+            subject=label, location=f"group '{label}'",
+        )
+
+
+def _check_intel_keys(
+    intel_keys: Mapping[str, IntelKey], report: DiagnosticReport
+) -> None:
+    """IK001: field specs must map one role onto one existing star slot."""
+    for key_id, key in sorted(intel_keys.items()):
+        loc = f"intel key '{key_id}'"
+        slots = key.template.count("*")
+        seen_positions: set[int] = set()
+        for spec in key.fields:
+            if spec.position < 0 or spec.position >= slots:
+                report.add(
+                    "IK001",
+                    f"field '{spec.name}' of key '{key_id}' claims slot "
+                    f"{spec.position} but the template has {slots} "
+                    f"variable slots",
+                    subject=key_id, location=loc,
+                )
+            elif spec.position in seen_positions:
+                report.add(
+                    "IK001",
+                    f"key '{key_id}' assigns two roles to variable slot "
+                    f"{spec.position}",
+                    subject=key_id, location=loc,
+                )
+            if not spec.name:
+                report.add(
+                    "IK001",
+                    f"key '{key_id}' has an unnamed field at slot "
+                    f"{spec.position}",
+                    subject=key_id, location=loc,
+                )
+            seen_positions.add(spec.position)
+
+
+def _check_signatures(graph: HWGraph, report: DiagnosticReport) -> None:
+    """SR001: signatures must be sorted, duplicate-free and consistent."""
+    for label, node in graph.groups.items():
+        for signature, sub in node.model.subroutines.items():
+            sig_text = "|".join(signature) or "NONE"
+            loc = f"group '{label}' subroutine {sig_text}"
+            canonical = tuple(sorted(set(signature)))
+            if signature != canonical:
+                report.add(
+                    "SR001",
+                    f"signature {signature!r} of group '{label}' is not "
+                    f"sorted/duplicate-free (non-deterministic ordering)",
+                    subject=label, location=loc,
+                )
+            if sub.signature != signature:
+                report.add(
+                    "SR001",
+                    f"subroutine stored under {signature!r} carries "
+                    f"signature {sub.signature!r}",
+                    subject=label, location=loc,
+                )
+            if sub.instance_count > 0 and not sub.keys:
+                report.add(
+                    "SR001",
+                    f"subroutine {sig_text} of group '{label}' observed "
+                    f"{sub.instance_count} instances but has no keys "
+                    f"(empty signature model)",
+                    subject=label, location=loc,
+                )
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _dict_diff_paths(
+    a: Any, b: Any, prefix: str = "$", limit: int = 20
+) -> list[str]:
+    """Paths at which two JSON-like values differ (first ``limit`` found)."""
+    diffs: list[str] = []
+
+    def walk(x: Any, y: Any, path: str) -> None:
+        if len(diffs) >= limit:
+            return
+        if isinstance(x, Mapping) and isinstance(y, Mapping):
+            for key in sorted(set(x) | set(y)):
+                if key not in x:
+                    diffs.append(f"{path}.{key} (only in reloaded)")
+                elif key not in y:
+                    diffs.append(f"{path}.{key} (lost in round-trip)")
+                else:
+                    walk(x[key], y[key], f"{path}.{key}")
+                if len(diffs) >= limit:
+                    return
+        elif isinstance(x, list) and isinstance(y, list):
+            if len(x) != len(y):
+                diffs.append(
+                    f"{path} (length {len(x)} != {len(y)})"
+                )
+                return
+            for i, (xi, yi) in enumerate(zip(x, y)):
+                walk(xi, yi, f"{path}[{i}]")
+                if len(diffs) >= limit:
+                    return
+        elif x != y:
+            diffs.append(f"{path} ({x!r} != {y!r})")
+
+    walk(a, b, prefix)
+    return diffs

@@ -1,11 +1,18 @@
-"""Command-line interface: ``intellog train|detect|inspect``.
+"""Command-line interface: ``intellog train|detect|inspect|lint-*``.
 
 Mirrors how the original tool is operated: train a model from normal-run
-log files, persist it as JSON, then check new log files against it.
+log files, persist it as JSON, then check new log files against it.  The
+``lint-model`` / ``lint-code`` subcommands run the static analysis layer
+(``repro.analysis``) over a saved model and over the codebase.
 
     intellog train  --formatter spark --model model.json train1.log ...
     intellog detect --model model.json suspicious.log
     intellog inspect --model model.json [--subroutines]
+    intellog lint-model --model model.json [--strict]
+    intellog lint-code [paths...]
+
+(The console script is installed under both names, ``intellog`` and
+``repro``.)
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from pathlib import Path
 from .core.intellog import IntelLog
 from .core.config import IntelLogConfig
 from .graph.render import render_summary, render_tree, to_json
+from .query.store import ModelStore
 
 
 def _read_lines(paths: list[str]) -> list[str]:
@@ -39,58 +47,32 @@ def cmd_train(args: argparse.Namespace) -> int:
         f"{summary.entity_groups} entity groups "
         f"({summary.critical_groups} critical)"
     )
-    model = {
-        "config": {"spell_tau": args.tau, "formatter": args.formatter},
-        "hw_graph": intellog.hw_graph().to_dict(),
-        "log_keys": [
-            {"key_id": k.key_id, "tokens": k.tokens, "sample": k.sample}
-            for k in intellog.spell.keys()
-        ],
-    }
-    Path(args.model).write_text(json.dumps(model, indent=2))
+    ModelStore.from_intellog(intellog).save(args.model)
     print(f"model written to {args.model}")
     return 0
 
 
-def _load(args: argparse.Namespace) -> IntelLog:
-    """Rebuild an IntelLog from a saved model by replaying key samples.
-
-    (The HW-graph statistics are retrained from the detect input when only
-    a model file is available; full fidelity requires the training logs —
-    this loader restores the log keys and Intel Keys, which is what
-    unexpected-message detection needs.)
-    """
-    model = json.loads(Path(args.model).read_text())
-    config = IntelLogConfig(
-        spell_tau=model["config"]["spell_tau"],
-        formatter=model["config"]["formatter"],
-    )
-    intellog = IntelLog(config)
-    from .parsing.spell import LogKey
-
-    for entry in model["log_keys"]:
-        key = LogKey(
-            key_id=entry["key_id"],
-            tokens=list(entry["tokens"]),
-            sample=entry["sample"],
+def _load_store(path: str) -> ModelStore:
+    """Read a saved model, exiting with a clean error when unreadable."""
+    try:
+        return ModelStore.load_path(path)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read model {path!r}: {exc}")
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise SystemExit(
+            f"error: {path!r} is not a saved IntelLog model: {exc}"
         )
-        intellog.spell._keys.append(key)  # restoring persisted state
-        intellog.spell._next_id += 1
-    intellog.spell._reindex()
-    intellog.intel_keys = intellog.extractor.build_all(
-        intellog.spell.keys()
-    )
-    from .graph.hwgraph import HWGraphBuilder
 
-    builder = HWGraphBuilder(intellog.intel_keys)
-    intellog.graph = builder.build()
-    from .detection.detector import AnomalyDetector
 
-    intellog._detector = AnomalyDetector(
-        intellog.graph, intellog.spell, intellog.extractor,
-        config.detector,
-    )
-    return intellog
+def _load(args: argparse.Namespace) -> IntelLog:
+    """Rebuild an IntelLog from a saved model with full fidelity.
+
+    The :class:`~repro.query.store.ModelStore` payload carries the log
+    keys *and* the complete HW-graph serialization (group statistics,
+    subroutines, relation matrix), so the restored instance detects
+    exactly like the one that was trained.
+    """
+    return _load_store(args.model).to_intellog()
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
@@ -109,6 +91,38 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print(render_summary(graph))
         print(render_tree(graph, show_subroutines=args.subroutines))
     return 0
+
+
+def cmd_lint_model(args: argparse.Namespace) -> int:
+    """Static validation of a saved model's HW-graph artifacts.
+
+    Exit status: 0 when clean (or warnings only), 1 on error-severity
+    diagnostics — or on any diagnostic with ``--strict``.
+    """
+    store = _load_store(args.model)
+    report = store.validate()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        if report:
+            print(report.render())
+        print(f"{args.model}: {report.summary()}")
+    failed = bool(report) if args.strict else report.has_errors
+    return 1 if failed else 0
+
+
+def cmd_lint_code(args: argparse.Namespace) -> int:
+    """AST lint (determinism + hygiene rules) over source paths."""
+    from .analysis.astlint import lint_paths
+
+    try:
+        report = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    if report:
+        print(report.render())
+    print(report.summary())
+    return 1 if report else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +153,25 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--json", action="store_true")
     inspect.add_argument("--subroutines", action="store_true")
     inspect.set_defaults(func=cmd_inspect)
+
+    lint_model = sub.add_parser(
+        "lint-model",
+        help="statically validate a saved model's HW-graph artifacts",
+    )
+    lint_model.add_argument("--model", default="intellog-model.json")
+    lint_model.add_argument("--json", action="store_true",
+                            help="machine-readable diagnostics")
+    lint_model.add_argument("--strict", action="store_true",
+                            help="fail on warnings too, not just errors")
+    lint_model.set_defaults(func=cmd_lint_model)
+
+    lint_code = sub.add_parser(
+        "lint-code",
+        help="AST lint: determinism contract + Python hygiene",
+    )
+    lint_code.add_argument("paths", nargs="*", default=["src"],
+                           help="files or directories (default: src)")
+    lint_code.set_defaults(func=cmd_lint_code)
     return parser
 
 

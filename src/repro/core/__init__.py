@@ -5,6 +5,8 @@ from .errors import (
     ConfigurationError,
     FormatterError,
     IntelLogError,
+    ModelValidationError,
+    ModelValidationWarning,
     NotTrainedError,
 )
 from .intellog import IntelLog, TrainingSummary
@@ -18,6 +20,8 @@ __all__ = [
     "IntelLog",
     "IntelLogConfig",
     "IntelLogError",
+    "ModelValidationError",
+    "ModelValidationWarning",
     "NotTrainedError",
     "TrainingSummary",
     "score_predictions",

@@ -15,11 +15,19 @@ class IntelLogConfig:
     ``spell_tau`` is the Spell matching threshold ``t`` (paper §5 sets it to
     1.7 empirically).  ``formatter`` names the log formatter used for raw
     line input ("hadoop", "spark", "tez", "generic", ...).
+
+    ``validate_model`` runs the static artifact checks
+    (:func:`repro.analysis.validate_graph`) on every freshly trained
+    HW-graph; findings are raised as :class:`ModelValidationWarning`
+    warnings, or as :class:`repro.core.errors.ModelValidationError` when
+    ``strict_validation`` is set.
     """
 
     spell_tau: float = 1.7
     formatter: str = "generic"
     detector: DetectorConfig = field(default_factory=DetectorConfig)
+    validate_model: bool = True
+    strict_validation: bool = False
 
     def validate(self) -> None:
         if self.spell_tau <= 1.0:

@@ -17,3 +17,19 @@ class FormatterError(IntelLogError):
 
 class ConfigurationError(IntelLogError):
     """Invalid configuration values."""
+
+
+class ModelValidationError(IntelLogError):
+    """A trained model failed static validation in strict mode.
+
+    Carries the offending diagnostics (``repro.analysis`` records) on
+    :attr:`diagnostics`.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics or []
+
+
+class ModelValidationWarning(UserWarning):
+    """Non-strict mode: a trained model produced static diagnostics."""

@@ -18,7 +18,8 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Iterable
 
 from ..detection.detector import AnomalyDetector
@@ -30,7 +31,11 @@ from ..parsing.formatters import default_registry
 from ..parsing.records import LogRecord, Session, split_sessions
 from ..parsing.spell import SpellParser
 from .config import IntelLogConfig
-from .errors import NotTrainedError
+from .errors import (
+    ModelValidationError,
+    ModelValidationWarning,
+    NotTrainedError,
+)
 
 
 @dataclass(slots=True)
@@ -84,6 +89,8 @@ class IntelLog:
             messages = self._to_messages(session, pairs)
             builder.train_session(messages)
         self.graph = builder.build()
+        if self.config.validate_model:
+            self._validate_graph()
         self._detector = AnomalyDetector(
             self.graph,
             self.spell,
@@ -159,6 +166,29 @@ class IntelLog:
         return out
 
     # -- helpers -------------------------------------------------------------------------
+
+    def _validate_graph(self) -> None:
+        """Static artifact checks on the freshly built HW-graph.
+
+        Warn-by-default (``ModelValidationWarning`` per diagnostic);
+        ``config.strict_validation`` upgrades error-severity findings to
+        :class:`ModelValidationError`.
+        """
+        from ..analysis.validate import validate_graph
+
+        assert self.graph is not None
+        report = validate_graph(self.graph)
+        if not report:
+            return
+        if self.config.strict_validation and report.has_errors:
+            raise ModelValidationError(
+                f"trained HW-graph failed validation: {report.summary()}\n"
+                + report.render(),
+                diagnostics=list(report),
+            )
+        for diag in report:
+            warnings.warn(diag.render(), ModelValidationWarning,
+                          stacklevel=3)
 
     def _to_messages(
         self, session: Session, pairs: list[tuple[LogRecord, str]]

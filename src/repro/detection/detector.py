@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..extraction.idvalue import FieldRole
-from ..extraction.intelkey import IntelKey, IntelMessage
+from ..extraction.intelkey import IntelKey
 from ..extraction.pipeline import InformationExtractor
 from ..graph.hwgraph import HWGraph
 from ..graph.lifespan import BEFORE, PARENT

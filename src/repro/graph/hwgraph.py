@@ -17,7 +17,7 @@ import networkx as nx
 from ..extraction.intelkey import IntelKey, IntelMessage
 from .grouping import GroupingResult, group_entities
 from .lifespan import BEFORE, PARENT, Lifespan, RelationMatrix
-from .subroutine import SubroutineModel
+from .subroutine import Subroutine, SubroutineModel
 
 
 @dataclass(slots=True)
@@ -105,6 +105,14 @@ class HWGraph:
         return graph
 
     def to_dict(self) -> dict[str, Any]:
+        """Serialize the full trained model.
+
+        The payload is round-trippable through :meth:`from_dict`
+        (``repro.analysis.validate.validate_round_trip`` enforces this):
+        per-group statistics (``session_count``, ``max_key_repeat``) and
+        the subroutines' order/occurrence state are all preserved, not
+        just the derived summaries.
+        """
         return {
             "training_sessions": self.training_sessions,
             "groups": {
@@ -115,11 +123,25 @@ class HWGraph:
                     "children": sorted(node.children),
                     "before": sorted(node.before),
                     "critical": node.critical,
+                    "session_count": node.session_count,
+                    "max_key_repeat": node.max_key_repeat,
                     "subroutines": {
                         "|".join(sig) or "NONE": {
                             "keys": sub.ordered_keys(),
                             "critical_keys": sorted(sub.critical_keys),
                             "instances": sub.instance_count,
+                            "key_counts": dict(sorted(
+                                sub.key_counts.items()
+                            )),
+                            "before_pairs": sorted(
+                                list(pair) for pair in sub.before
+                            ),
+                            "compared_pairs": sorted(
+                                list(pair) for pair in sub.compared
+                            ),
+                            "instance_lengths": list(
+                                sub.instance_lengths
+                            ),
                         }
                         for sig, sub in node.model.subroutines.items()
                     },
@@ -131,7 +153,66 @@ class HWGraph:
                 for key_id, key in sorted(self.intel_keys.items())
             },
             "ignored_keys": sorted(self.ignored_keys),
+            "relations": self.relations.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HWGraph":
+        """Reconstruct a trained graph from :meth:`to_dict` output."""
+        intel_keys = {
+            key_id: IntelKey.from_dict(entry)
+            for key_id, entry in data.get("intel_keys", {}).items()
+        }
+        graph = cls(
+            intel_keys=intel_keys,
+            ignored_keys=set(data.get("ignored_keys", ())),
+            training_sessions=int(data.get("training_sessions", 0)),
+            relations=RelationMatrix.from_dict(data.get("relations", {})),
+        )
+        graph.key_groups = {key_id: set() for key_id in intel_keys}
+        for label, entry in data.get("groups", {}).items():
+            node = GroupNode(
+                label=label,
+                entities={
+                    tuple(phrase.split())
+                    for phrase in entry.get("entities", ())
+                },
+                key_ids=set(entry.get("keys", ())),
+                parent=entry.get("parent"),
+                children=list(entry.get("children", ())),
+                before=set(entry.get("before", ())),
+                max_key_repeat=int(entry.get("max_key_repeat", 0)),
+                session_count=int(entry.get("session_count", 0)),
+            )
+            for sig_text, sub_entry in entry.get(
+                "subroutines", {}
+            ).items():
+                signature = (
+                    () if sig_text == "NONE"
+                    else tuple(sig_text.split("|"))
+                )
+                sub = Subroutine(
+                    signature=signature,
+                    keys=list(sub_entry.get("keys", ())),
+                    before={
+                        tuple(pair)
+                        for pair in sub_entry.get("before_pairs", ())
+                    },
+                    compared={
+                        tuple(pair)
+                        for pair in sub_entry.get("compared_pairs", ())
+                    },
+                    key_counts=dict(sub_entry.get("key_counts", {})),
+                    instance_count=int(sub_entry.get("instances", 0)),
+                    instance_lengths=list(
+                        sub_entry.get("instance_lengths", ())
+                    ),
+                )
+                node.model.subroutines[signature] = sub
+            graph.groups[label] = node
+            for key_id in node.key_ids:
+                graph.key_groups.setdefault(key_id, set()).add(label)
+        return graph
 
 
 class HWGraphBuilder:

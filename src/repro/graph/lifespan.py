@@ -125,6 +125,31 @@ class RelationMatrix:
             if other != group
         }
 
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Round-trippable form (see :meth:`from_dict`)."""
+        return {
+            "min_support": self.min_support,
+            "groups": sorted(self._groups),
+            "observations": [
+                [a, b, {rel: count for rel, count in sorted(
+                    counts.items()
+                )}]
+                for (a, b), counts in sorted(self._observations.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RelationMatrix":
+        matrix = cls(min_support=int(data.get("min_support", 5)))
+        matrix._groups.update(data.get("groups", ()))
+        for a, b, counts in data.get("observations", ()):
+            matrix._observations[(a, b)] = {
+                rel: int(count) for rel, count in counts.items()
+            }
+        return matrix
+
 
 def session_lifespans(
     group_messages: Mapping[str, Iterable[float]],

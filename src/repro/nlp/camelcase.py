@@ -10,7 +10,7 @@ register additional filters for other conventions (snake_case is provided).
 from __future__ import annotations
 
 import re
-from typing import Callable, Protocol
+from typing import Protocol
 
 _CAMEL_BOUNDARY = re.compile(
     r"""

@@ -1,5 +1,6 @@
-"""Queryable Intel Message store with GroupBy operators (paper §6.4)."""
+"""Queryable Intel Message store with GroupBy operators (paper §6.4),
+plus the JSON :class:`ModelStore` for trained-model persistence."""
 
-from .store import MessageStore
+from .store import MessageStore, ModelStore
 
-__all__ = ["MessageStore"]
+__all__ = ["MessageStore", "ModelStore"]

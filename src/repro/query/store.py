@@ -10,10 +10,15 @@ against one host.  This module provides that queryable store.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import IO, Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from ..extraction.intelkey import IntelMessage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.diagnostics import DiagnosticReport
+    from ..core.intellog import IntelLog
 
 
 class MessageStore:
@@ -135,3 +140,110 @@ class MessageStore:
     @classmethod
     def load(cls, fp: IO[str]) -> "MessageStore":
         return cls.from_json(fp.read())
+
+
+@dataclass(slots=True)
+class ModelStore:
+    """Persisted form of a trained IntelLog model.
+
+    One JSON document carrying the pipeline config, the learned log keys
+    (enough to rebuild the Spell parser) and the full ``HWGraph``
+    serialization.  ``repro train`` writes it, ``repro detect`` /
+    ``repro inspect`` / ``repro lint-model`` read it, and
+    :meth:`validate` runs the static artifact checks over the payload.
+    """
+
+    config: dict[str, Any] = field(default_factory=dict)
+    log_keys: list[dict[str, Any]] = field(default_factory=list)
+    hw_graph: dict[str, Any] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_intellog(cls, intellog: "IntelLog") -> "ModelStore":
+        """Snapshot a trained :class:`~repro.core.intellog.IntelLog`."""
+        return cls(
+            config={
+                "spell_tau": intellog.config.spell_tau,
+                "formatter": intellog.config.formatter,
+            },
+            log_keys=[
+                {
+                    "key_id": key.key_id,
+                    "tokens": list(key.tokens),
+                    "sample": key.sample,
+                }
+                for key in intellog.spell.keys()
+            ],
+            hw_graph=intellog.hw_graph().to_dict(),
+        )
+
+    def to_intellog(self) -> "IntelLog":
+        """Full-fidelity restore: log keys, Intel Keys and the trained
+        HW-graph (statistics included) are rebuilt from the payload."""
+        from ..core.config import IntelLogConfig
+        from ..core.intellog import IntelLog
+        from ..detection.detector import AnomalyDetector
+        from ..graph.hwgraph import HWGraph
+        from ..parsing.spell import LogKey
+
+        config = IntelLogConfig(
+            spell_tau=float(self.config.get("spell_tau", 1.7)),
+            formatter=str(self.config.get("formatter", "generic")),
+        )
+        intellog = IntelLog(config)
+        for entry in self.log_keys:
+            key = LogKey(
+                key_id=entry["key_id"],
+                tokens=list(entry["tokens"]),
+                sample=entry["sample"],
+            )
+            intellog.spell._keys.append(key)  # restoring persisted state
+            intellog.spell._next_id += 1
+        intellog.spell._reindex()
+        graph = HWGraph.from_dict(self.hw_graph)
+        intellog.graph = graph
+        intellog.intel_keys = dict(graph.intel_keys)
+        intellog._detector = AnomalyDetector(
+            graph, intellog.spell, intellog.extractor, config.detector,
+        )
+        return intellog
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> "DiagnosticReport":
+        """Static artifact checks over the serialized HW-graph."""
+        from ..analysis.validate import validate_model_dict
+
+        return validate_model_dict(self.hw_graph)
+
+    # -- JSON I/O -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "log_keys": self.log_keys,
+            "hw_graph": self.hw_graph,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ModelStore":
+        return cls(
+            config=dict(data.get("config", {})),
+            log_keys=list(data.get("log_keys", ())),
+            hw_graph=dict(data.get("hw_graph", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelStore":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load_path(cls, path: str | Path) -> "ModelStore":
+        return cls.from_json(Path(path).read_text())

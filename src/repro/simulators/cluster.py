@@ -16,7 +16,7 @@ import numpy as np
 
 from ..parsing.records import GroundTruth, LogRecord, Session
 from .events import Simulation
-from .groundtruth import Template, TemplateCatalog
+from .groundtruth import TemplateCatalog
 
 
 @dataclass(frozen=True, slots=True)

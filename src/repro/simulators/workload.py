@@ -9,7 +9,7 @@ and batch helpers that run many jobs through the simulators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np

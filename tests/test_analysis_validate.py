@@ -1,0 +1,303 @@
+"""Static validation of HW-graph artifacts (repro.analysis.validate).
+
+Property-style mutation tests: take a trained HW-graph from the Spark
+simulator, apply one seeded structural corruption, and assert the exact
+diagnostic code it triggers.  A clean trained model must report zero
+diagnostics (the acceptance bar for ``repro lint-model``).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro import IntelLog, IntelLogConfig
+from repro.analysis import (
+    DIAGNOSTIC_CODES,
+    Severity,
+    validate_graph,
+    validate_model_dict,
+    validate_round_trip,
+)
+from repro.core.errors import ModelValidationError, ModelValidationWarning
+from repro.extraction.intelkey import FieldSpec
+from repro.graph.hwgraph import HWGraph
+from repro.graph.lifespan import PARENT
+from repro.query import ModelStore
+from repro.simulators import WorkloadGenerator, sessions_of
+
+
+@pytest.fixture()
+def graph(spark_model):
+    """A mutable deep copy of the trained Spark HW-graph."""
+    return copy.deepcopy(spark_model.hw_graph())
+
+
+def codes(graph):
+    return validate_graph(graph).codes
+
+
+class TestCleanModel:
+    def test_trained_graph_has_zero_diagnostics(self, spark_model):
+        report = validate_graph(spark_model.hw_graph())
+        assert len(report) == 0, report.render()
+
+    def test_mr_and_tez_graphs_clean_too(self, mr_model, tez_model):
+        for model in (mr_model, tez_model):
+            report = validate_graph(model.hw_graph())
+            assert len(report) == 0, report.render()
+
+    def test_round_trip_validates_clean(self, spark_model):
+        report = validate_round_trip(spark_model.hw_graph())
+        assert len(report) == 0, report.render()
+
+    def test_serialized_dict_validates_clean(self, spark_model):
+        data = spark_model.hw_graph().to_dict()
+        report = validate_model_dict(data)
+        assert len(report) == 0, report.render()
+
+    def test_graph_is_nontrivial(self, spark_model):
+        # The zero-diagnostics assertions above are only meaningful if the
+        # graph actually has hierarchy, ordering and subroutines to check.
+        graph = spark_model.hw_graph()
+        assert any(n.children for n in graph.groups.values())
+        assert any(n.before for n in graph.groups.values())
+        assert any(n.model.subroutines for n in graph.groups.values())
+
+
+class TestMutations:
+    """Each seeded corruption triggers its documented diagnostic code."""
+
+    def test_hw001_dropped_group_leaves_dangling_edges(self, graph):
+        victim = next(
+            label for label, node in graph.groups.items()
+            if node.parent or node.children or node.before
+        )
+        graph.groups.pop(victim)
+        report = validate_graph(graph)
+        assert "HW001" in report.codes
+        assert all(d.severity is Severity.ERROR
+                   for d in report.with_code("HW001"))
+
+    def test_hw001_unknown_intel_key_in_group(self, graph):
+        label = next(iter(sorted(graph.groups)))
+        graph.groups[label].key_ids.add("K9999")
+        assert "HW001" in codes(graph)
+
+    def test_hw002_before_back_edge_makes_cycle(self, graph):
+        src = next(
+            label for label, node in sorted(graph.groups.items())
+            if node.before
+        )
+        tgt = sorted(graph.groups[src].before)[0]
+        graph.groups[tgt].before.add(src)
+        assert "HW002" in codes(graph)
+
+    def test_hw003_child_listed_without_parent_pointer(self, graph):
+        parent = next(
+            label for label, node in sorted(graph.groups.items())
+            if node.children
+        )
+        stray = next(
+            label for label in sorted(graph.groups)
+            if label != parent
+            and label not in graph.groups[parent].children
+        )
+        graph.groups[parent].children.append(stray)
+        assert "HW003" in codes(graph)
+
+    def test_hw003_duplicate_child_entry(self, graph):
+        parent = next(
+            label for label, node in sorted(graph.groups.items())
+            if node.children
+        )
+        graph.groups[parent].children.append(
+            graph.groups[parent].children[0]
+        )
+        assert "HW003" in codes(graph)
+
+    def test_hw004_parent_not_backed_by_lifespans(self, graph):
+        child = next(
+            label for label, node in sorted(graph.groups.items())
+            if node.parent
+        )
+        old_parent = graph.groups[child].parent
+        new_parent = next(
+            label for label in sorted(graph.groups)
+            if label not in (child, old_parent)
+            and label not in graph.descendants(child)
+            and graph.relations.relation(label, child) != PARENT
+        )
+        graph.groups[old_parent].children.remove(child)
+        graph.groups[child].parent = new_parent
+        graph.groups[new_parent].children.append(child)
+        report = validate_graph(graph)
+        assert "HW004" in report.codes
+        # A consistent (if wrong) tree: the forest check stays quiet.
+        assert "HW003" not in report.codes
+
+    def test_hw005_subroutine_references_foreign_key(self, graph):
+        label = next(
+            label for label, node in sorted(graph.groups.items())
+            if node.model.subroutines
+        )
+        sub = next(iter(graph.groups[label].model.subroutines.values()))
+        sub.keys.append("K9999")
+        assert "HW005" in codes(graph)
+
+    def test_hw006_critical_group_unreachable(self, graph):
+        crit = graph.critical_groups()[0]
+        node = graph.groups[crit]
+        if node.parent is not None:
+            graph.groups[node.parent].children.remove(crit)
+        node.parent = "ghost-root"
+        found = codes(graph)
+        assert "HW006" in found
+        assert "HW001" in found  # the dangling parent itself
+
+    def test_ik001_field_position_out_of_range(self, graph):
+        key_id, key = next(
+            (k, v) for k, v in sorted(graph.intel_keys.items())
+            if v.fields
+        )
+        bad = FieldSpec(position=999, role=key.fields[0].role,
+                        name=key.fields[0].name)
+        key.fields = key.fields + (bad,)
+        assert "IK001" in codes(graph)
+
+    def test_ik001_duplicate_slot_assignment(self, graph):
+        key_id, key = next(
+            (k, v) for k, v in sorted(graph.intel_keys.items())
+            if v.fields
+        )
+        key.fields = key.fields + (key.fields[0],)
+        assert "IK001" in codes(graph)
+
+    def test_sr001_corrupted_signature(self, graph):
+        label = next(
+            label for label, node in sorted(graph.groups.items())
+            if any(sig for sig in node.model.subroutines)
+        )
+        model = graph.groups[label].model
+        sig = next(sig for sig in model.subroutines if sig)
+        sub = model.subroutines.pop(sig)
+        bad_sig = sig + sig  # duplicated types: non-deterministic
+        sub.signature = bad_sig
+        model.subroutines[bad_sig] = sub
+        assert "SR001" in codes(graph)
+
+    def test_sr001_empty_subroutine_model(self, graph):
+        label = next(
+            label for label, node in sorted(graph.groups.items())
+            if node.model.subroutines
+        )
+        sub = next(iter(graph.groups[label].model.subroutines.values()))
+        sub.keys = []
+        sub.key_counts = {}
+        assert "SR001" in codes(graph)
+
+    def test_every_mutation_code_is_registered(self):
+        for code in ("HW001", "HW002", "HW003", "HW004", "HW005",
+                     "HW006", "IK001", "SR001", "RT001"):
+            assert code in DIAGNOSTIC_CODES
+
+
+class TestSerializationRoundTrip:
+    def test_to_dict_store_load_validates_clean(self, spark_model,
+                                                tmp_path):
+        path = tmp_path / "model.json"
+        ModelStore.from_intellog(spark_model).save(path)
+        store = ModelStore.load_path(path)
+        report = store.validate()
+        assert len(report) == 0, report.render()
+
+    def test_reloaded_graph_matches_original(self, spark_model, tmp_path):
+        original = spark_model.hw_graph()
+        path = tmp_path / "model.json"
+        ModelStore.from_intellog(spark_model).save(path)
+        reloaded = HWGraph.from_dict(
+            ModelStore.load_path(path).hw_graph
+        )
+        assert reloaded.to_dict() == original.to_dict()
+        assert set(reloaded.groups) == set(original.groups)
+        assert reloaded.critical_groups() == original.critical_groups()
+        assert reloaded.training_sessions == original.training_sessions
+        # Statistics survive: criticality and relations, not just shape.
+        for label, node in original.groups.items():
+            twin = reloaded.groups[label]
+            assert twin.critical == node.critical
+            assert twin.session_count == node.session_count
+
+    def test_reloaded_model_detects_like_original(self, spark_model,
+                                                  tmp_path):
+        gen = WorkloadGenerator(seed=99)
+        sessions = list(sessions_of(gen.run_batch("spark", 1)))
+        path = tmp_path / "model.json"
+        ModelStore.from_intellog(spark_model).save(path)
+        restored = ModelStore.load_path(path).to_intellog()
+        original_report = spark_model.detect_job(sessions, job_id="j")
+        restored_report = restored.detect_job(sessions, job_id="j")
+        assert (restored_report.to_dict()
+                == original_report.to_dict())
+
+    def test_corrupted_dict_reports_rt001(self):
+        report = validate_model_dict({"groups": "not-a-mapping"})
+        assert report.codes == {"RT001"}
+
+    def test_dangling_reference_survives_serialization(self, graph):
+        victim = next(
+            label for label, node in graph.groups.items()
+            if node.parent or node.children or node.before
+        )
+        graph.groups.pop(victim)
+        data = graph.to_dict()
+        report = validate_model_dict(data)
+        assert "HW001" in report.codes
+
+
+class TestTrainWiring:
+    """validate_model config: warn-by-default, strict raises."""
+
+    def _tiny_training(self):
+        gen = WorkloadGenerator(seed=3)
+        return list(sessions_of(gen.run_batch("spark", 6)))
+
+    def test_clean_training_emits_no_warnings(self, recwarn):
+        intellog = IntelLog()
+        intellog.train(self._tiny_training())
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, ModelValidationWarning)
+        ]
+
+    def test_corrupt_graph_warns_in_default_mode(self, spark_model):
+        intellog = IntelLog()
+        intellog.graph = copy.deepcopy(spark_model.hw_graph())
+        victim = next(
+            label for label, node in intellog.graph.groups.items()
+            if node.parent or node.children
+        )
+        intellog.graph.groups.pop(victim)
+        with pytest.warns(ModelValidationWarning):
+            intellog._validate_graph()
+
+    def test_corrupt_graph_raises_in_strict_mode(self, spark_model):
+        config = IntelLogConfig(strict_validation=True)
+        intellog = IntelLog(config)
+        intellog.graph = copy.deepcopy(spark_model.hw_graph())
+        victim = next(
+            label for label, node in intellog.graph.groups.items()
+            if node.parent or node.children
+        )
+        intellog.graph.groups.pop(victim)
+        with pytest.raises(ModelValidationError) as excinfo:
+            intellog._validate_graph()
+        assert excinfo.value.diagnostics
+        assert any(d.code == "HW001" for d in excinfo.value.diagnostics)
+
+    def test_validation_can_be_disabled(self, spark_model):
+        config = IntelLogConfig(validate_model=False)
+        intellog = IntelLog(config)
+        summary = intellog.train(self._tiny_training())
+        assert summary.entity_groups > 0

@@ -1,0 +1,260 @@
+"""AST lint (repro.analysis.astlint): rules, runner, and the repo itself.
+
+``TestRepoIsClean`` is the pytest-collected determinism check: it lints
+``src/repro`` on every tier-1 run, so a merge that introduces an unseeded
+generator or a wall-clock call fails CI without any extra tooling.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths, lint_source
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+#: One violation of every rule, line-accurate (used by several tests).
+FIXTURE = textwrap.dedent(
+    """
+    import random
+    import time
+    import numpy as np
+    from datetime import datetime
+
+    def bad_rng():
+        return np.random.default_rng()
+
+    def bad_random():
+        return random.random()
+
+    def bad_time():
+        return time.time()
+
+    def bad_now():
+        return datetime.now()
+
+    def bad_default(items=[]):
+        return items
+
+    def swallow():
+        try:
+            pass
+        except Exception:
+            pass
+
+    def bare():
+        try:
+            pass
+        except:
+            pass
+    """
+)
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_zero_findings(self):
+        report = lint_paths([SRC])
+        assert len(report) == 0, report.render()
+
+    def test_tools_are_clean_too(self):
+        report = lint_paths([REPO_ROOT / "tools"])
+        assert len(report) == 0, report.render()
+
+
+class TestRules:
+    def test_fixture_triggers_every_code(self):
+        report = lint_source(FIXTURE, "fixture.py")
+        assert report.codes == {"DET001", "DET002", "PY001", "PY002"}
+
+    def test_det001_unseeded_default_rng(self):
+        report = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert report.codes == {"DET001"}
+
+    def test_det001_seeded_default_rng_is_fine(self):
+        for src in (
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+            "import numpy as np\nrng = np.random.default_rng(seed)\n",
+            "from numpy.random import default_rng\nr = default_rng(7)\n",
+        ):
+            assert len(lint_source(src)) == 0, src
+
+    def test_det001_aliased_import(self):
+        report = lint_source(
+            "from numpy.random import default_rng as rng_of\n"
+            "r = rng_of()\n"
+        )
+        assert report.codes == {"DET001"}
+
+    def test_det001_stdlib_random_module(self):
+        report = lint_source(
+            "import random\nx = random.randint(0, 9)\n"
+        )
+        assert report.codes == {"DET001"}
+
+    def test_det001_from_random_import(self):
+        report = lint_source("from random import shuffle\n")
+        assert report.codes == {"DET001"}
+
+    def test_det001_unrelated_random_attribute_is_fine(self):
+        # np.random.<anything> is not the stdlib module.
+        report = lint_source(
+            "import numpy as np\nx = np.random.Generator\n"
+        )
+        assert len(report) == 0
+
+    def test_det002_wall_clock_calls(self):
+        for src in (
+            "import time\nt = time.time()\n",
+            "import time\nt = time.time_ns()\n",
+            "from datetime import datetime\nt = datetime.now()\n",
+            "from datetime import datetime\nt = datetime.utcnow()\n",
+            "from datetime import date\nt = date.today()\n",
+        ):
+            assert lint_source(src).codes == {"DET002"}, src
+
+    def test_det002_strptime_is_fine(self):
+        # Parsing a timestamp out of a log line is exactly what the
+        # formatters do; only *reading the wall clock* is flagged.
+        report = lint_source(
+            "from datetime import datetime\n"
+            "t = datetime.strptime('2019', '%Y')\n"
+        )
+        assert len(report) == 0
+
+    def test_py001_mutable_defaults(self):
+        for default in ("[]", "{}", "set()", "list()", "dict()"):
+            report = lint_source(f"def f(x={default}):\n    return x\n")
+            assert report.codes == {"PY001"}, default
+
+    def test_py001_kwonly_defaults(self):
+        report = lint_source("def f(*, x=[]):\n    return x\n")
+        assert report.codes == {"PY001"}
+
+    def test_py001_immutable_defaults_are_fine(self):
+        report = lint_source(
+            "def f(x=(), y=None, z=0, s='a', fs=frozenset()):\n"
+            "    return x\n"
+        )
+        assert len(report) == 0
+
+    def test_py002_bare_except(self):
+        report = lint_source(
+            "try:\n    pass\nexcept:\n    pass\n"
+        )
+        assert report.codes == {"PY002"}
+
+    def test_py002_except_exception_pass(self):
+        report = lint_source(
+            "try:\n    pass\nexcept Exception:\n    pass\n"
+        )
+        assert report.codes == {"PY002"}
+
+    def test_py002_handled_broad_except_is_fine(self):
+        report = lint_source(
+            "try:\n    pass\n"
+            "except Exception as exc:\n    print(exc)\n"
+        )
+        assert len(report) == 0
+
+    def test_py002_narrow_except_pass_is_fine(self):
+        report = lint_source(
+            "try:\n    pass\nexcept KeyError:\n    pass\n"
+        )
+        assert len(report) == 0
+
+    def test_noqa_suppression(self):
+        report = lint_source(
+            "import time\nt = time.time()  # noqa: DET002\n"
+        )
+        assert len(report) == 0
+        # A noqa for a *different* code does not suppress.
+        report = lint_source(
+            "import time\nt = time.time()  # noqa: PY001\n"
+        )
+        assert report.codes == {"DET002"}
+
+    def test_syntax_error_is_reported_not_raised(self):
+        report = lint_source("def broken(:\n", "broken.py")
+        assert len(report) == 1
+        assert "does not parse" in report.diagnostics[0].message
+
+    def test_findings_carry_file_and_line(self):
+        report = lint_source("import time\nt = time.time()\n", "mod.py")
+        assert report.diagnostics[0].location == "mod.py:2"
+
+
+class TestRunners:
+    def test_cli_lint_code_clean_exit_zero(self, capsys):
+        code = main(["lint-code", str(SRC)])
+        assert code == 0
+        assert "0 diagnostics" in capsys.readouterr().out
+
+    def test_cli_lint_code_fixture_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(FIXTURE)
+        code = main(["lint-code", str(bad)])
+        assert code == 1
+        out = capsys.readouterr().out
+        for expected in ("DET001", "DET002", "PY001", "PY002"):
+            assert expected in out
+
+    def test_standalone_runner_module(self, tmp_path):
+        # tools/run_astlint.py delegates to astlint.main().
+        from repro.analysis.astlint import main as astlint_main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n")
+        assert astlint_main([str(bad)]) == 1
+        assert astlint_main([str(SRC / "core" / "config.py")]) == 0
+
+    def test_lint_paths_deduplicates(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        report = lint_paths([tmp_path, bad])
+        assert len(report) == 1
+
+
+class TestLintModelCli:
+    def _save_model(self, spark_model, tmp_path):
+        from repro.query import ModelStore
+
+        path = tmp_path / "model.json"
+        ModelStore.from_intellog(spark_model).save(path)
+        return path
+
+    def test_clean_model_exit_zero(self, spark_model, tmp_path, capsys):
+        path = self._save_model(spark_model, tmp_path)
+        code = main(["lint-model", "--model", str(path)])
+        assert code == 0
+        assert "0 diagnostics" in capsys.readouterr().out
+
+    def test_corrupted_model_exit_nonzero(self, spark_model, tmp_path,
+                                          capsys):
+        import json
+
+        path = self._save_model(spark_model, tmp_path)
+        payload = json.loads(path.read_text())
+        groups = payload["hw_graph"]["groups"]
+        victim = next(
+            label for label, entry in groups.items()
+            if entry["parent"] or entry["children"] or entry["before"]
+        )
+        del groups[victim]
+        path.write_text(json.dumps(payload))
+        code = main(["lint-model", "--model", str(path)])
+        assert code == 1
+        assert "HW001" in capsys.readouterr().out
+
+    def test_json_output(self, spark_model, tmp_path, capsys):
+        import json
+
+        path = self._save_model(spark_model, tmp_path)
+        code = main(["lint-model", "--model", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []

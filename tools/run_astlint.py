@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Run the repo's AST lint (determinism + hygiene rules) from a checkout.
+
+Usage::
+
+    python tools/run_astlint.py [paths...]     # defaults to src/
+
+Exit status is non-zero when any finding is reported, so it can gate CI.
+Equivalent to ``repro lint-code`` once the package is installed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the in-tree package importable without installation.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.astlint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
