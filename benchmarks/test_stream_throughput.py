@@ -1,0 +1,109 @@
+"""Streaming runtime benchmark: throughput, bounded memory, parity.
+
+Replays simulator-generated Spark and MapReduce logs through the
+``repro.stream`` runtime and writes ``BENCH_stream.json``
+(``benchmarks/results/``) with, per system:
+
+* ``records_per_s`` — end-to-end rate through source → tracker → live
+  check → close-time detection → sink;
+* ``peak_open_sessions`` — maximum concurrently tracked sessions;
+* ``parity`` — whether streaming produced *identical* ``SessionReport``s
+  to batch ``detect_job`` on the same records (asserted, must be exact);
+* a ``capped`` sub-run with the session cap set to a tenth of the
+  workload's container count, asserting peak stays under the cap.
+
+Unlike the pytest-benchmark microbenches, this measures one realistic
+pass wall-clock (the runtime is stateful; repeated rounds would re-close
+already-closed sessions).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.parsing.records import split_sessions
+from repro.stream import (
+    IterableSource,
+    ListSink,
+    StreamRuntime,
+    TrackerConfig,
+)
+
+from bench_common import RESULTS_DIR, SCALE, write_result
+
+REPLAY_JOBS = 3 * SCALE
+
+
+def _replay_records(generators, system):
+    jobs = generators[system].run_batch(system, REPLAY_JOBS)
+    records = [r for job in jobs for r in job.records]
+    records.sort(key=lambda r: r.timestamp)
+    return records
+
+
+def _run(model, records, **tracker_kwargs):
+    sink = ListSink()
+    runtime = StreamRuntime(
+        model, IterableSource(records), sink=sink,
+        tracker=TrackerConfig(**tracker_kwargs),
+    )
+    start = time.perf_counter()
+    stats = runtime.run(once=True)
+    elapsed = time.perf_counter() - start
+    return sink, stats, elapsed
+
+
+def test_stream_throughput_and_parity(models, generators):
+    results = {"scale": SCALE, "replay_jobs": REPLAY_JOBS, "systems": {}}
+    for system in ("spark", "mapreduce"):
+        model = models[system]
+        records = _replay_records(generators, system)
+        batch = model.detect_job(split_sessions(records))
+        expected = {s.session_id: s.to_dict() for s in batch.sessions}
+
+        sink, stats, elapsed = _run(
+            model, records, idle_timeout=1e12, max_open_sessions=10**9,
+        )
+        got = {r.session_id: r.to_dict() for r in sink.reports}
+        parity = got == expected
+        assert parity, (
+            f"{system}: streaming reports diverge from batch detect_job "
+            f"({len(got)} vs {len(expected)} sessions)"
+        )
+
+        # Bounded-memory run: 10x more containers than the cap allows.
+        n_sessions = len(expected)
+        cap = max(1, n_sessions // 10)
+        _, capped_stats, capped_elapsed = _run(
+            model, records,
+            idle_timeout=1e12, max_open_sessions=cap, end_markers=(),
+        )
+        assert capped_stats.peak_open_sessions <= cap, (
+            f"{system}: peak {capped_stats.peak_open_sessions} exceeded "
+            f"session cap {cap}"
+        )
+
+        results["systems"][system] = {
+            "records": len(records),
+            "sessions": n_sessions,
+            "records_per_s": round(len(records) / max(elapsed, 1e-9)),
+            "elapsed_s": round(elapsed, 3),
+            "peak_open_sessions": stats.peak_open_sessions,
+            "reports": stats.reports,
+            "anomalous_sessions": stats.anomalous_sessions,
+            "closed_by_reason": stats.closed_by_reason,
+            "parity": parity,
+            "capped": {
+                "cap": cap,
+                "peak_open_sessions": capped_stats.peak_open_sessions,
+                "evictions": capped_stats.evictions,
+                "records_per_s": round(
+                    len(records) / max(capped_elapsed, 1e-9)
+                ),
+            },
+        }
+
+    text = json.dumps(results, indent=2)
+    (RESULTS_DIR / "BENCH_stream.json").write_text(text + "\n")
+    write_result("BENCH_stream.txt", text)

@@ -7,9 +7,14 @@ log files, persist it as JSON, then check new log files against it.  The
 
     intellog train  --formatter spark --model model.json train1.log ...
     intellog detect --model model.json suspicious.log
+    intellog watch  --model model.json --follow app.log [--once]
     intellog inspect --model model.json [--subroutines]
     intellog lint-model --model model.json [--strict]
     intellog lint-code [paths...]
+
+``watch`` is the online mode (``repro.stream``): it tails a growing log
+file, assembles sessions incrementally and emits one report per closed
+session while the job is still running.
 
 (The console script is installed under both names, ``intellog`` and
 ``repro``.)
@@ -93,6 +98,68 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Online detection: tail a log file against a saved model.
+
+    Streams one JSON report line per closed session to stdout (or
+    ``--jsonl``), live unexpected-message alerts and periodic runtime
+    stats to stderr.  A checkpoint next to the model (disable with
+    ``--no-checkpoint``) lets a restarted watch resume mid-job without
+    re-emitting reports.  ``--once`` drains the file and exits (exit 1
+    when any session was anomalous, like ``detect``).
+    """
+    from .stream import (
+        FileFollowSource,
+        JsonLinesSink,
+        StreamRuntime,
+        TrackerConfig,
+        default_checkpoint_path,
+    )
+    from .stream.tracker import DEFAULT_END_MARKERS
+
+    intellog = _load(args)
+    formatter = args.formatter or intellog.config.formatter
+    source = FileFollowSource(args.follow, formatter=formatter)
+    sink = JsonLinesSink(args.jsonl if args.jsonl else sys.stdout)
+    checkpoint = None
+    if not args.no_checkpoint:
+        checkpoint = args.checkpoint or default_checkpoint_path(args.model)
+    config = TrackerConfig(
+        idle_timeout=args.idle_timeout,
+        max_open_sessions=args.max_sessions,
+        end_markers=tuple(args.end_marker or DEFAULT_END_MARKERS),
+    )
+
+    def on_alert(alert) -> None:
+        print(f"ALERT {json.dumps(alert.to_dict())}", file=sys.stderr)
+
+    def on_stats(stats) -> None:
+        print(f"STATS {json.dumps(stats.to_dict())}", file=sys.stderr)
+
+    runtime = StreamRuntime(
+        intellog,
+        source,
+        sink=sink,
+        tracker=config,
+        checkpoint_path=checkpoint,
+        on_alert=on_alert,
+        stats_callback=on_stats if args.stats_every else None,
+        stats_every=args.stats_every or 1000,
+        poll_interval=args.poll_interval,
+    )
+    if runtime.resumed:
+        print(f"resumed from checkpoint {checkpoint}", file=sys.stderr)
+    try:
+        stats = runtime.run(once=args.once)
+    except KeyboardInterrupt:  # graceful stop; resume from checkpoint
+        print("interrupted — state saved at last checkpoint",
+              file=sys.stderr)
+        return 130
+    if args.once:
+        return 1 if stats.anomalous_sessions else 0
+    return 0
+
+
 def cmd_lint_model(args: argparse.Namespace) -> int:
     """Static validation of a saved model's HW-graph artifacts.
 
@@ -153,6 +220,39 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--json", action="store_true")
     inspect.add_argument("--subroutines", action="store_true")
     inspect.set_defaults(func=cmd_inspect)
+
+    watch = sub.add_parser(
+        "watch",
+        help="stream a growing log file through live detection",
+    )
+    watch.add_argument("--model", default="intellog-model.json")
+    watch.add_argument("--follow", required=True, metavar="FILE",
+                       help="log file to tail")
+    watch.add_argument("--formatter", default=None,
+                       help="override the model's log formatter")
+    watch.add_argument("--once", action="store_true",
+                       help="drain the file and exit instead of tailing")
+    watch.add_argument("--idle-timeout", type=float, default=300.0,
+                       help="event-time seconds before an idle session "
+                            "closes (default 300)")
+    watch.add_argument("--max-sessions", type=int, default=10_000,
+                       help="LRU cap on concurrently tracked sessions")
+    watch.add_argument("--end-marker", action="append", metavar="REGEX",
+                       help="session-end message pattern (repeatable; "
+                            "replaces the built-in markers)")
+    watch.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="checkpoint file (default: next to the model)")
+    watch.add_argument("--no-checkpoint", action="store_true",
+                       help="run without checkpoint/resume")
+    watch.add_argument("--jsonl", default=None, metavar="OUT",
+                       help="append reports to this JSON-lines file "
+                            "instead of stdout")
+    watch.add_argument("--stats-every", type=int, default=1000,
+                       help="emit runtime stats every N records "
+                            "(0 disables)")
+    watch.add_argument("--poll-interval", type=float, default=0.5,
+                       help="seconds between polls of a quiet file")
+    watch.set_defaults(func=cmd_watch)
 
     lint_model = sub.add_parser(
         "lint-model",

@@ -139,6 +139,11 @@ class IntelLog:
             raise NotTrainedError("call train() first")
         return self.graph
 
+    def detector(self) -> AnomalyDetector:
+        """The trained anomaly detector (used directly by
+        :class:`repro.stream.StreamRuntime` for online detection)."""
+        return self._require_detector()
+
     def intel_messages(
         self, sessions: Iterable[Session]
     ) -> list[IntelMessage]:

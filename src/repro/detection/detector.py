@@ -63,6 +63,17 @@ class AnomalyDetector:
         self.spell = spell
         self.extractor = extractor or InformationExtractor()
         self.config = config or DetectorConfig()
+        # Entity-phrase lookup structures, precomputed once so per-record
+        # group attribution does not re-split every group label.
+        self._entity_index: dict[tuple[str, ...], list[str]] = {}
+        for label, node in graph.groups.items():
+            for phrase in node.entities:
+                self._entity_index.setdefault(tuple(phrase), []).append(
+                    label
+                )
+        self._label_phrases: list[tuple[tuple[str, ...], str]] = [
+            (tuple(label.split()), label) for label in graph.groups
+        ]
 
     # -- public API ---------------------------------------------------------------
 
@@ -144,15 +155,15 @@ class AnomalyDetector:
 
     def _groups_for_entity(self, entity: str):
         phrase = tuple(entity.split())
-        for label, node in self.graph.groups.items():
-            if phrase in node.entities:
-                yield node
+        exact = self._entity_index.get(phrase, ())
+        for label in exact:
+            yield self.graph.groups[label]
+        for label_phrase, label in self._label_phrases:
+            if label in exact:
                 continue
             # Nomenclature fallback: entity shares the group's name prefix.
-            if phrase[: len(node.label.split())] == tuple(
-                node.label.split()
-            ):
-                yield node
+            if phrase[: len(label_phrase)] == label_phrase:
+                yield self.graph.groups[label]
 
     def _check_subroutines(
         self, instance: HWGraphInstance, report: SessionReport

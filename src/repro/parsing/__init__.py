@@ -9,7 +9,13 @@ from .formatters import (
     default_registry,
     format_lines,
 )
-from .records import GroundTruth, LogRecord, Session, split_sessions
+from .records import (
+    GroundTruth,
+    LogRecord,
+    Session,
+    session_bucket,
+    split_sessions,
+)
 from .spell import (
     STAR,
     LogKey,
@@ -38,5 +44,6 @@ __all__ = [
     "format_lines",
     "lcs_length",
     "lcs_merge",
+    "session_bucket",
     "split_sessions",
 ]

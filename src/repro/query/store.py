@@ -22,16 +22,30 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class MessageStore:
-    """An in-memory, JSON-serialisable collection of Intel Messages."""
+    """An in-memory, JSON-serialisable collection of Intel Messages.
+
+    Point lookups (:meth:`with_key`, :meth:`with_entity`,
+    :meth:`in_session`) are served from lazily built inverted indexes
+    rather than linear scans; the indexes are invalidated whenever the
+    store is mutated and rebuilt in one pass on the next lookup.
+    """
 
     def __init__(self, messages: Iterable[IntelMessage] = ()) -> None:
         self._messages: list[IntelMessage] = list(messages)
+        self._indexes: _Indexes | None = None
 
     def add(self, message: IntelMessage) -> None:
         self._messages.append(message)
+        self._indexes = None
 
     def extend(self, messages: Iterable[IntelMessage]) -> None:
         self._messages.extend(messages)
+        self._indexes = None
+
+    def _index(self) -> "_Indexes":
+        if self._indexes is None:
+            self._indexes = _Indexes.build(self._messages)
+        return self._indexes
 
     def __len__(self) -> int:
         return len(self._messages)
@@ -50,16 +64,16 @@ class MessageStore:
         return MessageStore(m for m in self._messages if predicate(m))
 
     def with_key(self, key_id: str) -> "MessageStore":
-        return self.filter(lambda m: m.key_id == key_id)
+        return MessageStore(self._index().by_key.get(key_id, ()))
 
     def with_entity(self, entity: str) -> "MessageStore":
-        return self.filter(lambda m: entity in m.entities)
+        return MessageStore(self._index().by_entity.get(entity, ()))
 
     def with_identifier_type(self, id_type: str) -> "MessageStore":
         return self.filter(lambda m: id_type in m.identifiers)
 
     def in_session(self, session_id: str) -> "MessageStore":
-        return self.filter(lambda m: m.session_id == session_id)
+        return MessageStore(self._index().by_session.get(session_id, ()))
 
     def between(self, start: float, end: float) -> "MessageStore":
         return self.filter(lambda m: start <= m.timestamp <= end)
@@ -140,6 +154,28 @@ class MessageStore:
     @classmethod
     def load(cls, fp: IO[str]) -> "MessageStore":
         return cls.from_json(fp.read())
+
+
+@dataclass(slots=True)
+class _Indexes:
+    """Inverted indexes over a message list (insertion order preserved)."""
+
+    by_key: dict[str, list[IntelMessage]]
+    by_entity: dict[str, list[IntelMessage]]
+    by_session: dict[str, list[IntelMessage]]
+
+    @classmethod
+    def build(cls, messages: list[IntelMessage]) -> "_Indexes":
+        by_key: dict[str, list[IntelMessage]] = {}
+        by_entity: dict[str, list[IntelMessage]] = {}
+        by_session: dict[str, list[IntelMessage]] = {}
+        for message in messages:
+            by_key.setdefault(message.key_id, []).append(message)
+            by_session.setdefault(message.session_id, []).append(message)
+            for entity in dict.fromkeys(message.entities):
+                by_entity.setdefault(entity, []).append(message)
+        return cls(by_key=by_key, by_entity=by_entity,
+                   by_session=by_session)
 
 
 @dataclass(slots=True)

@@ -1,0 +1,49 @@
+"""Online streaming ingestion and live anomaly detection.
+
+The batch pipeline (:class:`repro.IntelLog`) materializes every session
+before detecting; this subsystem consumes logs as an unbounded stream
+with bounded memory:
+
+* :mod:`~repro.stream.source` — ``LogSource`` protocol with a file
+  follower and an in-memory replay source;
+* :mod:`~repro.stream.tracker` — incremental per-container session
+  assembly with idle timeouts, end markers and an LRU session cap;
+* :mod:`~repro.stream.detector` — per-record live alerts plus
+  batch-exact session finalization;
+* :mod:`~repro.stream.sink` — pluggable report delivery;
+* :mod:`~repro.stream.checkpoint` — crash/restart persistence;
+* :mod:`~repro.stream.runtime` — the event loop tying it together
+  (surfaced on the command line as ``repro watch``).
+"""
+
+from .checkpoint import StreamCheckpoint, default_checkpoint_path
+from .detector import LiveAlert, StreamingDetector
+from .runtime import RuntimeStats, StreamRuntime
+from .sink import CallbackSink, JsonLinesSink, ListSink, ReportSink
+from .source import (
+    FileFollowSource,
+    IterableSource,
+    LogSource,
+    yarn_session_key,
+)
+from .tracker import ClosedSession, SessionTracker, TrackerConfig
+
+__all__ = [
+    "CallbackSink",
+    "ClosedSession",
+    "FileFollowSource",
+    "IterableSource",
+    "JsonLinesSink",
+    "ListSink",
+    "LiveAlert",
+    "LogSource",
+    "ReportSink",
+    "RuntimeStats",
+    "SessionTracker",
+    "StreamCheckpoint",
+    "StreamRuntime",
+    "StreamingDetector",
+    "TrackerConfig",
+    "default_checkpoint_path",
+    "yarn_session_key",
+]

@@ -1,0 +1,91 @@
+"""Checkpoint/resume for the streaming runtime.
+
+One JSON document captures everything needed to restart mid-job: the
+source position (file byte offset or record index), the full
+:class:`~repro.stream.tracker.SessionTracker` state (open sessions with
+their buffered records), and cumulative emission counters.  Position and
+tracker state are snapshotted together between poll batches, so a
+runtime restarted from a checkpoint replays no record it already fed
+the tracker and re-emits no report it already delivered — resumed
+detection picks up exactly where the previous process stopped.
+
+The checkpoint lives next to the model artifact by default
+(``model.json`` → ``model.stream-ckpt.json``), mirroring how
+:class:`~repro.query.store.ModelStore` persists the trained model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["StreamCheckpoint", "default_checkpoint_path"]
+
+_VERSION = 1
+
+
+def default_checkpoint_path(model_path: str | Path) -> Path:
+    """Sibling checkpoint path for a model artifact."""
+    path = Path(model_path)
+    return path.with_name(path.stem + ".stream-ckpt.json")
+
+
+@dataclass(slots=True)
+class StreamCheckpoint:
+    """Serializable snapshot of a running stream."""
+
+    source_position: dict[str, Any] = field(default_factory=dict)
+    tracker_state: dict[str, Any] = field(default_factory=dict)
+    #: Cumulative counters carried across restarts (records consumed,
+    #: reports emitted, closures by reason, anomalies by kind).
+    counters: dict[str, Any] = field(default_factory=dict)
+    version: int = _VERSION
+
+    # -- JSON I/O ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "source_position": self.source_position,
+            "tracker_state": self.tracker_state,
+            "counters": self.counters,
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Atomic write: temp file + rename, so a crash mid-save leaves
+        the previous checkpoint intact."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict()))
+        os.replace(tmp, path)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StreamCheckpoint":
+        version = int(data.get("version", 0))
+        if version != _VERSION:
+            raise ValueError(
+                f"unsupported stream checkpoint version {version} "
+                f"(expected {_VERSION})"
+            )
+        return cls(
+            source_position=dict(data.get("source_position", {})),
+            tracker_state=dict(data.get("tracker_state", {})),
+            counters=dict(data.get("counters", {})),
+            version=version,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "StreamCheckpoint":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def load_if_exists(
+        cls, path: str | Path
+    ) -> "StreamCheckpoint | None":
+        path = Path(path)
+        if not path.exists():
+            return None
+        return cls.load(path)

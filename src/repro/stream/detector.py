@@ -1,0 +1,83 @@
+"""Online detection: per-record live alerts + batch-exact session reports.
+
+The paper's detection phase (§4.2) has two halves with different latency
+profiles, and the streaming detector splits them accordingly:
+
+* **unexpected log messages** are recognizable the instant a record
+  arrives — :meth:`StreamingDetector.observe` matches each record
+  against the learned log keys and emits a lightweight
+  :class:`LiveAlert` immediately, so operators see novel messages while
+  the job is still running;
+* **erroneous HW-graph instances** (incomplete subroutines, missing
+  critical keys, order violations, missing groups, hierarchy breaks)
+  need the whole session — :meth:`StreamingDetector.finalize` runs them
+  when the tracker closes a session.
+
+``finalize`` delegates to the batch
+:meth:`~repro.detection.detector.AnomalyDetector.detect_session` on the
+time-sorted closed session, which makes stream/batch report parity exact
+*by construction*: the same detector code produces the authoritative
+:class:`~repro.detection.report.SessionReport` in both modes.  The live
+pass costs one extra Spell match per record; the full §3 extraction for
+unexpected messages runs once, at finalize time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..detection.detector import AnomalyDetector
+from ..detection.report import SessionReport
+from ..parsing.records import LogRecord
+from .tracker import ClosedSession
+
+__all__ = ["LiveAlert", "StreamingDetector"]
+
+
+@dataclass(slots=True)
+class LiveAlert:
+    """Immediate per-record finding, ahead of the session's full report."""
+
+    kind: str
+    session_id: str
+    app_id: str
+    timestamp: float
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "session_id": self.session_id,
+            "app_id": self.app_id,
+            "timestamp": self.timestamp,
+            "message": self.message,
+        }
+
+
+class StreamingDetector:
+    """Wraps a trained :class:`AnomalyDetector` for online use."""
+
+    def __init__(self, detector: AnomalyDetector) -> None:
+        self.detector = detector
+
+    def observe(self, record: LogRecord) -> LiveAlert | None:
+        """Cheap per-record check: is this message's log key known?
+
+        Returns a :class:`LiveAlert` for unexpected messages, ``None``
+        for messages the model recognizes.  Purely advisory — the
+        authoritative anomaly (with full five-field extraction) appears
+        in the session's :meth:`finalize` report.
+        """
+        if self.detector.spell.match(record.message) is not None:
+            return None
+        return LiveAlert(
+            kind="unexpected_message",
+            session_id=record.session_id,
+            app_id=record.app_id,
+            timestamp=record.timestamp,
+            message=record.message[:200],
+        )
+
+    def finalize(self, closed: ClosedSession) -> SessionReport:
+        """Full HW-graph-instance checks on a closed session."""
+        return self.detector.detect_session(closed.session)

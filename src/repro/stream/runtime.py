@@ -1,0 +1,286 @@
+"""The live detection runtime: source → tracker → detector → sink.
+
+:class:`StreamRuntime` is the event loop that turns IntelLog's batch
+pipeline into an online service.  Each iteration pulls a batch of
+records from the :class:`~repro.stream.source.LogSource`, gives every
+record an immediate unexpected-message check
+(:class:`~repro.stream.detector.StreamingDetector.observe`), feeds it to
+the :class:`~repro.stream.tracker.SessionTracker`, and — whenever the
+tracker closes a session — finalizes the full HW-graph-instance checks
+and emits the :class:`~repro.detection.report.SessionReport` through the
+sink.  A checkpoint (source position + tracker state + counters) is
+written after every batch that emitted reports, so restarts neither
+drop nor duplicate work.
+
+Memory stays bounded by the tracker's session cap; wall-clock pacing
+(`poll_interval`) only applies when the source has nothing to deliver.
+Runtime counters are exposed via :class:`RuntimeStats` and an optional
+periodic ``stats_callback``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..detection.detector import AnomalyDetector
+from .checkpoint import StreamCheckpoint
+from .detector import LiveAlert, StreamingDetector
+from .sink import ListSink, ReportSink
+from .source import LogSource
+from .tracker import ClosedSession, SessionTracker, TrackerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.intellog import IntelLog
+
+__all__ = ["RuntimeStats", "StreamRuntime"]
+
+
+@dataclass(slots=True)
+class RuntimeStats:
+    """Live counters, snapshotted for the periodic stats callback."""
+
+    records: int = 0
+    live_alerts: int = 0
+    reports: int = 0
+    anomalous_sessions: int = 0
+    open_sessions: int = 0
+    peak_open_sessions: int = 0
+    evictions: int = 0
+    closed_by_reason: dict[str, int] = field(default_factory=dict)
+    anomalies_by_kind: dict[str, int] = field(default_factory=dict)
+    queue_depth: int | None = None
+    elapsed_s: float = 0.0
+    records_per_s: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "records": self.records,
+            "live_alerts": self.live_alerts,
+            "reports": self.reports,
+            "anomalous_sessions": self.anomalous_sessions,
+            "open_sessions": self.open_sessions,
+            "peak_open_sessions": self.peak_open_sessions,
+            "evictions": self.evictions,
+            "closed_by_reason": dict(self.closed_by_reason),
+            "anomalies_by_kind": dict(self.anomalies_by_kind),
+            "queue_depth": self.queue_depth,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "records_per_s": round(self.records_per_s, 1),
+        }
+
+
+class StreamRuntime:
+    """Online ingestion + live anomaly detection against a trained model."""
+
+    def __init__(
+        self,
+        model: "IntelLog | AnomalyDetector",
+        source: LogSource,
+        sink: ReportSink | None = None,
+        tracker: SessionTracker | TrackerConfig | None = None,
+        checkpoint_path: str | Path | None = None,
+        on_alert: Callable[[LiveAlert], None] | None = None,
+        stats_callback: Callable[[RuntimeStats], None] | None = None,
+        stats_every: int = 1000,
+        checkpoint_every: int = 5000,
+        poll_batch: int = 512,
+        poll_interval: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if isinstance(model, AnomalyDetector):
+            detector = model
+        else:
+            detector = model.detector()
+        self.detector = StreamingDetector(detector)
+        self.source = source
+        self.sink: ReportSink = sink if sink is not None else ListSink()
+        if isinstance(tracker, SessionTracker):
+            self.tracker = tracker
+        else:
+            self.tracker = SessionTracker(tracker)
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.on_alert = on_alert
+        self.stats_callback = stats_callback
+        self.stats_every = max(1, stats_every)
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.poll_batch = max(1, poll_batch)
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._sleep = sleep
+        self.stats = RuntimeStats()
+        self._run_consumed = 0
+        self._last_checkpoint_at = 0
+        self._stats_emitted_at = -1
+        self._resumed = self._try_resume()
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def resumed(self) -> bool:
+        """True when a checkpoint was found and restored on startup."""
+        return self._resumed
+
+    def _try_resume(self) -> bool:
+        if self.checkpoint_path is None:
+            return False
+        checkpoint = StreamCheckpoint.load_if_exists(self.checkpoint_path)
+        if checkpoint is None:
+            return False
+        self.source.seek(checkpoint.source_position)
+        self.tracker.load_state(checkpoint.tracker_state)
+        counters = checkpoint.counters
+        self.stats.records = int(counters.get("records", 0))
+        self.stats.live_alerts = int(counters.get("live_alerts", 0))
+        self.stats.reports = int(counters.get("reports", 0))
+        self.stats.anomalous_sessions = int(
+            counters.get("anomalous_sessions", 0)
+        )
+        self.stats.closed_by_reason = dict(
+            counters.get("closed_by_reason", {})
+        )
+        self.stats.anomalies_by_kind = dict(
+            counters.get("anomalies_by_kind", {})
+        )
+        self._last_checkpoint_at = self.stats.records
+        return True
+
+    def checkpoint(self) -> None:
+        """Snapshot source position + tracker state + counters to disk."""
+        if self.checkpoint_path is None:
+            return
+        self._last_checkpoint_at = self.stats.records
+        StreamCheckpoint(
+            source_position=self.source.position(),
+            tracker_state=self.tracker.state_dict(),
+            counters={
+                "records": self.stats.records,
+                "live_alerts": self.stats.live_alerts,
+                "reports": self.stats.reports,
+                "anomalous_sessions": self.stats.anomalous_sessions,
+                "closed_by_reason": dict(self.stats.closed_by_reason),
+                "anomalies_by_kind": dict(self.stats.anomalies_by_kind),
+            },
+        ).save(self.checkpoint_path)
+
+    # -- main loop --------------------------------------------------------
+
+    def run(
+        self,
+        once: bool = False,
+        max_records: int | None = None,
+    ) -> RuntimeStats:
+        """Consume the source until exhausted (``once``) or forever.
+
+        ``once`` finishes when the source has nothing left *right now*
+        (backfill / tests); otherwise the loop sleeps ``poll_interval``
+        between empty polls and keeps following.  At a natural end the
+        tracker is flushed so every open session gets its report.
+
+        ``max_records`` instead *pauses* after that many records: open
+        sessions stay in the tracker and a checkpoint is written, so a
+        later ``run()`` (or a new process resuming from the checkpoint)
+        continues mid-job.
+        """
+        start = self._clock()
+        self._run_consumed = 0
+        consumed = 0
+        paused = False
+        next_stats = self.stats.records + self.stats_every
+        while True:
+            # Clamp the poll so a max_records pause never strands polled
+            # but unobserved records (the source position moves with the
+            # poll, so anything pulled must be consumed).
+            want = self.poll_batch
+            if max_records is not None:
+                want = min(want, max_records - consumed)
+            batch = self.source.poll(want)
+            if not batch:
+                flush_pending = getattr(
+                    self.source, "flush_pending", None
+                )
+                if flush_pending is not None:
+                    batch = flush_pending()
+            if not batch:
+                if once or self.source.exhausted():
+                    break
+                # One stats emission when the stream goes quiet, then
+                # silence until records flow again — not one per poll.
+                if self.stats.records != self._stats_emitted_at:
+                    self._emit_stats(start)
+                self._sleep(self.poll_interval)
+                continue
+
+            emitted_before = self.stats.reports
+            for record in batch:
+                self.stats.records += 1
+                consumed += 1
+                self._run_consumed += 1
+                alert = self.detector.observe(record)
+                if alert is not None:
+                    self.stats.live_alerts += 1
+                    if self.on_alert is not None:
+                        self.on_alert(alert)
+                for closed in self.tracker.observe(record):
+                    self._finalize(closed)
+                if self.stats.records >= next_stats:
+                    next_stats += self.stats_every
+                    self._emit_stats(start)
+            overdue = (
+                self.stats.records - self._last_checkpoint_at
+                >= self.checkpoint_every
+            )
+            if self.stats.reports != emitted_before or overdue:
+                self.checkpoint()
+            if max_records is not None and consumed >= max_records:
+                paused = True
+                break
+
+        if not paused:
+            for closed in self.tracker.flush():
+                self._finalize(closed)
+        self.checkpoint()
+        self._emit_stats(start)
+        return self.stats
+
+    def drain(self) -> RuntimeStats:
+        """Convenience: process everything currently available and stop."""
+        return self.run(once=True)
+
+    # -- internals --------------------------------------------------------
+
+    def _finalize(self, closed: ClosedSession) -> None:
+        report = self.detector.finalize(closed)
+        self.stats.reports += 1
+        if report.anomalous:
+            self.stats.anomalous_sessions += 1
+        reason_counts = self.stats.closed_by_reason
+        reason_counts[closed.reason] = (
+            reason_counts.get(closed.reason, 0) + 1
+        )
+        kind_counts = self.stats.anomalies_by_kind
+        for anomaly in report.anomalies:
+            kind = anomaly.kind.value
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        self.sink.emit(report, closed)
+
+    def _emit_stats(self, start: float) -> None:
+        self._stats_emitted_at = self.stats.records
+        self.stats.open_sessions = self.tracker.open_count
+        self.stats.peak_open_sessions = self.tracker.peak_open
+        self.stats.evictions = self.tracker.evictions
+        self.stats.queue_depth = self.source.backlog()
+        self.stats.elapsed_s = max(self._clock() - start, 0.0)
+        if self.stats.elapsed_s > 0:
+            # Rate over *this* run only; cumulative counts may include
+            # records consumed before a checkpoint resume.
+            self.stats.records_per_s = (
+                self._run_consumed / self.stats.elapsed_s
+            )
+        if self.stats_callback is not None:
+            self.stats_callback(self.stats)

@@ -1,0 +1,76 @@
+"""Report sinks: where finished :class:`SessionReport`s go.
+
+The runtime emits one report per closed session through a pluggable
+sink, decoupling detection from delivery (stdout, JSON-lines files,
+collection for tests, or any callable)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Callable, Protocol, runtime_checkable
+
+from ..detection.report import SessionReport
+from .tracker import ClosedSession
+
+__all__ = ["ReportSink", "ListSink", "JsonLinesSink", "CallbackSink"]
+
+
+@runtime_checkable
+class ReportSink(Protocol):
+    """Receives each finished session report exactly once."""
+
+    def emit(self, report: SessionReport, closed: ClosedSession) -> None:
+        ...
+
+
+class ListSink:
+    """Collects reports in memory (tests, small backfills)."""
+
+    def __init__(self) -> None:
+        self.reports: list[SessionReport] = []
+        self.closures: list[ClosedSession] = []
+
+    def emit(self, report: SessionReport, closed: ClosedSession) -> None:
+        self.reports.append(report)
+        self.closures.append(closed)
+
+
+class JsonLinesSink:
+    """Appends one JSON object per report to a stream or file.
+
+    Each line carries the full report dict plus the closure reason, so
+    downstream consumers can distinguish evicted sessions from clean
+    closes.
+    """
+
+    def __init__(self, target: IO[str] | str | Path) -> None:
+        if isinstance(target, (str, Path)):
+            self._fp: IO[str] = open(target, "a", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fp = target
+            self._owned = False
+
+    def emit(self, report: SessionReport, closed: ClosedSession) -> None:
+        payload = report.to_dict()
+        payload["closed_reason"] = closed.reason
+        self._fp.write(json.dumps(payload) + "\n")
+        self._fp.flush()
+
+    def close(self) -> None:
+        if self._owned:
+            self._fp.close()
+
+
+class CallbackSink:
+    """Adapts any ``(report, closed) -> None`` callable into a sink."""
+
+    def __init__(
+        self,
+        fn: Callable[[SessionReport, ClosedSession], None],
+    ) -> None:
+        self._fn = fn
+
+    def emit(self, report: SessionReport, closed: ClosedSession) -> None:
+        self._fn(report, closed)

@@ -1,0 +1,235 @@
+"""Log sources for the streaming runtime.
+
+A :class:`LogSource` hands the runtime batches of :class:`LogRecord`s as
+they become available.  Two implementations ship:
+
+* :class:`IterableSource` — replays an in-memory record sequence
+  (benchmarks, tests, backfill of already-collected logs);
+* :class:`FileFollowSource` — tails a growing log file ``tail -f`` style,
+  parsing new complete lines through a :mod:`repro.parsing.formatters`
+  formatter and attributing records to sessions via a pluggable
+  ``session_key`` callable (the default recognizes YARN container and
+  application ids anywhere in the raw line).
+
+Both support checkpointing through ``position()`` / ``seek()`` so a
+restarted runtime resumes exactly where the previous one stopped.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+from ..parsing.formatters import Formatter, default_registry
+from ..parsing.records import LogRecord
+
+__all__ = [
+    "LogSource",
+    "IterableSource",
+    "FileFollowSource",
+    "yarn_session_key",
+]
+
+_CONTAINER_RE = re.compile(r"container_\w+")
+_APP_RE = re.compile(r"application_\d+_\d+")
+
+
+def yarn_session_key(record: LogRecord) -> LogRecord:
+    """Default session attribution: scan the raw line for YARN ids.
+
+    One container's logs are one session (paper §5); log files aggregated
+    by YARN interleave many containers, each line carrying its container
+    id.  Records that already have a ``session_id`` are left untouched.
+    """
+    if not record.session_id:
+        match = _CONTAINER_RE.search(record.raw)
+        if match:
+            record.session_id = match.group(0)
+    if not record.app_id:
+        match = _APP_RE.search(record.raw)
+        if match:
+            record.app_id = match.group(0)
+    return record
+
+
+@runtime_checkable
+class LogSource(Protocol):
+    """Pull-based record source consumed by the runtime."""
+
+    def poll(self, max_records: int) -> list[LogRecord]:
+        """Return up to ``max_records`` newly available records.
+
+        An empty list means nothing is available *right now*; the runtime
+        decides whether to keep waiting (follow mode) or finish
+        (``exhausted()``).
+        """
+        ...
+
+    def exhausted(self) -> bool:
+        """True when the source can never produce another record."""
+        ...
+
+    def backlog(self) -> int | None:
+        """Records (or bytes, for file sources) known to be pending;
+        ``None`` when unknowable."""
+        ...
+
+    def position(self) -> dict[str, Any]:
+        """Checkpointable position token (JSON-serialisable)."""
+        ...
+
+    def seek(self, position: dict[str, Any]) -> None:
+        """Resume from a previously checkpointed ``position()``."""
+        ...
+
+
+class IterableSource:
+    """Replays an in-memory sequence of records.
+
+    Sequences are seekable by index; arbitrary iterators are consumed
+    once and report an index-only position (seeking into a fresh
+    equivalent iterable is the caller's responsibility).
+    """
+
+    def __init__(self, records: Sequence[LogRecord] | Iterator[LogRecord]):
+        if isinstance(records, Sequence):
+            self._records: Sequence[LogRecord] | None = records
+            self._iter: Iterator[LogRecord] | None = None
+        else:
+            self._records = None
+            self._iter = iter(records)
+        self._index = 0
+        self._done = False
+
+    def poll(self, max_records: int) -> list[LogRecord]:
+        if self._records is not None:
+            batch = list(
+                self._records[self._index:self._index + max_records]
+            )
+            self._index += len(batch)
+            if self._index >= len(self._records):
+                self._done = True
+            return batch
+        assert self._iter is not None
+        batch = []
+        for record in self._iter:
+            batch.append(record)
+            self._index += 1
+            if len(batch) >= max_records:
+                break
+        if not batch:
+            self._done = True
+        return batch
+
+    def exhausted(self) -> bool:
+        if self._records is not None:
+            return self._index >= len(self._records)
+        return self._done
+
+    def backlog(self) -> int | None:
+        if self._records is not None:
+            return len(self._records) - self._index
+        return None
+
+    def position(self) -> dict[str, Any]:
+        return {"kind": "iterable", "index": self._index}
+
+    def seek(self, position: dict[str, Any]) -> None:
+        index = int(position.get("index", 0))
+        if self._records is None:
+            # Iterator-backed: fast-forward by discarding records.
+            while self._index < index and self.poll(1):
+                pass
+            return
+        self._index = min(index, len(self._records))
+        self._done = self._index >= len(self._records)
+
+
+class FileFollowSource:
+    """Tails a log file, yielding records parsed from new complete lines.
+
+    Continuation lines (stack traces) must fold into the preceding
+    record, so the most recent parsed record is held back until the next
+    header line arrives; ``flush_pending`` (called by the runtime when
+    the file has gone quiet or at end-of-input) releases it.  The
+    checkpoint position is the byte offset of the *held-back* record, so
+    resuming re-reads only that record and loses nothing.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        formatter: Formatter | str = "generic",
+        session_key: Callable[[LogRecord], LogRecord] = yarn_session_key,
+    ) -> None:
+        self.path = os.fspath(path)
+        if isinstance(formatter, str):
+            formatter = default_registry().get(formatter)
+        self.formatter = formatter
+        self.session_key = session_key
+        self._offset = 0  # consumed-through byte offset
+        self._pending: LogRecord | None = None
+        self._pending_offset = 0  # offset of the pending record's line
+
+    # -- reading ----------------------------------------------------------
+
+    def poll(self, max_records: int) -> list[LogRecord]:
+        out: list[LogRecord] = []
+        try:
+            fp = open(self.path, "rb")
+        except FileNotFoundError:
+            return out
+        with fp:
+            fp.seek(self._offset)
+            while len(out) < max_records:
+                line_start = fp.tell()
+                raw = fp.readline()
+                if not raw.endswith(b"\n"):
+                    break  # partial line still being written
+                self._offset = fp.tell()
+                line = raw.decode("utf-8", errors="replace").rstrip("\n")
+                if not line.strip():
+                    continue
+                record = self.formatter.try_parse(line)
+                if record is not None:
+                    if self._pending is not None:
+                        out.append(self.session_key(self._pending))
+                    self._pending = record
+                    self._pending_offset = line_start
+                elif self._pending is not None:
+                    self._pending.message += "\n" + line.strip()
+                    self._pending.raw += "\n" + line
+        return out
+
+    def flush_pending(self) -> list[LogRecord]:
+        """Release the held-back record (quiet file / end of input)."""
+        if self._pending is None:
+            return []
+        record, self._pending = self._pending, None
+        self._pending_offset = self._offset
+        return [self.session_key(record)]
+
+    def exhausted(self) -> bool:
+        return False  # a followed file may always grow
+
+    def backlog(self) -> int | None:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return None
+        return max(0, size - self._offset)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def position(self) -> dict[str, Any]:
+        offset = (
+            self._pending_offset if self._pending is not None
+            else self._offset
+        )
+        return {"kind": "file", "path": self.path, "offset": offset}
+
+    def seek(self, position: dict[str, Any]) -> None:
+        self._offset = int(position.get("offset", 0))
+        self._pending = None
+        self._pending_offset = self._offset

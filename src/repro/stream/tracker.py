@@ -1,0 +1,245 @@
+"""Incremental session assembly with bounded memory.
+
+The batch pipeline buffers every record and calls
+:func:`repro.parsing.records.split_sessions`; a streaming runtime cannot.
+:class:`SessionTracker` assembles the same per-container sessions online:
+
+* records are bucketed by the shared :func:`~repro.parsing.records.
+  session_bucket` keying, so tracker output matches ``split_sessions``
+  exactly on identical input;
+* a session **closes** when an end-marker message arrives (e.g. Spark's
+  ``Shutdown hook called``), when it has been idle — in *event time*,
+  against the high-watermark of timestamps seen — longer than
+  ``idle_timeout``, or when the tracker is flushed;
+* when more than ``max_open_sessions`` are open, the least recently
+  active session is **evicted** (closed early), keeping memory bounded
+  no matter how many containers a job spawns.
+
+Closed sessions come back time-sorted, ready for detection.  The whole
+tracker state round-trips through ``state_dict()`` / ``load_state()``
+for checkpointing.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..parsing.records import LogRecord, Session, session_bucket
+
+__all__ = [
+    "DEFAULT_END_MARKERS",
+    "TrackerConfig",
+    "ClosedSession",
+    "SessionTracker",
+]
+
+#: Session-end message markers recognized out of the box: the *final*
+#: line each targeted system prints as a container winds down.  Markers
+#: must only ever match a session's last message — a premature match
+#: splits the session in two — so mid-shutdown chatter ("Driver
+#: commanded a shutdown", "Task ... done") is deliberately absent;
+#: sessions without a terminal marker close via the idle timeout.
+DEFAULT_END_MARKERS = (
+    r"Deleting directory",                 # Spark ShutdownHookManager
+    r"metrics system shutdown complete",   # MapReduce map/reduce tasks
+    r"Job end notification started",       # MapReduce ApplicationMaster
+    r"TezChild shutdown invoked",          # Tez task containers
+    r"Calling stop for all the services",  # Tez DAGAppMaster
+)
+
+
+@dataclass(slots=True)
+class TrackerConfig:
+    """Tunables for online session assembly."""
+
+    #: Event-time seconds without records before a session is closed.
+    idle_timeout: float = 300.0
+    #: Hard cap on concurrently tracked sessions (LRU eviction above it).
+    max_open_sessions: int = 10_000
+    #: Regexes that mark a session's final message.
+    end_markers: tuple[str, ...] = DEFAULT_END_MARKERS
+
+
+@dataclass(slots=True)
+class ClosedSession:
+    """One finished session plus why the tracker closed it."""
+
+    session: Session
+    reason: str  # "end_marker" | "idle" | "evicted" | "flush"
+
+
+@dataclass(slots=True)
+class _Open:
+    session: Session
+    last_seen: float  # event time of the newest record
+
+
+class SessionTracker:
+    """State machine turning a record stream into closed sessions."""
+
+    def __init__(self, config: TrackerConfig | None = None) -> None:
+        self.config = config or TrackerConfig()
+        self._open: OrderedDict[tuple[str, str], _Open] = OrderedDict()
+        self._markers = [
+            re.compile(p) for p in self.config.end_markers
+        ]
+        self.watermark = float("-inf")  # newest event time seen
+        self.evictions = 0
+        self.peak_open = 0
+
+    # -- ingest -----------------------------------------------------------
+
+    def observe(self, record: LogRecord) -> list[ClosedSession]:
+        """Ingest one record; return any sessions this closed."""
+        closed: list[ClosedSession] = []
+        key, sid = session_bucket(record)
+        entry = self._open.get(key)
+        if entry is None:
+            entry = _Open(
+                session=Session(session_id=sid, app_id=record.app_id),
+                last_seen=record.timestamp,
+            )
+            self._open[key] = entry
+        entry.session.append(record)
+        entry.last_seen = max(entry.last_seen, record.timestamp)
+        self._open.move_to_end(key)
+        self.watermark = max(self.watermark, record.timestamp)
+
+        if any(m.search(record.message) for m in self._markers):
+            del self._open[key]
+            closed.append(self._close(entry, "end_marker"))
+
+        closed.extend(self._expire_idle())
+        closed.extend(self._evict_over_cap())
+        # Peak is recorded post-eviction: the cap is a hard bound on
+        # tracked sessions, so peak_open never exceeds it.
+        self.peak_open = max(self.peak_open, len(self._open))
+        return closed
+
+    def flush(self) -> list[ClosedSession]:
+        """Close everything still open (end of input / shutdown)."""
+        closed = [
+            self._close(entry, "flush") for entry in self._open.values()
+        ]
+        self._open.clear()
+        return closed
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    # -- closure policies -------------------------------------------------
+
+    def _expire_idle(self) -> list[ClosedSession]:
+        # LRU order ≠ event-time order when records arrive out of order
+        # across sessions, so scan for expired entries rather than only
+        # popping from the front.
+        horizon = self.watermark - self.config.idle_timeout
+        expired = [
+            key for key, entry in self._open.items()
+            if entry.last_seen <= horizon
+        ]
+        closed = []
+        for key in expired:
+            entry = self._open.pop(key)
+            closed.append(self._close(entry, "idle"))
+        return closed
+
+    def _evict_over_cap(self) -> list[ClosedSession]:
+        closed = []
+        while len(self._open) > self.config.max_open_sessions:
+            _, entry = self._open.popitem(last=False)
+            self.evictions += 1
+            closed.append(self._close(entry, "evicted"))
+        return closed
+
+    @staticmethod
+    def _close(entry: _Open, reason: str) -> ClosedSession:
+        entry.session.sort()
+        return ClosedSession(session=entry.session, reason=reason)
+
+    # -- checkpoint state -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of every open session."""
+        return {
+            "watermark": (
+                None if self.watermark == float("-inf")
+                else self.watermark
+            ),
+            "evictions": self.evictions,
+            "peak_open": self.peak_open,
+            "open": [
+                {
+                    "key": list(key),
+                    "session_id": entry.session.session_id,
+                    "app_id": entry.session.app_id,
+                    "last_seen": entry.last_seen,
+                    "records": [
+                        _record_to_dict(r) for r in entry.session.records
+                    ],
+                }
+                for key, entry in self._open.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a ``state_dict()`` snapshot (replaces current state)."""
+        watermark = state.get("watermark")
+        self.watermark = (
+            float("-inf") if watermark is None else float(watermark)
+        )
+        self.evictions = int(state.get("evictions", 0))
+        self.peak_open = int(state.get("peak_open", 0))
+        self._open = OrderedDict()
+        for item in state.get("open", ()):
+            key = tuple(item["key"])
+            session = Session(
+                session_id=item["session_id"],
+                app_id=item.get("app_id", ""),
+            )
+            for rec in item.get("records", ()):
+                session.append(_record_from_dict(rec))
+            self._open[key] = _Open(
+                session=session,
+                last_seen=float(item["last_seen"]),
+            )
+
+
+def _record_to_dict(record: LogRecord) -> dict:
+    """Checkpoint form of a record.
+
+    Ground truth (simulator-only annotations) is intentionally dropped:
+    detection never consults it, and it does not survive real restarts
+    either.
+    """
+    data = {
+        "timestamp": record.timestamp,
+        "level": record.level,
+        "source": record.source,
+        "message": record.message,
+    }
+    if record.session_id:
+        data["session_id"] = record.session_id
+    if record.app_id:
+        data["app_id"] = record.app_id
+    if record.raw != record.message:
+        data["raw"] = record.raw
+    if record.meta:
+        data["meta"] = record.meta
+    return data
+
+
+def _record_from_dict(data: dict) -> LogRecord:
+    return LogRecord(
+        timestamp=float(data["timestamp"]),
+        level=data.get("level", "INFO"),
+        source=data.get("source", ""),
+        message=data["message"],
+        session_id=data.get("session_id", ""),
+        app_id=data.get("app_id", ""),
+        raw=data.get("raw", ""),
+        meta=dict(data.get("meta", {})),
+    )

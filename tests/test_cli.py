@@ -103,3 +103,60 @@ class TestCli:
         main(["inspect", "--model", str(model_path), "--json"])
         payload = json.loads(capsys.readouterr().out)
         assert "groups" in payload
+
+
+class TestWatch:
+    def _train(self, log_files):
+        train_file, detect_file, tmp_path = log_files
+        model_path = tmp_path / "model.json"
+        main(["train", str(train_file), "--model", str(model_path),
+              "--formatter", "hadoop"])
+        return model_path, detect_file, tmp_path
+
+    def test_watch_once_streams_per_container_reports(self, log_files,
+                                                      capsys):
+        model_path, detect_file, tmp_path = self._train(log_files)
+        capsys.readouterr()  # drop training output
+        code = main([
+            "watch", "--model", str(model_path),
+            "--follow", str(detect_file),
+            "--formatter", "hadoop", "--once", "--no-checkpoint",
+        ])
+        out = capsys.readouterr().out
+        reports = [json.loads(line) for line in out.splitlines()]
+        assert reports
+        # yarn_session_key attributes each report to its container.
+        assert all(
+            r["session_id"].startswith("container_") for r in reports
+        )
+        assert all("closed_reason" in r for r in reports)
+        anomalous = any(r["anomalous"] for r in reports)
+        assert code == (1 if anomalous else 0)
+
+    def test_watch_writes_default_checkpoint(self, log_files, capsys):
+        model_path, detect_file, tmp_path = self._train(log_files)
+        capsys.readouterr()
+        code = main([
+            "watch", "--model", str(model_path),
+            "--follow", str(detect_file),
+            "--formatter", "hadoop", "--once",
+        ])
+        assert code in (0, 1)
+        ckpt = tmp_path / "model.stream-ckpt.json"
+        assert ckpt.exists()
+        state = json.loads(ckpt.read_text())
+        assert state["version"] == 1
+        assert "offset" in state["source_position"]
+
+    def test_watch_jsonl_output(self, log_files, capsys):
+        model_path, detect_file, tmp_path = self._train(log_files)
+        out_path = tmp_path / "reports.jsonl"
+        main([
+            "watch", "--model", str(model_path),
+            "--follow", str(detect_file),
+            "--formatter", "hadoop", "--once", "--no-checkpoint",
+            "--jsonl", str(out_path),
+        ])
+        lines = out_path.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["session_id"] for line in lines)

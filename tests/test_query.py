@@ -110,3 +110,44 @@ class TestJsonIO:
         store.dump(buffer)
         buffer.seek(0)
         assert len(MessageStore.load(buffer)) == len(store)
+
+
+class TestInvertedIndexes:
+    """Point lookups are index-backed; mutation must invalidate them."""
+
+    def test_index_invalidated_on_add(self):
+        store = fetcher_failure_store()
+        assert len(store.with_key("Kfail")) == 11  # builds the indexes
+        store.add(msg(key="Kfail", sid="reduce9", t=100.0,
+                      entities=("fetcher",)))
+        assert len(store.with_key("Kfail")) == 12
+        assert len(store.with_entity("fetcher")) == 13
+        assert len(store.in_session("reduce9")) == 1
+
+    def test_index_invalidated_on_extend(self):
+        store = fetcher_failure_store()
+        assert len(store.in_session("new")) == 0
+        store.extend([msg(sid="new"), msg(sid="new")])
+        assert len(store.in_session("new")) == 2
+
+    def test_indexed_lookups_match_linear_filter(self):
+        store = fetcher_failure_store()
+        for key in ("Kfail", "Kok", "missing"):
+            assert store.with_key(key).all() == store.filter(
+                lambda m, k=key: m.key_id == k
+            ).all()
+        assert store.with_entity("fetcher").all() == store.filter(
+            lambda m: "fetcher" in m.entities
+        ).all()
+        assert store.in_session("reduce0").all() == store.filter(
+            lambda m: m.session_id == "reduce0"
+        ).all()
+
+    def test_chained_lookups_on_derived_stores(self):
+        store = fetcher_failure_store()
+        derived = store.with_entity("fetcher").in_session("reduce0")
+        assert all(m.session_id == "reduce0" for m in derived)
+        assert len(derived) == len(
+            store.filter(lambda m: m.session_id == "reduce0"
+                         and "fetcher" in m.entities)
+        )
