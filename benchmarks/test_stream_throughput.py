@@ -9,6 +9,9 @@ Replays simulator-generated Spark and MapReduce logs through the
 * ``peak_open_sessions`` — maximum concurrently tracked sessions;
 * ``parity`` — whether streaming produced *identical* ``SessionReport``s
   to batch ``detect_job`` on the same records (asserted, must be exact);
+* ``anomalies_by_kind`` / ``health`` / ``degraded_s`` / ``quarantined``
+  — the resilience-layer counters, recorded so regressions in anomaly
+  mix or unexpected degradation show up in the benchmark artifact;
 * a ``capped`` sub-run with the session cap set to a tenth of the
   workload's container count, asserting peak stays under the cap.
 
@@ -93,6 +96,11 @@ def test_stream_throughput_and_parity(models, generators):
             "reports": stats.reports,
             "anomalous_sessions": stats.anomalous_sessions,
             "closed_by_reason": stats.closed_by_reason,
+            "anomalies_by_kind": stats.anomalies_by_kind,
+            "health": stats.health,
+            "degraded_s": round(stats.degraded_s, 3),
+            "io_failures": stats.io_failures,
+            "quarantined": stats.quarantined,
             "parity": parity,
             "capped": {
                 "cap": cap,

@@ -23,6 +23,7 @@ from .core import (
     IntelLogConfig,
     IntelLogError,
     NotTrainedError,
+    ResilienceConfig,
     TrainingSummary,
     score_predictions,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "JobReport",
     "LogRecord",
     "NotTrainedError",
+    "ResilienceConfig",
     "Session",
     "SessionReport",
     "SpellParser",

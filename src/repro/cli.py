@@ -102,14 +102,22 @@ def cmd_watch(args: argparse.Namespace) -> int:
     """Online detection: tail a log file against a saved model.
 
     Streams one JSON report line per closed session to stdout (or
-    ``--jsonl``), live unexpected-message alerts and periodic runtime
-    stats to stderr.  A checkpoint next to the model (disable with
-    ``--no-checkpoint``) lets a restarted watch resume mid-job without
-    re-emitting reports.  ``--once`` drains the file and exits (exit 1
-    when any session was anomalous, like ``detect``).
+    ``--jsonl``), live unexpected-message alerts, health transitions
+    and periodic runtime stats to stderr.  A checkpoint next to the
+    model (disable with ``--no-checkpoint``) lets a restarted watch
+    resume mid-job without re-emitting reports; corrupt checkpoints
+    fall back to their ``.bak``, then to a cold start with a warning.
+    Malformed input lines go to the ``--quarantine`` dead-letter file
+    (or are counted in memory) instead of being dropped.  ``--once``
+    drains the file and exits (exit 1 when any session was anomalous,
+    like ``detect``); exit 2 means the circuit breaker opened
+    (persistent IO failure) and the watch stopped at its checkpoint.
     """
+    from .core.config import ResilienceConfig
+    from .core.errors import CheckpointCorruptError
     from .stream import (
         FileFollowSource,
+        JsonLinesQuarantine,
         JsonLinesSink,
         StreamRuntime,
         TrackerConfig,
@@ -119,7 +127,12 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
     intellog = _load(args)
     formatter = args.formatter or intellog.config.formatter
-    source = FileFollowSource(args.follow, formatter=formatter)
+    quarantine = (
+        JsonLinesQuarantine(args.quarantine) if args.quarantine else None
+    )
+    source = FileFollowSource(
+        args.follow, formatter=formatter, quarantine=quarantine
+    )
     sink = JsonLinesSink(args.jsonl if args.jsonl else sys.stdout)
     checkpoint = None
     if not args.no_checkpoint:
@@ -129,6 +142,10 @@ def cmd_watch(args: argparse.Namespace) -> int:
         max_open_sessions=args.max_sessions,
         end_markers=tuple(args.end_marker or DEFAULT_END_MARKERS),
     )
+    resilience = ResilienceConfig(
+        retry_attempts=args.retry_attempts,
+        failed_after=args.fail_after,
+    )
 
     def on_alert(alert) -> None:
         print(f"ALERT {json.dumps(alert.to_dict())}", file=sys.stderr)
@@ -136,25 +153,47 @@ def cmd_watch(args: argparse.Namespace) -> int:
     def on_stats(stats) -> None:
         print(f"STATS {json.dumps(stats.to_dict())}", file=sys.stderr)
 
-    runtime = StreamRuntime(
-        intellog,
-        source,
-        sink=sink,
-        tracker=config,
-        checkpoint_path=checkpoint,
-        on_alert=on_alert,
-        stats_callback=on_stats if args.stats_every else None,
-        stats_every=args.stats_every or 1000,
-        poll_interval=args.poll_interval,
-    )
+    def on_health(old: str, new: str, why: str) -> None:
+        print(f"HEALTH {old} -> {new} ({why})", file=sys.stderr)
+
+    try:
+        runtime = StreamRuntime(
+            intellog,
+            source,
+            sink=sink,
+            tracker=config,
+            checkpoint_path=checkpoint,
+            on_alert=on_alert,
+            stats_callback=on_stats if args.stats_every else None,
+            stats_every=args.stats_every or 1000,
+            poll_interval=args.poll_interval,
+            resilience=resilience,
+            on_health=on_health,
+        )
+    except CheckpointCorruptError as exc:
+        # recover() normally swallows corruption into a cold start;
+        # this is the explicit-path escape hatch (e.g. unreadable dir).
+        raise SystemExit(f"error: checkpoint unusable: {exc}")
+    for note in runtime.resume_notes:
+        print(f"WARNING {note}", file=sys.stderr)
     if runtime.resumed:
-        print(f"resumed from checkpoint {checkpoint}", file=sys.stderr)
+        print(
+            f"resumed from {runtime.resume_origin} {checkpoint}",
+            file=sys.stderr,
+        )
     try:
         stats = runtime.run(once=args.once)
     except KeyboardInterrupt:  # graceful stop; resume from checkpoint
         print("interrupted — state saved at last checkpoint",
               file=sys.stderr)
         return 130
+    if stats.health == "failed":
+        print(
+            f"error: stream failed: {stats.failure} — stopped at last "
+            f"checkpoint; fix the IO problem and rerun to resume",
+            file=sys.stderr,
+        )
+        return 2
     if args.once:
         return 1 if stats.anomalous_sessions else 0
     return 0
@@ -252,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables)")
     watch.add_argument("--poll-interval", type=float, default=0.5,
                        help="seconds between polls of a quiet file")
+    watch.add_argument("--quarantine", default=None, metavar="PATH",
+                       help="append malformed input lines to this "
+                            "JSON-lines dead-letter file")
+    watch.add_argument("--retry-attempts", type=int, default=4,
+                       help="IO retries per operation before giving up "
+                            "on the cycle (default 4)")
+    watch.add_argument("--fail-after", type=int, default=12,
+                       help="consecutive IO failures before the watch "
+                            "stops at its checkpoint (default 12)")
     watch.set_defaults(func=cmd_watch)
 
     lint_model = sub.add_parser(

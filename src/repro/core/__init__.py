@@ -1,18 +1,21 @@
 """Core façade: the IntelLog train/detect API, config, metrics, errors."""
 
-from .config import IntelLogConfig
+from .config import IntelLogConfig, ResilienceConfig
 from .errors import (
+    CheckpointCorruptError,
     ConfigurationError,
     FormatterError,
     IntelLogError,
     ModelValidationError,
     ModelValidationWarning,
     NotTrainedError,
+    StreamFailedError,
 )
 from .intellog import IntelLog, TrainingSummary
 from .metrics import DetectionCounts, ExtractionAccuracy, score_predictions
 
 __all__ = [
+    "CheckpointCorruptError",
     "ConfigurationError",
     "DetectionCounts",
     "ExtractionAccuracy",
@@ -23,6 +26,8 @@ __all__ = [
     "ModelValidationError",
     "ModelValidationWarning",
     "NotTrainedError",
+    "ResilienceConfig",
+    "StreamFailedError",
     "TrainingSummary",
     "score_predictions",
 ]

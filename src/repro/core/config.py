@@ -9,6 +9,62 @@ from .errors import ConfigurationError
 
 
 @dataclass(slots=True)
+class ResilienceConfig:
+    """Fault-tolerance knobs for the streaming runtime.
+
+    Transient source/sink IO errors are retried with seeded-jitter
+    exponential backoff (``retry_attempts`` tries per operation, delays
+    growing from ``retry_base_delay`` to ``retry_max_delay``).  A
+    circuit breaker counts *consecutive* failed attempts across
+    operations: after ``degraded_after`` the runtime's health drops to
+    DEGRADED (it keeps polling), after ``failed_after`` it goes FAILED
+    and the run stops at the last checkpoint.  Any success snaps health
+    back to HEALTHY.
+
+    ``finalized_cap`` bounds the exactly-once ledger carried in the
+    checkpoint (content hashes of recently finalized sessions); only
+    sessions whose records could replay after a crash need to be in it,
+    so a few thousand entries cover any realistic replay window.
+    """
+
+    retry_attempts: int = 4
+    retry_base_delay: float = 0.05
+    retry_max_delay: float = 2.0
+    #: Jitter fraction applied to each delay (+/-), from a seeded rng.
+    retry_jitter: float = 0.25
+    retry_seed: int = 20190622
+    degraded_after: int = 1
+    failed_after: int = 12
+    finalized_cap: int = 4096
+    #: Raise StreamFailedError instead of returning failed stats.
+    fail_fast: bool = False
+
+    def validate(self) -> None:
+        if self.retry_attempts < 1:
+            raise ConfigurationError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}"
+            )
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ConfigurationError("retry delays must be >= 0")
+        if not (0.0 <= self.retry_jitter < 1.0):
+            raise ConfigurationError(
+                f"retry_jitter must be in [0, 1), got {self.retry_jitter}"
+            )
+        if self.degraded_after < 1 or self.failed_after < 1:
+            raise ConfigurationError(
+                "degraded_after and failed_after must be >= 1"
+            )
+        if self.failed_after < self.degraded_after:
+            raise ConfigurationError(
+                "failed_after must be >= degraded_after"
+            )
+        if self.finalized_cap < 0:
+            raise ConfigurationError(
+                f"finalized_cap must be >= 0, got {self.finalized_cap}"
+            )
+
+
+@dataclass(slots=True)
 class IntelLogConfig:
     """End-to-end configuration.
 
@@ -28,9 +84,12 @@ class IntelLogConfig:
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     validate_model: bool = True
     strict_validation: bool = False
+    #: Streaming-runtime fault tolerance (``repro.stream``).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def validate(self) -> None:
         if self.spell_tau <= 1.0:
             raise ConfigurationError(
                 f"spell_tau must be > 1, got {self.spell_tau}"
             )
+        self.resilience.validate()

@@ -33,3 +33,28 @@ class ModelValidationError(IntelLogError):
 
 class ModelValidationWarning(UserWarning):
     """Non-strict mode: a trained model produced static diagnostics."""
+
+
+class CheckpointCorruptError(IntelLogError):
+    """A stream checkpoint failed to load: torn write, checksum mismatch,
+    unsupported version, or a shape that is not a checkpoint at all.
+
+    The resume path (:meth:`repro.stream.StreamCheckpoint.recover`)
+    catches this and falls back to the rolling ``.bak`` checkpoint, then
+    to a cold start; it only escapes to callers that load checkpoints
+    directly.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        super().__init__(message)
+        self.path = path
+
+
+class StreamFailedError(IntelLogError):
+    """The streaming runtime's circuit breaker opened (health FAILED).
+
+    Raised from :meth:`repro.stream.StreamRuntime.run` only when
+    ``ResilienceConfig.fail_fast`` is set; by default the runtime stops
+    cleanly, checkpoints, and reports ``health == "failed"`` in its
+    stats instead.
+    """

@@ -56,6 +56,18 @@ class Anomaly:
             data["extraction"] = self.extraction
         return data
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Anomaly":
+        return cls(
+            kind=AnomalyKind(data["kind"]),
+            description=data.get("description", ""),
+            group=data.get("group"),
+            key_id=data.get("key_id"),
+            message=data.get("message"),
+            timestamp=data.get("timestamp"),
+            extraction=dict(data.get("extraction", {})),
+        )
+
 
 @dataclass(slots=True)
 class SessionReport:
@@ -88,6 +100,18 @@ class SessionReport:
             "affected_groups": self.affected_groups,
             "anomalies": [a.to_dict() for a in self.anomalies],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SessionReport":
+        """Rehydrate a ``to_dict()`` payload (checkpoint outbox replay)."""
+        return cls(
+            session_id=data["session_id"],
+            anomalies=[
+                Anomaly.from_dict(a) for a in data.get("anomalies", [])
+            ],
+            message_count=int(data.get("message_count", 0)),
+            matched_count=int(data.get("matched_count", 0)),
+        )
 
 
 @dataclass(slots=True)

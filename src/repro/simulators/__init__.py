@@ -8,7 +8,19 @@ benchmarks, fault injection (§6.4) and a workload generator (§6.1).
 
 from .cluster import Container, JobLogs, LogEmitter, Node, YarnCluster
 from .events import Simulation
-from .faults import FaultPlan, FaultSpec, KINDS, NETWORK, NODE_FAILURE, SIGKILL
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    KINDS,
+    LOG_DUPLICATE,
+    LOG_KINDS,
+    LOG_TORN,
+    LOG_TRUNCATE,
+    NETWORK,
+    NODE_FAILURE,
+    SIGKILL,
+    corrupt_log_lines,
+)
 from .groundtruth import Role, Template, TemplateCatalog
 from .infra import (
     generate_nova_records,
@@ -40,6 +52,10 @@ __all__ = [
     "JobLogs",
     "JobSpec",
     "KINDS",
+    "LOG_DUPLICATE",
+    "LOG_KINDS",
+    "LOG_TORN",
+    "LOG_TRUNCATE",
     "LogEmitter",
     "MapReduceConfig",
     "MapReduceSimulator",
@@ -61,6 +77,7 @@ __all__ = [
     "TezSimulator",
     "WorkloadGenerator",
     "YarnCluster",
+    "corrupt_log_lines",
     "generate_nova_records",
     "generate_yarn_records",
     "mapreduce_catalog",

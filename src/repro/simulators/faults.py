@@ -12,6 +12,23 @@ The paper's injection tool emulates three real-world problems:
 Problems are triggered at a random point during job execution.  The
 :class:`FaultPlan` picks victims up front so the per-container scripts can
 branch on them deterministically within one simulated run.
+
+Beyond the paper's three process-level problems, the plan also models
+**log-level corruption** — faults in the log files themselves rather
+than the processes writing them (the failure mode the streaming
+resilience layer defends against):
+
+* ``log_truncate`` — the victim's final line is cut mid-record (writer
+  crashed between write and flush);
+* ``log_duplicate`` — a chunk of the victim's lines is flushed twice
+  (appender retry after a timeout);
+* ``log_torn`` — two adjacent lines fuse into one physical line (torn
+  write interleaved with another append).
+
+These pick a victim container exactly like the process faults do and
+mark it affected; the corruption itself is applied to *rendered* log
+lines via :func:`corrupt_log_lines`, since the simulator's in-memory
+records have no byte-level representation to tear.
 """
 
 from __future__ import annotations
@@ -27,8 +44,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 SIGKILL = "sigkill"
 NETWORK = "network"
 NODE_FAILURE = "node_failure"
+LOG_TRUNCATE = "log_truncate"
+LOG_DUPLICATE = "log_duplicate"
+LOG_TORN = "log_torn"
 
-KINDS = (SIGKILL, NETWORK, NODE_FAILURE)
+#: Log-file corruption kinds (applied to rendered lines, not processes).
+LOG_KINDS = (LOG_TRUNCATE, LOG_DUPLICATE, LOG_TORN)
+
+KINDS = (SIGKILL, NETWORK, NODE_FAILURE) + LOG_KINDS
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +89,9 @@ class FaultPlan:
         self._victims: set[str] = set()
         self._affected: set[str] = set()
         self.network_victim_node: str | None = None
+        #: Container whose rendered log lines should be corrupted
+        #: (set only for LOG_KINDS specs).
+        self.log_victim: str | None = None
         self._containers: list["Container"] = []
 
     # -- planning -----------------------------------------------------------
@@ -100,6 +126,14 @@ class FaultPlan:
             # Fetch sources on the node are unreachable; the node's own
             # containers keep running (only its NIC is down for peers).
             self._affected.add(victim.container_id)
+        elif self.spec.kind in LOG_KINDS:
+            # The process runs to completion; its *log file* is what
+            # gets damaged (applied later via corrupt_log_lines on the
+            # rendered lines).  The victim's streamed session can no
+            # longer match the clean rendering, so it is affected.
+            victim = candidates[int(self.rng.integers(len(candidates)))]
+            self.log_victim = victim.container_id
+            self._affected.add(victim.container_id)
         elif self.spec.kind == NODE_FAILURE:
             victim = candidates[int(self.rng.integers(len(candidates)))]
             node_name = victim.node.name
@@ -132,3 +166,45 @@ class FaultPlan:
             kill = self._kill_times.get(container.container_id)
             if kill is not None:
                 container.killed_at = kill
+
+
+def corrupt_log_lines(
+    lines: list[str], kind: str, rng: np.random.Generator
+) -> list[str]:
+    """Apply one log-level corruption to rendered log lines.
+
+    Returns a new list; ``lines`` is not modified.  ``kind`` must be in
+    :data:`LOG_KINDS`.  Corruption positions are drawn from ``rng`` so
+    runs are reproducible from the simulator seed.
+
+    * :data:`LOG_TRUNCATE` — the final line is cut mid-record;
+    * :data:`LOG_DUPLICATE` — a chunk of 1–3 consecutive lines appears
+      twice (a duplicated flush);
+    * :data:`LOG_TORN` — one line's short prefix fuses with the next
+      line into a single physical line (both originals disappear).
+    """
+    if kind not in LOG_KINDS:
+        raise ValueError(
+            f"unknown log fault kind {kind!r}; expected one of {LOG_KINDS}"
+        )
+    out = list(lines)
+    if not out:
+        return out
+    if kind == LOG_TRUNCATE:
+        last = out[-1]
+        keep = int(rng.integers(1, max(2, len(last))))
+        out[-1] = last[:keep]
+    elif kind == LOG_DUPLICATE:
+        start = int(rng.integers(len(out)))
+        width = int(rng.integers(1, 4))
+        chunk = out[start:start + width]
+        out[start + width:start + width] = chunk
+    elif kind == LOG_TORN:
+        if len(out) >= 2:
+            i = int(rng.integers(len(out) - 1))
+            cut = int(rng.integers(1, max(2, min(10, len(out[i])))))
+            out[i:i + 2] = [out[i][:cut] + out[i + 1]]
+        else:
+            cut = int(rng.integers(1, max(2, len(out[0]))))
+            out[0] = out[0][:cut]
+    return out

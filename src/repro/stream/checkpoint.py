@@ -3,11 +3,26 @@
 One JSON document captures everything needed to restart mid-job: the
 source position (file byte offset or record index), the full
 :class:`~repro.stream.tracker.SessionTracker` state (open sessions with
-their buffered records), and cumulative emission counters.  Position and
-tracker state are snapshotted together between poll batches, so a
-runtime restarted from a checkpoint replays no record it already fed
-the tracker and re-emits no report it already delivered — resumed
-detection picks up exactly where the previous process stopped.
+their buffered records), cumulative emission counters, the
+exactly-once **finalized ledger** (content hashes of recently emitted
+sessions — see :func:`repro.stream.resilience.finalization_id`), and an
+**outbox** of reports that were finalized but not yet delivered to a
+failing sink.  Position and tracker state are snapshotted together
+between poll batches, so a runtime restarted from a checkpoint replays
+no record it already fed the tracker and re-emits no report it already
+delivered.
+
+Corruption is treated as the common case, not the exception:
+
+* the format carries a version and a SHA-256 content checksum; torn or
+  garbled files fail loading with a typed
+  :class:`~repro.core.errors.CheckpointCorruptError` instead of a
+  traceback deep in ``json``;
+* every save is atomic (temp file + rename) and rotates the previous
+  good checkpoint to a ``.bak`` sibling;
+* :meth:`StreamCheckpoint.recover` walks the ladder — checkpoint, then
+  ``.bak``, then cold start — returning what it found plus
+  human-readable notes for the operator.
 
 The checkpoint lives next to the model artifact by default
 (``model.json`` → ``model.stream-ckpt.json``), mirroring how
@@ -16,21 +31,40 @@ The checkpoint lives next to the model artifact by default
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-__all__ = ["StreamCheckpoint", "default_checkpoint_path"]
+from ..core.errors import CheckpointCorruptError
 
-_VERSION = 1
+__all__ = [
+    "StreamCheckpoint",
+    "default_checkpoint_path",
+    "backup_checkpoint_path",
+]
+
+_VERSION = 2
 
 
 def default_checkpoint_path(model_path: str | Path) -> Path:
     """Sibling checkpoint path for a model artifact."""
     path = Path(model_path)
     return path.with_name(path.stem + ".stream-ckpt.json")
+
+
+def backup_checkpoint_path(path: str | Path) -> Path:
+    """Rolling backup (`.bak`) sibling for a checkpoint path."""
+    path = Path(path)
+    return path.with_name(path.name + ".bak")
+
+
+def _checksum(body: dict[str, Any]) -> str:
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()
 
 
 @dataclass(slots=True)
@@ -42,44 +76,108 @@ class StreamCheckpoint:
     #: Cumulative counters carried across restarts (records consumed,
     #: reports emitted, closures by reason, anomalies by kind).
     counters: dict[str, Any] = field(default_factory=dict)
+    #: Exactly-once ledger: finalization ids of recently emitted
+    #: reports, oldest first (bounded by ResilienceConfig.finalized_cap).
+    finalized: list[str] = field(default_factory=list)
+    #: Reports finalized but not yet delivered to the sink:
+    #: ``{"report": <SessionReport.to_dict()>, "reason": str,
+    #:    "finalization_id": str}`` — re-emitted first on resume.
+    outbox: list[dict[str, Any]] = field(default_factory=list)
     version: int = _VERSION
 
     # -- JSON I/O ---------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        body = {
             "version": self.version,
             "source_position": self.source_position,
             "tracker_state": self.tracker_state,
             "counters": self.counters,
+            "finalized": list(self.finalized),
+            "outbox": list(self.outbox),
         }
+        body["checksum"] = _checksum(
+            {k: v for k, v in body.items() if k != "checksum"}
+        )
+        return body
 
     def save(self, path: str | Path) -> None:
-        """Atomic write: temp file + rename, so a crash mid-save leaves
-        the previous checkpoint intact."""
+        """Atomic write with a rolling backup.
+
+        The previous checkpoint (if any) is renamed to ``.bak`` before
+        the new one replaces the live path, so at every instant at
+        least one intact checkpoint exists on disk; a crash mid-save
+        leaves either the old file, or the ``.bak`` plus a temp file —
+        never a torn live checkpoint.
+        """
         path = Path(path)
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(json.dumps(self.to_dict()))
+        if path.exists():
+            os.replace(path, backup_checkpoint_path(path))
         os.replace(tmp, path)
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "StreamCheckpoint":
-        version = int(data.get("version", 0))
-        if version != _VERSION:
-            raise ValueError(
-                f"unsupported stream checkpoint version {version} "
-                f"(expected {_VERSION})"
+    def from_dict(cls, data: Any) -> "StreamCheckpoint":
+        if not isinstance(data, dict):
+            raise CheckpointCorruptError(
+                f"checkpoint payload is {type(data).__name__}, "
+                f"expected an object"
             )
+        version = data.get("version")
+        if version not in (1, _VERSION):
+            raise CheckpointCorruptError(
+                f"unsupported stream checkpoint version {version!r} "
+                f"(expected 1 or {_VERSION})"
+            )
+        if version == _VERSION:
+            stated = data.get("checksum")
+            body = {k: v for k, v in data.items() if k != "checksum"}
+            if stated != _checksum(body):
+                raise CheckpointCorruptError(
+                    "checkpoint checksum mismatch (torn or edited file)"
+                )
+        shape = {
+            "source_position": dict,
+            "tracker_state": dict,
+            "counters": dict,
+            "finalized": list,
+            "outbox": list,
+        }
+        for key, kind in shape.items():
+            value = data.get(key, kind())
+            if not isinstance(value, kind):
+                raise CheckpointCorruptError(
+                    f"checkpoint field {key!r} is "
+                    f"{type(value).__name__}, expected {kind.__name__}"
+                )
         return cls(
             source_position=dict(data.get("source_position", {})),
             tracker_state=dict(data.get("tracker_state", {})),
             counters=dict(data.get("counters", {})),
-            version=version,
+            finalized=[str(x) for x in data.get("finalized", [])],
+            outbox=list(data.get("outbox", [])),
+            version=_VERSION,
         )
 
     @classmethod
     def load(cls, path: str | Path) -> "StreamCheckpoint":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint is not valid JSON: {exc}", path=str(path)
+            ) from exc
+        except UnicodeDecodeError as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint is not valid UTF-8: {exc}", path=str(path)
+            ) from exc
+        try:
+            return cls.from_dict(payload)
+        except CheckpointCorruptError as exc:
+            exc.path = str(path)
+            raise
 
     @classmethod
     def load_if_exists(
@@ -89,3 +187,46 @@ class StreamCheckpoint:
         if not path.exists():
             return None
         return cls.load(path)
+
+    @classmethod
+    def recover(
+        cls, path: str | Path
+    ) -> tuple["StreamCheckpoint | None", str, list[str]]:
+        """Load with fallback: checkpoint → ``.bak`` → cold start.
+
+        Returns ``(checkpoint, origin, notes)`` where origin is one of
+        ``"checkpoint"`` (live file loaded), ``"backup"`` (live file
+        corrupt/missing, ``.bak`` loaded), ``"cold"`` (both unusable —
+        the caller reprocesses from the beginning) or ``"fresh"`` (no
+        checkpoint has ever been written).  ``notes`` are warnings an
+        operator should see.
+        """
+        path = Path(path)
+        bak = backup_checkpoint_path(path)
+        if not path.exists() and not bak.exists():
+            return None, "fresh", []
+        notes: list[str] = []
+        if path.exists():
+            try:
+                return cls.load(path), "checkpoint", notes
+            except (CheckpointCorruptError, OSError) as exc:
+                notes.append(f"checkpoint {path} unusable: {exc}")
+        else:
+            notes.append(f"checkpoint {path} missing")
+        if bak.exists():
+            try:
+                checkpoint = cls.load(bak)
+                notes.append(
+                    f"recovered from backup checkpoint {bak}"
+                )
+                return checkpoint, "backup", notes
+            except (CheckpointCorruptError, OSError) as exc:
+                notes.append(f"backup checkpoint {bak} unusable: {exc}")
+        else:
+            notes.append("no backup checkpoint")
+        notes.append(
+            "COLD START: no usable checkpoint — reprocessing from the "
+            "beginning; already-delivered reports are suppressed only "
+            "if the sink can replay its emitted ids"
+        )
+        return None, "cold", notes

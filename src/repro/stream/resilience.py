@@ -1,0 +1,281 @@
+"""Fault-tolerance primitives for the streaming runtime.
+
+IntelLog's value proposition is always-on, non-intrusive monitoring of
+long-running clusters, which means the detection runtime must outlive
+the failures it is watching for: rotated and truncated log files, torn
+writes, corrupted checkpoints, flaky sinks.  This module collects the
+mechanisms the rest of ``repro.stream`` threads through:
+
+* :func:`retry delays <RetryPolicy.delay>` — seeded-jitter exponential
+  backoff for transient IO errors (seeded so DET001 stays green and
+  chaos runs are reproducible);
+* :class:`CircuitBreaker` — consecutive-failure counting that drives
+  the runtime's explicit ``HEALTHY → DEGRADED → FAILED`` health state
+  machine and accumulates time spent unhealthy;
+* :class:`quarantine sinks <Quarantine>` — a dead-letter channel for
+  unparseable/binary/torn input lines, each tagged with a reason code,
+  so malformed data is preserved and countable instead of raised or
+  silently dropped;
+* :func:`finalization_id` — the content-addressed identity of one
+  closed session, the key of the exactly-once emission ledger carried
+  in the checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import IO, Any, Callable, Protocol, runtime_checkable
+
+from numpy.random import default_rng
+
+from ..core.config import ResilienceConfig
+from ..parsing.records import Session
+
+__all__ = [
+    "HEALTHY",
+    "DEGRADED",
+    "FAILED",
+    "REASON_UNPARSEABLE",
+    "REASON_BINARY",
+    "REASON_DECODE",
+    "REASON_TRUNCATED",
+    "REASON_IO",
+    "REASON_FINALIZE",
+    "QUARANTINE_REASONS",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "Quarantine",
+    "ListQuarantine",
+    "JsonLinesQuarantine",
+    "finalization_id",
+]
+
+# -- health states ---------------------------------------------------------
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+# -- quarantine reason codes ----------------------------------------------
+
+#: Line matched no format and there was no record to fold it into.
+REASON_UNPARSEABLE = "unparseable"
+#: Line contains NUL bytes — binary data in a text log.
+REASON_BINARY = "binary"
+#: Line is not valid UTF-8 (torn multi-byte sequence, wrong encoding).
+REASON_DECODE = "decode_error"
+#: Trailing partial record at end of input (mid-record truncation).
+REASON_TRUNCATED = "truncated_record"
+#: An IO operation failed; the entry is a note, not a log line.
+REASON_IO = "io_error"
+#: Close-time detection raised on a (corrupt) session.
+REASON_FINALIZE = "finalize_error"
+
+QUARANTINE_REASONS = (
+    REASON_UNPARSEABLE,
+    REASON_BINARY,
+    REASON_DECODE,
+    REASON_TRUNCATED,
+    REASON_IO,
+    REASON_FINALIZE,
+)
+
+
+class RetryPolicy:
+    """Seeded-jitter exponential backoff derived from a config.
+
+    ``delay(attempt)`` grows ``base * 2**attempt`` capped at ``max``,
+    then applies ``±jitter`` from a seeded generator — deterministic
+    per policy instance, never synchronized across restarts that use
+    different seeds.
+    """
+
+    def __init__(self, config: ResilienceConfig | None = None) -> None:
+        self.config = config or ResilienceConfig()
+        self._rng = default_rng(self.config.retry_seed)
+
+    @property
+    def max_attempts(self) -> int:
+        return self.config.retry_attempts
+
+    def delay(self, attempt: int) -> float:
+        base = min(
+            self.config.retry_base_delay * (2.0 ** max(0, attempt)),
+            self.config.retry_max_delay,
+        )
+        jitter = self.config.retry_jitter
+        if jitter <= 0.0:
+            return base
+        return base * (1.0 + jitter * float(self._rng.uniform(-1.0, 1.0)))
+
+
+class CircuitBreaker:
+    """Consecutive-failure counter behind the health state machine.
+
+    Every failed IO attempt calls :meth:`record_failure`; any success
+    calls :meth:`record_success` and snaps the state back to HEALTHY.
+    The breaker also accumulates wall-clock time spent out of HEALTHY
+    (``degraded_seconds``) against an injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        degraded_after: int = 1,
+        failed_after: int = 12,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.degraded_after = max(1, degraded_after)
+        self.failed_after = max(self.degraded_after, failed_after)
+        self._clock = clock or (lambda: 0.0)
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self._unhealthy_since: float | None = None
+        self._degraded_s = 0.0
+
+    @property
+    def state(self) -> str:
+        if self.consecutive_failures >= self.failed_after:
+            return FAILED
+        if self.consecutive_failures >= self.degraded_after:
+            return DEGRADED
+        return HEALTHY
+
+    def record_failure(self) -> str:
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if (
+            self._unhealthy_since is None
+            and self.consecutive_failures >= self.degraded_after
+        ):
+            self._unhealthy_since = self._clock()
+        return self.state
+
+    def record_success(self) -> str:
+        self.consecutive_failures = 0
+        if self._unhealthy_since is not None:
+            self._degraded_s += max(
+                0.0, self._clock() - self._unhealthy_since
+            )
+            self._unhealthy_since = None
+        return self.state
+
+    def degraded_seconds(self) -> float:
+        """Cumulative time out of HEALTHY, including the current spell."""
+        live = 0.0
+        if self._unhealthy_since is not None:
+            live = max(0.0, self._clock() - self._unhealthy_since)
+        return self._degraded_s + live
+
+
+# -- quarantine ------------------------------------------------------------
+
+
+@runtime_checkable
+class Quarantine(Protocol):
+    """Dead-letter channel for malformed input, with per-reason counts."""
+
+    counts: dict[str, int]
+
+    def put(
+        self,
+        reason: str,
+        line: str,
+        source: str = "",
+        offset: int | None = None,
+    ) -> None:
+        ...
+
+
+class ListQuarantine:
+    """Collects quarantined entries in memory (default, tests)."""
+
+    def __init__(self) -> None:
+        self.entries: list[dict[str, Any]] = []
+        self.counts: dict[str, int] = {}
+
+    def put(
+        self,
+        reason: str,
+        line: str,
+        source: str = "",
+        offset: int | None = None,
+    ) -> None:
+        self.counts[reason] = self.counts.get(reason, 0) + 1
+        self.entries.append(
+            _entry(reason, line, source, offset)
+        )
+
+
+class JsonLinesQuarantine:
+    """Appends one JSON object per quarantined line to a file or stream.
+
+    The quarantine file format is one object per line with keys
+    ``reason`` (a :data:`QUARANTINE_REASONS` code), ``line`` (the
+    offending text, decoded with replacement characters), ``source``
+    (the originating file) and ``offset`` (byte offset, when known).
+    """
+
+    def __init__(self, target: IO[str] | str | Path) -> None:
+        if isinstance(target, (str, Path)):
+            self._fp: IO[str] = open(target, "a", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fp = target
+            self._owned = False
+        self.counts: dict[str, int] = {}
+
+    def put(
+        self,
+        reason: str,
+        line: str,
+        source: str = "",
+        offset: int | None = None,
+    ) -> None:
+        self.counts[reason] = self.counts.get(reason, 0) + 1
+        self._fp.write(
+            json.dumps(_entry(reason, line, source, offset)) + "\n"
+        )
+        self._fp.flush()
+
+    def close(self) -> None:
+        if self._owned:
+            self._fp.close()
+
+
+def _entry(
+    reason: str, line: str, source: str, offset: int | None
+) -> dict[str, Any]:
+    entry: dict[str, Any] = {"reason": reason, "line": line}
+    if source:
+        entry["source"] = source
+    if offset is not None:
+        entry["offset"] = offset
+    return entry
+
+
+# -- exactly-once identity -------------------------------------------------
+
+
+def finalization_id(session: Session) -> str:
+    """Content-addressed identity of one closed session.
+
+    A replay after a crash reconstructs byte-identical sessions from the
+    same input, so hashing the session id plus every record's
+    ``(timestamp, message)`` yields the same id — the checkpointed
+    ledger of these ids is what makes report emission exactly-once
+    across resume.  Two byte-identical closures of the same session
+    (only possible when the input itself was duplicated wholesale)
+    deliberately share an id and dedupe.
+    """
+    digest = hashlib.sha256()
+    digest.update(session.session_id.encode("utf-8", "replace"))
+    digest.update(b"\x00")
+    digest.update(session.app_id.encode("utf-8", "replace"))
+    for record in session.records:
+        digest.update(b"\x00")
+        digest.update(repr(record.timestamp).encode("ascii", "replace"))
+        digest.update(b"\x1f")
+        digest.update(record.message.encode("utf-8", "replace"))
+    return digest.hexdigest()[:20]

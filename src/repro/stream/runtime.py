@@ -8,9 +8,27 @@ record an immediate unexpected-message check
 the :class:`~repro.stream.tracker.SessionTracker`, and — whenever the
 tracker closes a session — finalizes the full HW-graph-instance checks
 and emits the :class:`~repro.detection.report.SessionReport` through the
-sink.  A checkpoint (source position + tracker state + counters) is
-written after every batch that emitted reports, so restarts neither
-drop nor duplicate work.
+sink.  A checkpoint (source position + tracker state + counters +
+exactly-once ledger) is written after every batch that emitted reports,
+so restarts neither drop nor duplicate work.
+
+The runtime is built to outlive the failures it watches for:
+
+* transient source/sink ``OSError``s are retried with seeded-jitter
+  exponential backoff; consecutive failures drive an explicit
+  ``HEALTHY → DEGRADED → FAILED`` health state machine (a
+  :class:`~repro.stream.resilience.CircuitBreaker`), surfaced in
+  :class:`RuntimeStats` and via the ``on_health`` callback — on FAILED
+  the loop stops at the last checkpoint instead of crashing;
+* each closed session's report is identified by a content hash
+  (:func:`~repro.stream.resilience.finalization_id`); recently emitted
+  ids ride in the checkpoint, and replayed closures matching the
+  ledger are suppressed — **no session report is ever emitted twice
+  after a resume**;
+* reports a failing sink would not accept land in a checkpointed
+  outbox and are redelivered first on the next run — never lost;
+* close-time detection errors on a (corrupt) session are quarantined,
+  not raised.
 
 Memory stays bounded by the tracker's session cap; wall-clock pacing
 (`poll_interval`) only applies when the source has nothing to deliver.
@@ -20,14 +38,29 @@ periodic ``stats_callback``.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
+from ..core.config import ResilienceConfig
+from ..core.errors import StreamFailedError
 from ..detection.detector import AnomalyDetector
+from ..detection.report import SessionReport
+from ..parsing.records import Session
 from .checkpoint import StreamCheckpoint
 from .detector import LiveAlert, StreamingDetector
+from .resilience import (
+    FAILED,
+    HEALTHY,
+    REASON_FINALIZE,
+    CircuitBreaker,
+    ListQuarantine,
+    Quarantine,
+    RetryPolicy,
+    finalization_id,
+)
 from .sink import ListSink, ReportSink
 from .source import LogSource
 from .tracker import ClosedSession, SessionTracker, TrackerConfig
@@ -36,6 +69,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.intellog import IntelLog
 
 __all__ = ["RuntimeStats", "StreamRuntime"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(slots=True)
@@ -54,6 +89,26 @@ class RuntimeStats:
     queue_depth: int | None = None
     elapsed_s: float = 0.0
     records_per_s: float = 0.0
+    # -- resilience -------------------------------------------------------
+    #: Current health state: "healthy" | "degraded" | "failed".
+    health: str = HEALTHY
+    #: Why the breaker opened (set when health == "failed").
+    failure: str | None = None
+    #: Cumulative seconds spent out of HEALTHY.
+    degraded_s: float = 0.0
+    #: Failed IO attempts (each consumes one retry).
+    io_failures: int = 0
+    #: Quarantined lines by reason code.
+    quarantined: dict[str, int] = field(default_factory=dict)
+    #: Replayed closures suppressed by the exactly-once ledger.
+    deduped_reports: int = 0
+    #: Reports parked in the outbox awaiting a recovered sink.
+    undelivered_reports: int = 0
+    #: Close-time detection errors routed to quarantine.
+    finalize_errors: int = 0
+    #: Log-rotation / truncation events the source recovered from.
+    source_rotations: int = 0
+    source_truncations: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -69,6 +124,16 @@ class RuntimeStats:
             "queue_depth": self.queue_depth,
             "elapsed_s": round(self.elapsed_s, 3),
             "records_per_s": round(self.records_per_s, 1),
+            "health": self.health,
+            "failure": self.failure,
+            "degraded_s": round(self.degraded_s, 3),
+            "io_failures": self.io_failures,
+            "quarantined": dict(self.quarantined),
+            "deduped_reports": self.deduped_reports,
+            "undelivered_reports": self.undelivered_reports,
+            "finalize_errors": self.finalize_errors,
+            "source_rotations": self.source_rotations,
+            "source_truncations": self.source_truncations,
         }
 
 
@@ -90,6 +155,9 @@ class StreamRuntime:
         poll_interval: float = 0.5,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        resilience: ResilienceConfig | None = None,
+        quarantine: Quarantine | None = None,
+        on_health: Callable[[str, str, str], None] | None = None,
     ) -> None:
         if isinstance(model, AnomalyDetector):
             detector = model
@@ -107,16 +175,40 @@ class StreamRuntime:
         )
         self.on_alert = on_alert
         self.stats_callback = stats_callback
+        self.on_health = on_health
         self.stats_every = max(1, stats_every)
         self.checkpoint_every = max(1, checkpoint_every)
         self.poll_batch = max(1, poll_batch)
         self.poll_interval = poll_interval
         self._clock = clock
         self._sleep = sleep
+        self.resilience = resilience or ResilienceConfig()
+        self.resilience.validate()
+        self._policy = RetryPolicy(self.resilience)
+        self._breaker = CircuitBreaker(
+            degraded_after=self.resilience.degraded_after,
+            failed_after=self.resilience.failed_after,
+            clock=clock,
+        )
+        # Share the source's quarantine when it has one, so malformed
+        # lines and runtime-level dead letters land in one channel.
+        if quarantine is not None:
+            self.quarantine: Quarantine = quarantine
+        else:
+            self.quarantine = getattr(
+                source, "quarantine", None
+            ) or ListQuarantine()
         self.stats = RuntimeStats()
         self._run_consumed = 0
         self._last_checkpoint_at = 0
         self._stats_emitted_at = -1
+        #: Exactly-once ledger: recently finalized session content ids.
+        self._finalized_ids: set[str] = set()
+        self._finalized_order: list[str] = []
+        #: Finalized-but-undelivered reports (sink outage survivors).
+        self._outbox: list[dict[str, Any]] = []
+        self.resume_origin = "fresh"
+        self.resume_notes: list[str] = []
         self._resumed = self._try_resume()
 
     # -- lifecycle --------------------------------------------------------
@@ -127,9 +219,16 @@ class StreamRuntime:
         return self._resumed
 
     def _try_resume(self) -> bool:
+        self._merge_sink_ledger()
         if self.checkpoint_path is None:
             return False
-        checkpoint = StreamCheckpoint.load_if_exists(self.checkpoint_path)
+        checkpoint, origin, notes = StreamCheckpoint.recover(
+            self.checkpoint_path
+        )
+        self.resume_origin = origin
+        self.resume_notes = notes
+        for note in notes:
+            log.warning("%s", note)
         if checkpoint is None:
             return False
         self.source.seek(checkpoint.source_position)
@@ -147,11 +246,39 @@ class StreamRuntime:
         self.stats.anomalies_by_kind = dict(
             counters.get("anomalies_by_kind", {})
         )
+        self.stats.deduped_reports = int(
+            counters.get("deduped_reports", 0)
+        )
+        self.stats.finalize_errors = int(
+            counters.get("finalize_errors", 0)
+        )
+        for fid in checkpoint.finalized:
+            self._remember_finalized(fid)
+        self._outbox = [
+            entry for entry in checkpoint.outbox
+            if isinstance(entry, dict) and entry.get("report")
+        ]
+        self.stats.undelivered_reports = len(self._outbox)
         self._last_checkpoint_at = self.stats.records
         return True
 
+    def _merge_sink_ledger(self) -> None:
+        """Fold the sink's own delivery log into the exactly-once
+        ledger — it survives even checkpoint loss (cold start)."""
+        emitted = getattr(self.sink, "emitted_ids", None)
+        if not callable(emitted):
+            return
+        try:
+            ids = emitted()
+        except OSError as exc:
+            log.warning("sink delivery log unreadable: %s", exc)
+            return
+        for fid in ids:
+            self._remember_finalized(fid)
+
     def checkpoint(self) -> None:
-        """Snapshot source position + tracker state + counters to disk."""
+        """Snapshot source position + tracker state + counters + the
+        exactly-once ledger and outbox to disk (atomic, with .bak)."""
         if self.checkpoint_path is None:
             return
         self._last_checkpoint_at = self.stats.records
@@ -165,8 +292,59 @@ class StreamRuntime:
                 "anomalous_sessions": self.stats.anomalous_sessions,
                 "closed_by_reason": dict(self.stats.closed_by_reason),
                 "anomalies_by_kind": dict(self.stats.anomalies_by_kind),
+                "deduped_reports": self.stats.deduped_reports,
+                "finalize_errors": self.stats.finalize_errors,
             },
+            finalized=list(self._finalized_order),
+            outbox=list(self._outbox),
         ).save(self.checkpoint_path)
+
+    # -- guarded IO -------------------------------------------------------
+
+    def _attempt(
+        self, what: str, fn: Callable[[], Any]
+    ) -> tuple[bool, Any]:
+        """Run one IO operation with retry/backoff under the breaker.
+
+        Returns ``(True, value)`` on success.  Returns ``(False, None)``
+        when the retry budget for this cycle is spent or the breaker
+        opened — the caller decides whether to park work (sink) or just
+        poll again later (source).
+        """
+        attempt = 0
+        while True:
+            try:
+                value = fn()
+            except OSError as exc:
+                attempt += 1
+                self.stats.io_failures += 1
+                state = self._breaker.record_failure()
+                self._note_health(f"{what}: {exc}")
+                log.warning(
+                    "%s failed (attempt %d/%d, health %s): %s",
+                    what, attempt, self._policy.max_attempts, state, exc,
+                )
+                if state == FAILED:
+                    self.stats.failure = f"{what}: {exc}"
+                    return False, None
+                if attempt >= self._policy.max_attempts:
+                    return False, None
+                self._sleep(self._policy.delay(attempt - 1))
+                continue
+            self._breaker.record_success()
+            self._note_health(f"{what} recovered")
+            return True, value
+
+    def _note_health(self, why: str) -> None:
+        new = self._breaker.state
+        if new != self.stats.health:
+            old, self.stats.health = self.stats.health, new
+            if self.on_health is not None:
+                self.on_health(old, new, why)
+
+    @property
+    def failed(self) -> bool:
+        return self.stats.health == FAILED
 
     # -- main loop --------------------------------------------------------
 
@@ -186,20 +364,39 @@ class StreamRuntime:
         sessions stay in the tracker and a checkpoint is written, so a
         later ``run()`` (or a new process resuming from the checkpoint)
         continues mid-job.
+
+        When the circuit breaker opens (health FAILED) the loop stops
+        at the last checkpoint and returns stats with
+        ``health == "failed"`` — or raises
+        :class:`~repro.core.errors.StreamFailedError` under
+        ``ResilienceConfig.fail_fast``.
         """
         start = self._clock()
         self._run_consumed = 0
         consumed = 0
         paused = False
         next_stats = self.stats.records + self.stats_every
-        while True:
+        while not self.failed:
+            if self._outbox:
+                self._drain_outbox()
+                if self.failed:
+                    break
             # Clamp the poll so a max_records pause never strands polled
             # but unobserved records (the source position moves with the
             # poll, so anything pulled must be consumed).
             want = self.poll_batch
             if max_records is not None:
                 want = min(want, max_records - consumed)
-            batch = self.source.poll(want)
+            ok, batch = self._attempt(
+                "source.poll", lambda: self.source.poll(want)
+            )
+            if not ok:
+                if self.failed:
+                    break
+                # Transient outage: behave like an idle poll (never an
+                # end-of-input, even in once mode) and try again.
+                self._sleep(self.poll_interval)
+                continue
             if not batch:
                 flush_pending = getattr(
                     self.source, "flush_pending", None
@@ -218,19 +415,8 @@ class StreamRuntime:
 
             emitted_before = self.stats.reports
             for record in batch:
-                self.stats.records += 1
                 consumed += 1
-                self._run_consumed += 1
-                alert = self.detector.observe(record)
-                if alert is not None:
-                    self.stats.live_alerts += 1
-                    if self.on_alert is not None:
-                        self.on_alert(alert)
-                for closed in self.tracker.observe(record):
-                    self._finalize(closed)
-                if self.stats.records >= next_stats:
-                    next_stats += self.stats_every
-                    self._emit_stats(start)
+                next_stats = self._ingest(record, start, next_stats)
             overdue = (
                 self.stats.records - self._last_checkpoint_at
                 >= self.checkpoint_every
@@ -241,11 +427,27 @@ class StreamRuntime:
                 paused = True
                 break
 
-        if not paused:
+        if not paused and not self.failed:
+            finalize = getattr(self.source, "finalize", None)
+            if finalize is not None:
+                ok, tail = self._attempt("source.finalize", finalize)
+                for record in tail or ():
+                    next_stats = self._ingest(record, start, next_stats)
             for closed in self.tracker.flush():
                 self._finalize(closed)
+            if self._outbox:
+                self._drain_outbox()
         self.checkpoint()
         self._emit_stats(start)
+        if self.failed:
+            log.error(
+                "stream runtime FAILED (%s); stopped at last checkpoint",
+                self.stats.failure,
+            )
+            if self.resilience.fail_fast:
+                raise StreamFailedError(
+                    self.stats.failure or "circuit breaker open"
+                )
         return self.stats
 
     def drain(self) -> RuntimeStats:
@@ -254,8 +456,47 @@ class StreamRuntime:
 
     # -- internals --------------------------------------------------------
 
+    def _ingest(self, record, start: float, next_stats: int) -> int:
+        self.stats.records += 1
+        self._run_consumed += 1
+        alert = self.detector.observe(record)
+        if alert is not None:
+            self.stats.live_alerts += 1
+            if self.on_alert is not None:
+                self.on_alert(alert)
+        for closed in self.tracker.observe(record):
+            self._finalize(closed)
+        if self.stats.records >= next_stats:
+            next_stats += self.stats_every
+            self._emit_stats(start)
+        return next_stats
+
     def _finalize(self, closed: ClosedSession) -> None:
-        report = self.detector.finalize(closed)
+        fid = finalization_id(closed.session)
+        closed.finalization_id = fid
+        if fid in self._finalized_ids or any(
+            entry.get("finalization_id") == fid for entry in self._outbox
+        ):
+            # Replayed closure already emitted (or parked) — the
+            # exactly-once ledger suppresses the duplicate.
+            self.stats.deduped_reports += 1
+            return
+        try:
+            report = self.detector.finalize(closed)
+        except Exception as exc:
+            # One corrupt session must never take down the runtime:
+            # dead-letter it with a reason and keep streaming.
+            self.stats.finalize_errors += 1
+            log.warning(
+                "finalize failed for session %s: %s",
+                closed.session.session_id, exc,
+            )
+            self.quarantine.put(
+                REASON_FINALIZE,
+                f"{closed.session.session_id}: {exc}",
+                source="detector",
+            )
+            return
         self.stats.reports += 1
         if report.anomalous:
             self.stats.anomalous_sessions += 1
@@ -267,14 +508,74 @@ class StreamRuntime:
         for anomaly in report.anomalies:
             kind = anomaly.kind.value
             kind_counts[kind] = kind_counts.get(kind, 0) + 1
-        self.sink.emit(report, closed)
+        self._deliver(report, closed)
+
+    def _deliver(
+        self, report: SessionReport, closed: ClosedSession
+    ) -> None:
+        ok, _ = self._attempt(
+            "sink.emit", lambda: self.sink.emit(report, closed)
+        )
+        if ok:
+            self._remember_finalized(closed.finalization_id)
+        else:
+            # Park the report: it rides in the checkpoint and is
+            # redelivered first once the sink recovers — never lost.
+            self._outbox.append({
+                "report": report.to_dict(),
+                "reason": closed.reason,
+                "finalization_id": closed.finalization_id,
+            })
+            self.stats.undelivered_reports = len(self._outbox)
+
+    def _drain_outbox(self) -> None:
+        while self._outbox and not self.failed:
+            entry = self._outbox[0]
+            report = SessionReport.from_dict(entry["report"])
+            closed = ClosedSession(
+                session=Session(session_id=report.session_id),
+                reason=str(entry.get("reason", "flush")),
+                finalization_id=str(entry.get("finalization_id", "")),
+            )
+            ok, _ = self._attempt(
+                "sink.emit(outbox)",
+                lambda: self.sink.emit(report, closed),
+            )
+            if not ok:
+                break
+            self._outbox.pop(0)
+            self._remember_finalized(closed.finalization_id)
+        self.stats.undelivered_reports = len(self._outbox)
+
+    def _remember_finalized(self, fid: str) -> None:
+        if not fid or fid in self._finalized_ids:
+            return
+        self._finalized_ids.add(fid)
+        self._finalized_order.append(fid)
+        cap = self.resilience.finalized_cap
+        while cap and len(self._finalized_order) > cap:
+            old = self._finalized_order.pop(0)
+            self._finalized_ids.discard(old)
 
     def _emit_stats(self, start: float) -> None:
         self._stats_emitted_at = self.stats.records
         self.stats.open_sessions = self.tracker.open_count
         self.stats.peak_open_sessions = self.tracker.peak_open
         self.stats.evictions = self.tracker.evictions
-        self.stats.queue_depth = self.source.backlog()
+        try:
+            # Advisory gauge: a failed probe must not consume retry
+            # budget or move the breaker, so it bypasses _attempt.
+            self.stats.queue_depth = self.source.backlog()
+        except OSError:
+            self.stats.queue_depth = None
+        self.stats.degraded_s = self._breaker.degraded_seconds()
+        self.stats.quarantined = dict(self.quarantine.counts)
+        self.stats.source_rotations = getattr(
+            self.source, "rotations", 0
+        )
+        self.stats.source_truncations = getattr(
+            self.source, "truncations", 0
+        )
         self.stats.elapsed_s = max(self._clock() - start, 0.0)
         if self.stats.elapsed_s > 0:
             # Rate over *this* run only; cumulative counts may include

@@ -2,7 +2,20 @@
 
 The runtime emits one report per closed session through a pluggable
 sink, decoupling detection from delivery (stdout, JSON-lines files,
-collection for tests, or any callable)."""
+collection for tests, or any callable).
+
+Sinks participate in the resilience contract two ways:
+
+* every emission carries the closed session's ``finalization_id`` (the
+  content hash behind the exactly-once ledger), so downstream
+  consumers can dedupe even across the residual crash window between a
+  delivery and the checkpoint that records it;
+* a sink may expose ``emitted_ids()`` returning the finalization ids
+  it has already durably delivered — :class:`JsonLinesSink` replays
+  them from its own output file — and the runtime merges those into
+  its ledger on resume, making the sink's output the authoritative
+  delivery log even after checkpoint loss.
+"""
 
 from __future__ import annotations
 
@@ -35,28 +48,63 @@ class ListSink:
         self.reports.append(report)
         self.closures.append(closed)
 
+    def emitted_ids(self) -> list[str]:
+        return [
+            c.finalization_id for c in self.closures if c.finalization_id
+        ]
+
 
 class JsonLinesSink:
     """Appends one JSON object per report to a stream or file.
 
-    Each line carries the full report dict plus the closure reason, so
-    downstream consumers can distinguish evicted sessions from clean
-    closes.
+    Each line carries the full report dict plus the closure reason and
+    finalization id, so downstream consumers can distinguish evicted
+    sessions from clean closes and dedupe redelivered reports.  When
+    backed by a file path, the sink's own output doubles as the
+    delivery log: ``emitted_ids()`` re-reads it on resume (skipping any
+    torn trailing line) so already-delivered reports are never emitted
+    twice even if the checkpoint was lost.
     """
 
     def __init__(self, target: IO[str] | str | Path) -> None:
         if isinstance(target, (str, Path)):
+            self._path: Path | None = Path(target)
             self._fp: IO[str] = open(target, "a", encoding="utf-8")
             self._owned = True
         else:
+            self._path = None
             self._fp = target
             self._owned = False
 
     def emit(self, report: SessionReport, closed: ClosedSession) -> None:
         payload = report.to_dict()
         payload["closed_reason"] = closed.reason
+        if closed.finalization_id:
+            payload["finalization_id"] = closed.finalization_id
         self._fp.write(json.dumps(payload) + "\n")
         self._fp.flush()
+
+    def emitted_ids(self) -> list[str]:
+        """Finalization ids already present in the output file.
+
+        Torn or non-JSON trailing lines (a crash mid-append) are
+        skipped: a half-written report was not delivered.
+        """
+        if self._path is None or not self._path.exists():
+            return []
+        ids: list[str] = []
+        for line in self._path.read_text(
+            encoding="utf-8", errors="replace"
+        ).splitlines():
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict):
+                fid = payload.get("finalization_id")
+                if fid:
+                    ids.append(str(fid))
+        return ids
 
     def close(self) -> None:
         if self._owned:

@@ -68,6 +68,10 @@ class ClosedSession:
 
     session: Session
     reason: str  # "end_marker" | "idle" | "evicted" | "flush"
+    #: Content-addressed identity stamped by the runtime at finalize
+    #: time (see :func:`repro.stream.resilience.finalization_id`);
+    #: carried through sinks so downstream consumers can dedupe.
+    finalization_id: str = ""
 
 
 @dataclass(slots=True)

@@ -145,7 +145,8 @@ class TestWatch:
         ckpt = tmp_path / "model.stream-ckpt.json"
         assert ckpt.exists()
         state = json.loads(ckpt.read_text())
-        assert state["version"] == 1
+        assert state["version"] == 2
+        assert state["checksum"]
         assert "offset" in state["source_position"]
 
     def test_watch_jsonl_output(self, log_files, capsys):
@@ -160,3 +161,27 @@ class TestWatch:
         lines = out_path.read_text().splitlines()
         assert lines
         assert all(json.loads(line)["session_id"] for line in lines)
+        # every delivered report carries its exactly-once identity
+        assert all(json.loads(line)["finalization_id"] for line in lines)
+
+    def test_watch_quarantine_flag_collects_garbage(self, log_files,
+                                                    capsys):
+        model_path, detect_file, tmp_path = self._train(log_files)
+        capsys.readouterr()
+        garbled = tmp_path / "garbled.log"
+        # Leading garbage has no preceding record to fold into, so it
+        # must land in the dead-letter file as "unparseable".
+        garbled.write_bytes(
+            b"not a log line at all\n" + detect_file.read_bytes() + b"\n"
+        )
+        qpath = tmp_path / "quarantine.jsonl"
+        code = main([
+            "watch", "--model", str(model_path),
+            "--follow", str(garbled),
+            "--formatter", "hadoop", "--once", "--no-checkpoint",
+            "--quarantine", str(qpath),
+        ])
+        assert code in (0, 1)
+        entries = [json.loads(line)
+                   for line in qpath.read_text().splitlines()]
+        assert any(e["reason"] == "unparseable" for e in entries)
