@@ -1,0 +1,166 @@
+"""Parallel training benchmark: speedup and serial-equality.
+
+Trains the same corpus serially and through the sharded pipeline
+(``workers`` = 1, 2, 4) and writes ``BENCH_train.json``
+(``benchmarks/results/``) with:
+
+* ``serial_wall`` and per-worker-count wall times / wall speedups;
+* ``modeled_speedup`` — the critical-path speedup obtained by
+  LPT-scheduling the measured per-shard CPU seconds onto N ideal cores
+  and adding the parent's serial stages (merge, extraction, apply).
+  Wall speedup saturates at the benchmark host's physical core count
+  (CI runners often expose 1-2 cores), so the modeled number is what the
+  ≥1.8x acceptance bar is asserted on; the wall-clock bar is asserted
+  too whenever the host actually has ≥4 cores;
+* ``model_equality`` — serial vs parallel canonical model digests
+  (asserted: they must be byte-identical for every worker count);
+* extraction-cache hit/miss counts for cache-on vs cache-off runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import IntelLog
+from repro.query.store import ModelStore
+from repro.simulators import WorkloadGenerator, sessions_of
+
+from bench_common import RESULTS_DIR, SCALE, write_result
+
+TRAIN_JOBS = 10 * SCALE
+WORKER_COUNTS = (1, 2, 4)
+MODELED_SPEEDUP_FLOOR = 1.8
+
+
+def _corpus():
+    sessions = []
+    for i, system in enumerate(("spark", "mapreduce")):
+        gen = WorkloadGenerator(seed=500 + i)
+        sessions.extend(sessions_of(gen.run_batch(system, TRAIN_JOBS)))
+    return sessions
+
+
+def _train(sessions, **kwargs):
+    intellog = IntelLog()
+    start = time.perf_counter()
+    intellog.train(sessions, **kwargs)
+    wall = time.perf_counter() - start
+    return intellog, wall
+
+
+def test_parallel_training_speedup_and_equality():
+    sessions = _corpus()
+    cpu_count = os.cpu_count() or 1
+
+    serial, serial_wall = _train(sessions)
+    serial_digest = ModelStore.from_intellog(serial).digest()
+
+    results = {
+        "scale": SCALE,
+        "cpu_count": cpu_count,
+        "corpus": {
+            "systems": ["spark", "mapreduce"],
+            "jobs_per_system": TRAIN_JOBS,
+            "sessions": len(sessions),
+            "records": sum(len(s.records) for s in sessions),
+        },
+        "serial_wall": serial_wall,
+        "runs": {},
+        "model_equality": {},
+    }
+
+    reports = {}
+    for workers in WORKER_COUNTS:
+        parallel, wall = _train(sessions, workers=workers)
+        digest = ModelStore.from_intellog(parallel).digest()
+        equal = digest == serial_digest
+        results["model_equality"][str(workers)] = equal
+        assert equal, (
+            f"workers={workers}: parallel model diverged from serial "
+            f"({digest[:12]} != {serial_digest[:12]})"
+        )
+        report = parallel.last_parallel_report
+        reports[workers] = report
+        results["runs"][str(workers)] = {
+            "wall": wall,
+            "wall_speedup_vs_serial": serial_wall / wall,
+            "shards": report.shards,
+            "distinct_forms": report.distinct_forms,
+            "serial_overhead_s": report.serial_overhead,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+        }
+
+    # Modeled critical-path speedups from the workers=1 run, whose
+    # per-shard CPU timings are free of pool oversubscription noise.
+    base = reports[1]
+    results["modeled_speedup"] = {
+        str(n): base.modeled_speedup(n) for n in (2, 4, 8)
+    }
+    modeled_4 = base.modeled_speedup(4)
+    assert modeled_4 >= MODELED_SPEEDUP_FLOOR, (
+        f"modeled 4-worker speedup {modeled_4:.2f}x is below the "
+        f"{MODELED_SPEEDUP_FLOOR}x floor — the pipeline's serial "
+        f"fraction grew"
+    )
+    if cpu_count >= 4:
+        wall_4 = results["runs"]["4"]["wall_speedup_vs_serial"]
+        assert wall_4 >= MODELED_SPEEDUP_FLOOR, (
+            f"wall 4-worker speedup {wall_4:.2f}x on a {cpu_count}-core "
+            f"host is below the {MODELED_SPEEDUP_FLOOR}x floor"
+        )
+
+    # Extraction cache on vs off (workers=1: same process, no pool).
+    cached, cached_wall = _train(sessions, workers=1, cache=True)
+    uncached, uncached_wall = _train(sessions, workers=1, cache=False)
+    assert (
+        ModelStore.from_intellog(uncached).digest() == serial_digest
+    ), "cache=False changed the model"
+    results["extraction_cache"] = {
+        "on": {
+            "wall": cached_wall,
+            "hits": cached.last_parallel_report.cache_hits,
+            "misses": cached.last_parallel_report.cache_misses,
+        },
+        "off": {
+            "wall": uncached_wall,
+            "hits": uncached.last_parallel_report.cache_hits,
+            "misses": uncached.last_parallel_report.cache_misses,
+        },
+    }
+    assert uncached.last_parallel_report.cache_hits == 0
+
+    text = json.dumps(results, indent=2)
+    (RESULTS_DIR / "BENCH_train.json").write_text(text + "\n")
+
+    lines = [
+        f"corpus: {results['corpus']['sessions']} sessions / "
+        f"{results['corpus']['records']} records "
+        f"({results['corpus']['jobs_per_system']} jobs x "
+        f"{len(results['corpus']['systems'])} systems), "
+        f"host cpu_count={cpu_count}",
+        f"serial wall: {serial_wall:.3f}s",
+    ]
+    for workers in WORKER_COUNTS:
+        run = results["runs"][str(workers)]
+        lines.append(
+            f"workers={workers}: wall {run['wall']:.3f}s "
+            f"({run['wall_speedup_vs_serial']:.2f}x), model identical: "
+            f"{results['model_equality'][str(workers)]}"
+        )
+    lines.append(
+        "modeled critical-path speedup: "
+        + ", ".join(
+            f"{n}w={results['modeled_speedup'][str(n)]:.2f}x"
+            for n in (2, 4, 8)
+        )
+    )
+    cache = results["extraction_cache"]
+    lines.append(
+        f"extraction cache: on {cache['on']['wall']:.3f}s "
+        f"({cache['on']['hits']} hits), off "
+        f"{cache['off']['wall']:.3f}s ({cache['off']['misses']} misses)"
+    )
+    write_result("BENCH_train.txt", "\n".join(lines))

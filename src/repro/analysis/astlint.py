@@ -14,6 +14,11 @@ Rules (codes registered in :mod:`repro.analysis.diagnostics`):
 * ``DET002`` — wall-clock time sources: ``time.time()``,
   ``time.time_ns()``, ``datetime.now()``, ``datetime.utcnow()``,
   ``datetime.today()``, ``date.today()``;
+* ``DET003`` — iteration over a ``set``/``frozenset`` expression in an
+  order-sensitive context (``for`` loops, list/dict/generator
+  comprehensions, ``list()``/``tuple()``/``enumerate()``): the order
+  varies with ``PYTHONHASHSEED``, so models trained from it would not be
+  byte-stable — sort first;
 * ``PY001`` — mutable default argument (list/dict/set literal or
   constructor call);
 * ``PY002`` — bare ``except:``, or ``except Exception:`` whose body is
@@ -176,6 +181,74 @@ class WallClockRule(LintRule):
                 return
 
 
+class SetIterationRule(LintRule):
+    """DET003: set iteration where the resulting *order* is observable.
+
+    Flags only expressions that are sets *by construction* — ``{a, b}``
+    literals, set comprehensions and bare ``set(...)`` / ``frozenset(...)``
+    calls — feeding an order-sensitive consumer.  Iterating a set-typed
+    *variable* is invisible to a per-node syntactic rule; the golden
+    suite's PYTHONHASHSEED runs are the behavioural backstop for those.
+    ``sorted(set(...))``, membership tests and aggregations (``sum``,
+    ``max``...) are order-insensitive and stay clean.
+    """
+
+    code = "DET003"
+    node_types = (ast.For, ast.AsyncFor, ast.ListComp, ast.DictComp,
+                  ast.GeneratorExp, ast.Call)
+
+    _order_sensitive_calls = {"list", "tuple", "enumerate"}
+
+    @staticmethod
+    def _set_expr(node: ast.AST) -> str | None:
+        """A description of ``node`` when it is a set by construction."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return f"a {node.func.id}() call"
+        return None
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            what = self._set_expr(node.iter)
+            if what:
+                yield self.diagnostic(
+                    f"for-loop iterates {what}; iteration order depends "
+                    f"on PYTHONHASHSEED — iterate sorted(...) instead",
+                    node, ctx,
+                )
+        elif isinstance(node, (ast.ListComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                what = self._set_expr(gen.iter)
+                if what:
+                    yield self.diagnostic(
+                        f"comprehension iterates {what}; element order "
+                        f"depends on PYTHONHASHSEED — iterate "
+                        f"sorted(...) instead",
+                        node, ctx,
+                    )
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self._order_sensitive_calls
+                and node.args
+            ):
+                what = self._set_expr(node.args[0])
+                if what:
+                    yield self.diagnostic(
+                        f"{node.func.id}() materialises {what} in hash "
+                        f"order (varies with PYTHONHASHSEED) — use "
+                        f"sorted(...) instead",
+                        node, ctx,
+                    )
+
+
 class MutableDefaultRule(LintRule):
     """PY001: mutable default arguments."""
 
@@ -256,6 +329,7 @@ class SwallowedExceptionRule(LintRule):
 DEFAULT_RULES: tuple[type[LintRule], ...] = (
     UnseededRandomRule,
     WallClockRule,
+    SetIterationRule,
     MutableDefaultRule,
     SwallowedExceptionRule,
 )

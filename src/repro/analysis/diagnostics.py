@@ -61,6 +61,10 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
     "DET002": (Severity.ERROR,
                "wall-clock time source (time.time / datetime.now / ...) in "
                "library code (breaks replay determinism)"),
+    "DET003": (Severity.ERROR,
+               "iteration over a set/frozenset expression in an "
+               "order-sensitive context (order varies with "
+               "PYTHONHASHSEED; sort first)"),
     "PY001": (Severity.ERROR,
               "mutable default argument (list/dict/set literal or call)"),
     "PY002": (Severity.ERROR,

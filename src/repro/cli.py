@@ -41,17 +41,31 @@ def _read_lines(paths: list[str]) -> list[str]:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit(
+            f"error: --workers must be a positive integer, "
+            f"got {args.workers}"
+        )
     config = IntelLogConfig(
         spell_tau=args.tau, formatter=args.formatter
     )
     intellog = IntelLog(config)
-    summary = intellog.train_lines(_read_lines(args.logs))
+    summary = intellog.train_lines(
+        _read_lines(args.logs), workers=args.workers, cache=args.cache
+    )
     print(
         f"trained on {summary.sessions} sessions / {summary.messages} "
         f"messages -> {summary.log_keys} log keys, "
         f"{summary.entity_groups} entity groups "
         f"({summary.critical_groups} critical)"
     )
+    report = intellog.last_parallel_report
+    if report is not None:
+        print(
+            f"parallel: {report.workers} workers, {report.shards} shards, "
+            f"{report.distinct_forms} distinct forms, extraction cache "
+            f"{report.cache_hits} hits / {report.cache_misses} misses"
+        )
     ModelStore.from_intellog(intellog).save(args.model)
     print(f"model written to {args.model}")
     return 0
@@ -247,7 +261,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hadoop | spark | tez | yarn | generic")
     train.add_argument("--tau", type=float, default=1.7,
                        help="Spell matching threshold t (paper: 1.7)")
-    train.set_defaults(func=cmd_train)
+    train.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="train via the sharded parallel pipeline with "
+                            "N worker processes (model is byte-identical "
+                            "to serial; default: serial)")
+    train.add_argument("--no-cache", dest="cache", action="store_false",
+                       help="disable the Intel Key extraction memo cache "
+                            "(slower; model is unchanged)")
+    train.set_defaults(func=cmd_train, cache=True)
 
     detect = sub.add_parser("detect", help="check logs against a model")
     detect.add_argument("logs", nargs="+")

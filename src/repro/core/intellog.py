@@ -62,11 +62,35 @@ class IntelLog:
         self.graph: HWGraph | None = None
         self.intel_keys: dict[str, IntelKey] = {}
         self._detector: AnomalyDetector | None = None
+        #: Timings/accounting of the last ``train(workers=N)`` run
+        #: (:class:`repro.parallel.ParallelReport`), if any.
+        self.last_parallel_report = None
 
     # -- training -------------------------------------------------------------
 
-    def train(self, sessions: Iterable[Session]) -> TrainingSummary:
-        """Learn log keys, Intel Keys and the HW-graph from normal runs."""
+    def train(
+        self,
+        sessions: Iterable[Session],
+        *,
+        workers: int | None = None,
+        cache: bool = True,
+    ) -> TrainingSummary:
+        """Learn log keys, Intel Keys and the HW-graph from normal runs.
+
+        ``workers=None`` (the default) runs the original fused serial
+        loop.  ``workers=N`` routes through the sharded pipeline
+        (:mod:`repro.parallel`): per-session shards processed by ``N``
+        worker processes (inline for ``N=1``) and merged
+        deterministically — the resulting model is byte-identical to the
+        serial one for every ``N``.  ``cache=False`` disables the Intel
+        Key extraction memo (it never changes the model, only speed).
+        """
+        if workers is not None:
+            from ..parallel import train_parallel
+
+            return train_parallel(
+                self, sessions, workers=workers, cache=cache
+            )
         sessions = list(sessions)
         message_count = 0
 
@@ -109,11 +133,18 @@ class IntelLog:
         )
 
     def train_lines(
-        self, lines: Iterable[str], formatter: str | None = None
+        self,
+        lines: Iterable[str],
+        formatter: str | None = None,
+        *,
+        workers: int | None = None,
+        cache: bool = True,
     ) -> TrainingSummary:
         """Train from raw log lines (formatted + split into sessions)."""
         records = self._format(lines, formatter)
-        return self.train(split_sessions(records))
+        return self.train(
+            split_sessions(records), workers=workers, cache=cache
+        )
 
     # -- detection ----------------------------------------------------------------
 

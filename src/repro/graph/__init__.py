@@ -7,7 +7,14 @@ from .grouping import (
     longest_common_phrase,
     longest_common_word_substring,
 )
-from .hwgraph import GroupNode, HWGraph, HWGraphBuilder
+from .hwgraph import (
+    GroupNode,
+    GroupSessionStats,
+    HWGraph,
+    HWGraphBuilder,
+    SessionStats,
+    session_group_stats,
+)
 from .lifespan import (
     AFTER,
     BEFORE,
@@ -23,7 +30,9 @@ from .subroutine import (
     Subroutine,
     SubroutineInstance,
     SubroutineModel,
+    SubroutineUpdate,
     assign_instances,
+    session_updates,
 )
 
 __all__ = [
@@ -32,19 +41,24 @@ __all__ = [
     "CHILD",
     "EntityGroup",
     "GroupNode",
+    "GroupSessionStats",
     "GroupingResult",
     "HWGraph",
     "HWGraphBuilder",
     "Lifespan",
+    "SessionStats",
     "PARALLEL",
     "PARENT",
     "RelationMatrix",
     "Subroutine",
     "SubroutineInstance",
     "SubroutineModel",
+    "SubroutineUpdate",
     "assign_instances",
     "dump_json",
     "group_entities",
+    "session_group_stats",
+    "session_updates",
     "longest_common_phrase",
     "longest_common_word_substring",
     "render_summary",

@@ -17,7 +17,91 @@ import networkx as nx
 from ..extraction.intelkey import IntelKey, IntelMessage
 from .grouping import GroupingResult, group_entities
 from .lifespan import BEFORE, PARENT, Lifespan, RelationMatrix
-from .subroutine import Subroutine, SubroutineModel
+from .subroutine import (
+    Subroutine,
+    SubroutineModel,
+    SubroutineUpdate,
+    session_updates,
+)
+
+
+@dataclass(slots=True)
+class GroupSessionStats:
+    """What one session contributes to one entity group's model."""
+
+    label: str
+    updates: list[SubroutineUpdate]
+    lifespan: tuple[float, float]
+    max_key_repeat: int
+
+    def to_payload(self) -> list:
+        """Compact picklable form (used by ``repro.parallel`` shards)."""
+        return [
+            self.label,
+            [[list(sig), list(seq)] for sig, seq in self.updates],
+            list(self.lifespan),
+            self.max_key_repeat,
+        ]
+
+    @classmethod
+    def from_payload(cls, data: list) -> "GroupSessionStats":
+        label, updates, lifespan, max_key_repeat = data
+        return cls(
+            label=label,
+            updates=[(tuple(sig), list(seq)) for sig, seq in updates],
+            lifespan=(lifespan[0], lifespan[1]),
+            max_key_repeat=int(max_key_repeat),
+        )
+
+
+@dataclass(slots=True)
+class SessionStats:
+    """One session's full contribution to the HW-graph model.
+
+    Produced by :func:`session_group_stats` (a pure function of the
+    session's Intel Messages), applied by
+    :meth:`HWGraphBuilder.apply_session_stats`.  The serial trainer fuses
+    the two; the parallel trainer computes stats in worker processes and
+    applies them in deterministic corpus order.
+    """
+
+    groups: list[GroupSessionStats] = field(default_factory=list)
+
+
+def session_group_stats(
+    messages: Iterable[IntelMessage],
+    key_groups: Mapping[str, set[str]],
+) -> SessionStats:
+    """Compute one session's per-group statistics (pure, picklable).
+
+    Group labels are visited in sorted order so the result — and
+    everything downstream of it — is independent of set iteration order
+    (PYTHONHASHSEED).
+    """
+    ordered = sorted(messages, key=lambda m: m.timestamp)
+    per_group: dict[str, list[IntelMessage]] = {}
+    for message in ordered:
+        for label in sorted(key_groups.get(message.key_id, ())):
+            per_group.setdefault(label, []).append(message)
+
+    stats = SessionStats()
+    for label, group_msgs in per_group.items():
+        key_repeats: dict[str, int] = {}
+        for message in group_msgs:
+            key_repeats[message.key_id] = (
+                key_repeats.get(message.key_id, 0) + 1
+            )
+        stats.groups.append(
+            GroupSessionStats(
+                label=label,
+                updates=session_updates(group_msgs),
+                lifespan=(
+                    group_msgs[0].timestamp, group_msgs[-1].timestamp
+                ),
+                max_key_repeat=max(key_repeats.values()),
+            )
+        )
+    return stats
 
 
 @dataclass(slots=True)
@@ -254,27 +338,26 @@ class HWGraphBuilder:
 
     def train_session(self, messages: Iterable[IntelMessage]) -> None:
         """Consume one normal-execution session (time-ordered messages)."""
-        ordered = sorted(messages, key=lambda m: m.timestamp)
-        per_group: dict[str, list[IntelMessage]] = {}
-        for message in ordered:
-            for label in self.graph.key_groups.get(message.key_id, ()):
-                per_group.setdefault(label, []).append(message)
+        self.apply_session_stats(
+            session_group_stats(messages, self.graph.key_groups)
+        )
 
+    def apply_session_stats(self, stats: SessionStats) -> None:
+        """Fold one session's pre-computed statistics into the model.
+
+        This is the only mutating half of training; feeding sessions'
+        stats in corpus order reproduces the fused serial path exactly,
+        which is what lets ``repro.parallel`` compute the stats in worker
+        processes.
+        """
         lifespans: dict[str, Lifespan] = {}
-        for label, group_msgs in per_group.items():
-            node = self.graph.groups[label]
+        for group_stats in stats.groups:
+            node = self.graph.groups[group_stats.label]
             node.session_count += 1
-            node.model.train_session(group_msgs)
-            lifespans[label] = Lifespan(
-                group_msgs[0].timestamp, group_msgs[-1].timestamp
-            )
-            key_repeats: dict[str, int] = {}
-            for message in group_msgs:
-                key_repeats[message.key_id] = (
-                    key_repeats.get(message.key_id, 0) + 1
-                )
+            node.model.apply_updates(group_stats.updates)
+            lifespans[group_stats.label] = Lifespan(*group_stats.lifespan)
             node.max_key_repeat = max(
-                node.max_key_repeat, max(key_repeats.values())
+                node.max_key_repeat, group_stats.max_key_repeat
             )
 
         self.graph.relations.observe_session(lifespans)

@@ -79,6 +79,30 @@ def assign_instances(
     return result
 
 
+#: One subroutine observation: ``(signature, key sequence)`` of a single
+#: instance.  The unit exchanged between the per-session stats pass and
+#: the model update pass (and therefore what parallel training shards
+#: ship back to the merge step).
+SubroutineUpdate = tuple[tuple[str, ...], list[str]]
+
+
+def session_updates(
+    messages: Iterable[IntelMessage],
+) -> list[SubroutineUpdate]:
+    """Pure per-session pass of Algorithm 2: the ``(signature, key
+    sequence)`` updates one session's group messages contribute.
+
+    Splitting this from :meth:`SubroutineModel.train_session` lets the
+    observation (parallelisable, per session) and the model mutation
+    (serial, order-sensitive) run in different processes while remaining
+    byte-identical to the fused serial path.
+    """
+    return [
+        (instance.signature, instance.key_sequence)
+        for instance in assign_instances(messages)
+    ]
+
+
 @dataclass(slots=True)
 class Subroutine:
     """The learned model for one identifier-type signature."""
@@ -191,18 +215,21 @@ class Subroutine:
             first_pos.setdefault(key, pos)
         present = set(first_pos)
 
-        for key in present:
+        # Iterate sets in sorted order so the problem list (and any report
+        # serialization built from it) is byte-stable across interpreter
+        # runs regardless of PYTHONHASHSEED.
+        for key in sorted(present):
             if key not in self.key_counts:
                 problems.append(f"unexpected key {key} in subroutine "
                                 f"{self.signature}")
         if complete:
-            for key in self.critical_keys:
+            for key in sorted(self.critical_keys):
                 if key not in present:
                     problems.append(
                         f"missing critical key {key} in subroutine "
                         f"{self.signature}"
                     )
-        for a, b in self.before:
+        for a, b in sorted(self.before):
             if a in present and b in present and first_pos[a] > first_pos[b]:
                 problems.append(
                     f"order violation: {b} before {a} in subroutine "
@@ -219,10 +246,13 @@ class SubroutineModel:
 
     def train_session(self, messages: Iterable[IntelMessage]) -> None:
         """Consume one session's messages for this group (Algorithm 2)."""
-        for instance in assign_instances(messages):
-            self._subroutine_for(instance.signature).update(
-                instance.key_sequence
-            )
+        self.apply_updates(session_updates(messages))
+
+    def apply_updates(self, updates: Iterable[SubroutineUpdate]) -> None:
+        """Apply pre-computed per-session updates (see
+        :func:`session_updates`) in their recorded order."""
+        for signature, key_sequence in updates:
+            self._subroutine_for(signature).update(key_sequence)
 
     def _subroutine_for(self, signature: tuple[str, ...]) -> Subroutine:
         sub = self.subroutines.get(signature)

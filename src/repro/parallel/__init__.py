@@ -1,0 +1,43 @@
+"""Sharded, multi-process training with a deterministic merge.
+
+The training corpus is split into per-session shards (a pure function of
+the corpus, never of the worker count), the per-record work runs in a
+process pool, and the merge folds results in an order fixed by corpus
+content — so ``IntelLog.train(sessions, workers=N)`` produces a model
+byte-identical to the serial trainer for every ``N``.  See ``DESIGN.md``
+("Deterministic merge") for the invariant and why it holds.
+"""
+
+from .cache import ExtractionCache, process_cache
+from .merge import MergeError, MergeResult, merge_shards
+from .pipeline import ParallelReport, lpt_makespan, train_parallel
+from .shard import Shard, corpus_manifest, make_shards, shard_hash
+from .worker import (
+    ParseTask,
+    ShardParse,
+    ShardStats,
+    StatsTask,
+    compute_shard_stats,
+    parse_shard,
+)
+
+__all__ = [
+    "ExtractionCache",
+    "MergeError",
+    "MergeResult",
+    "ParallelReport",
+    "ParseTask",
+    "Shard",
+    "ShardParse",
+    "ShardStats",
+    "StatsTask",
+    "compute_shard_stats",
+    "corpus_manifest",
+    "lpt_makespan",
+    "make_shards",
+    "merge_shards",
+    "parse_shard",
+    "process_cache",
+    "shard_hash",
+    "train_parallel",
+]

@@ -1,0 +1,335 @@
+"""The sharded training pipeline with deterministic merge.
+
+:func:`train_parallel` reproduces :meth:`repro.core.IntelLog.train`
+byte-for-byte (same Spell table, Intel Keys, HW-graph and detector) while
+running the per-record work in a process pool:
+
+* **Phase 1** — every shard (one session) is masked into its distinct-form
+  table in a worker (:func:`~repro.parallel.worker.parse_shard`).
+* **Merge** — the parent replays distinct forms in first-global-occurrence
+  order to recover the exact serial key table and per-record assignment
+  (:func:`~repro.parallel.merge.merge_shards`), then extracts the
+  canonical Intel Keys and builds the entity grouping.
+* **Phase 2** — every shard rebuilds its Intel Messages and computes its
+  per-session HW-graph statistics in a worker
+  (:func:`~repro.parallel.worker.compute_shard_stats`).
+* **Apply** — the parent folds the statistics in corpus order (never
+  completion order) through the same
+  :meth:`~repro.graph.hwgraph.HWGraphBuilder.apply_session_stats` the
+  serial trainer uses, then finalises the hierarchy.
+
+``workers=1`` runs both phases inline (no subprocesses) through the very
+same code path, which is what the equivalence tests lean on.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+
+from ..detection.detector import AnomalyDetector
+from ..extraction.intelkey import IntelKey
+from ..graph.hwgraph import GroupSessionStats, HWGraphBuilder, SessionStats
+from ..parsing.records import Session
+from .cache import process_cache
+from .merge import MergeError, MergeResult, merge_shards
+from .shard import Shard, corpus_manifest, make_shards
+from .worker import (
+    ParseTask,
+    ShardParse,
+    ShardStats,
+    StatsTask,
+    compute_shard_stats,
+    parse_shard,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.intellog import IntelLog, TrainingSummary
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def lpt_makespan(durations: Sequence[float], bins: int) -> float:
+    """Makespan of the longest-processing-time-first schedule.
+
+    Models the critical path of running ``durations`` on ``bins`` equally
+    fast workers — the standard greedy bound used to report achievable
+    parallel speedup independently of how many cores the benchmark host
+    actually has.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    if not durations:
+        return 0.0
+    loads = [0.0] * min(bins, len(durations))
+    for duration in sorted(durations, reverse=True):
+        slot = loads.index(min(loads))
+        loads[slot] += duration
+    return max(loads)
+
+
+@dataclass(slots=True)
+class ParallelReport:
+    """Timings and accounting of one :func:`train_parallel` run."""
+
+    workers: int
+    cache: bool
+    shards: int
+    records: int
+    distinct_forms: int
+    log_keys: int
+    #: Hash over the ordered shard hashes: identifies the corpus.
+    manifest: str
+    #: Wall-clock seconds per stage (parent's perspective).
+    parse_wall: float = 0.0
+    merge_wall: float = 0.0
+    extract_wall: float = 0.0
+    stats_wall: float = 0.0
+    apply_wall: float = 0.0
+    total_wall: float = 0.0
+    #: CPU seconds each shard spent in phase 1 / phase 2 (corpus order).
+    parse_shard_seconds: list[float] = field(default_factory=list)
+    stats_shard_seconds: list[float] = field(default_factory=list)
+    #: Extraction memo traffic, aggregated over workers and parent.
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def serial_overhead(self) -> float:
+        """Parent-side work that cannot be parallelised (critical path)."""
+        return self.merge_wall + self.extract_wall + self.apply_wall
+
+    def modeled_wall(self, workers: int) -> float:
+        """Critical-path wall time on an ideal ``workers``-core host.
+
+        LPT-schedules the measured per-shard CPU seconds onto ``workers``
+        bins and adds the parent's serial stages.  ``modeled_wall(1) /
+        modeled_wall(n)`` is the speedup the pipeline structure supports,
+        reported alongside the measured wall speedup (which saturates at
+        the benchmark host's physical core count).
+        """
+        return (
+            self.serial_overhead
+            + lpt_makespan(self.parse_shard_seconds, workers)
+            + lpt_makespan(self.stats_shard_seconds, workers)
+        )
+
+    def modeled_speedup(self, workers: int) -> float:
+        base = self.modeled_wall(1)
+        top = self.modeled_wall(workers)
+        return base / top if top > 0 else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "cache": self.cache,
+            "shards": self.shards,
+            "records": self.records,
+            "distinct_forms": self.distinct_forms,
+            "log_keys": self.log_keys,
+            "manifest": self.manifest,
+            "parse_wall": self.parse_wall,
+            "merge_wall": self.merge_wall,
+            "extract_wall": self.extract_wall,
+            "stats_wall": self.stats_wall,
+            "apply_wall": self.apply_wall,
+            "total_wall": self.total_wall,
+            "serial_overhead": self.serial_overhead,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+def _run_tasks(
+    executor: ProcessPoolExecutor | None,
+    fn: Callable[[_T], _R],
+    tasks: Sequence[_T],
+) -> list[_R]:
+    """Run tasks inline (no executor) or via ``executor.map``.
+
+    ``map`` yields results in *submission* order regardless of worker
+    completion order; the merge layer re-verifies the pairing by content
+    hash anyway, so completion order can never leak into the model.
+    """
+    if executor is None:
+        return [fn(task) for task in tasks]
+    return list(executor.map(fn, tasks))
+
+
+def train_parallel(
+    intellog: "IntelLog",
+    sessions: Iterable[Session],
+    *,
+    workers: int = 1,
+    cache: bool = True,
+) -> "TrainingSummary":
+    """Train ``intellog`` on ``sessions`` using ``workers`` processes.
+
+    Produces a model byte-identical to the serial
+    :meth:`IntelLog.train` for any ``workers >= 1``; stores a
+    :class:`ParallelReport` on ``intellog.last_parallel_report``.
+    """
+    from ..core.intellog import TrainingSummary
+
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError(f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be a positive integer, got {workers}")
+
+    started = time.perf_counter()
+    session_list = list(sessions)
+    shards = make_shards(session_list)
+    config = intellog.config
+
+    executor = (
+        ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
+    )
+    parent_cache = process_cache()
+    hits0, misses0 = parent_cache.stats()
+    try:
+        # Phase 1: mask shards into form tables.
+        t0 = time.perf_counter()
+        parse_tasks = [
+            ParseTask(
+                index=shard.index,
+                content_hash=shard.content_hash,
+                session=shard.session,
+            )
+            for shard in shards
+        ]
+        parses: list[ShardParse] = _run_tasks(
+            executor, parse_shard, parse_tasks
+        )
+        t1 = time.perf_counter()
+
+        # Merge: replay distinct forms to the canonical Spell table.
+        merged: MergeResult = merge_shards(
+            shards, parses, tau=config.spell_tau
+        )
+        t2 = time.perf_counter()
+
+        # Canonical Intel Keys, in Spell key order (same order as the
+        # serial ``extractor.build_all(self.spell.keys())``).
+        intel_keys: dict[str, IntelKey] = {
+            key.key_id: parent_cache.extract(
+                key.key_id, tuple(key.tokens), key.sample, enabled=cache
+            )
+            for key in merged.spell.keys()
+        }
+        builder = HWGraphBuilder(intel_keys)
+        key_labels = {
+            key_id: tuple(sorted(labels))
+            for key_id, labels in builder.graph.key_groups.items()
+        }
+        key_rows = {
+            key.key_id: (key.key_id, tuple(key.tokens), key.sample)
+            for key in merged.spell.keys()
+        }
+        t3 = time.perf_counter()
+
+        # Phase 2: per-shard Intel Messages + session statistics.
+        stats_tasks = []
+        for shard, record_keys in zip(shards, merged.record_keys):
+            used = sorted(set(record_keys))
+            stats_tasks.append(
+                StatsTask(
+                    index=shard.index,
+                    content_hash=shard.content_hash,
+                    session=shard.session,
+                    record_keys=record_keys,
+                    key_table=[key_rows[key_id] for key_id in used],
+                    key_labels={
+                        key_id: key_labels[key_id] for key_id in used
+                    },
+                    cache=cache,
+                )
+            )
+        stats_results: list[ShardStats] = _run_tasks(
+            executor, compute_shard_stats, stats_tasks
+        )
+        t4 = time.perf_counter()
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+    # Apply statistics strictly in corpus order (shard index), verifying
+    # each result still matches the shard it claims to be.
+    by_index = {stats.index: stats for stats in stats_results}
+    for shard in shards:
+        stats = by_index.get(shard.index)
+        if stats is None:
+            raise MergeError(f"missing stats for shard {shard.index}")
+        if stats.content_hash != shard.content_hash:
+            raise MergeError(
+                f"shard {shard.index} stats content hash mismatch"
+            )
+        builder.apply_session_stats(
+            SessionStats(
+                groups=[
+                    GroupSessionStats.from_payload(payload)
+                    for payload in stats.groups
+                ]
+            )
+        )
+    graph = builder.build()
+    t5 = time.perf_counter()
+
+    # Install the trained model on the façade (same fields as train()).
+    intellog.spell = merged.spell
+    intellog.intel_keys = intel_keys
+    intellog.graph = graph
+    if config.validate_model:
+        intellog._validate_graph()
+    intellog._detector = AnomalyDetector(
+        graph,
+        merged.spell,
+        intellog.extractor,
+        config.detector,
+    )
+
+    hits1, misses1 = parent_cache.stats()
+    report = ParallelReport(
+        workers=workers,
+        cache=cache,
+        shards=len(shards),
+        records=merged.total_records,
+        distinct_forms=merged.distinct_forms,
+        log_keys=len(merged.spell),
+        manifest=corpus_manifest(shards),
+        parse_wall=t1 - t0,
+        merge_wall=t2 - t1,
+        extract_wall=t3 - t2,
+        stats_wall=t4 - t3,
+        apply_wall=t5 - t4,
+        total_wall=t5 - started,
+        parse_shard_seconds=[parse.duration for parse in parses],
+        stats_shard_seconds=[
+            by_index[shard.index].duration for shard in shards
+        ],
+        cache_hits=(hits1 - hits0)
+        + sum(stats.cache_hits for stats in stats_results),
+        cache_misses=(misses1 - misses0)
+        + sum(stats.cache_misses for stats in stats_results),
+    )
+    intellog.last_parallel_report = report
+
+    return TrainingSummary(
+        sessions=len(session_list),
+        messages=merged.total_records,
+        log_keys=len(merged.spell),
+        intel_keys=len(intel_keys),
+        entity_groups=len(graph.groups),
+        critical_groups=len(graph.critical_groups()),
+        ignored_keys=len(graph.ignored_keys),
+    )
+
+
+__all__ = [
+    "ParallelReport",
+    "Shard",
+    "lpt_makespan",
+    "train_parallel",
+]

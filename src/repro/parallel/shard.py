@@ -1,0 +1,76 @@
+"""Corpus sharding for parallel training.
+
+The unit of parallelism is the *session* (one YARN container's records,
+paper §5): per-session shards make the shard partition a pure function of
+the corpus — it never depends on the worker count — which is what lets the
+deterministic merge produce byte-identical models for any ``workers=N``.
+
+Every shard carries a content hash (over its session id and records).
+Shard results echo the hash back, the merge verifies it against the
+submitted shard, and the per-corpus *manifest* (hash over the ordered
+shard hashes) is stamped into the :class:`~repro.parallel.pipeline.
+ParallelReport` so two training runs can be compared at a glance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..parsing.records import Session
+
+
+@dataclass(slots=True)
+class Shard:
+    """One unit of parallel work: a session plus its corpus position."""
+
+    index: int  # position in corpus order (merge order; never completion)
+    session_id: str
+    base_offset: int  # global 0-based index of the shard's first record
+    content_hash: str
+    session: Session
+
+    def __len__(self) -> int:
+        return len(self.session.records)
+
+
+def shard_hash(session: Session) -> str:
+    """Content hash of one session: ids, timestamps and message texts."""
+    digest = hashlib.sha256()
+    digest.update(session.session_id.encode())
+    digest.update(b"\x00")
+    digest.update(session.app_id.encode())
+    for record in session.records:
+        digest.update(b"\x1e")
+        digest.update(repr(record.timestamp).encode())
+        digest.update(b"\x1f")
+        digest.update(record.message.encode())
+    return digest.hexdigest()
+
+
+def make_shards(sessions: Iterable[Session]) -> list[Shard]:
+    """Split a training corpus into per-session shards, in corpus order."""
+    shards: list[Shard] = []
+    offset = 0
+    for index, session in enumerate(sessions):
+        shards.append(
+            Shard(
+                index=index,
+                session_id=session.session_id,
+                base_offset=offset,
+                content_hash=shard_hash(session),
+                session=session,
+            )
+        )
+        offset += len(session.records)
+    return shards
+
+
+def corpus_manifest(shards: Sequence[Shard]) -> str:
+    """Hash of the ordered shard hashes: identifies the training corpus."""
+    digest = hashlib.sha256()
+    for shard in shards:
+        digest.update(shard.content_hash.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -1,0 +1,160 @@
+"""Per-shard tasks executed in worker processes.
+
+Both tasks are pure functions of their arguments (plus the process-local
+extraction memo, which memoises a pure function), so running them in any
+process, in any order, at any concurrency yields identical results — the
+merge layer only has to fix the *order* in which results are folded in.
+
+Phase 1 (:func:`parse_shard`) masks every message and builds the shard's
+*form table*: the distinct masked token sequences with their first local
+position, occurrence count and first raw message.  This is the per-message
+half of Spell; the cross-shard half (template matching and evolution) runs
+once in the parent over distinct forms only (see
+:mod:`repro.parallel.merge`).
+
+Phase 2 (:func:`compute_shard_stats`) receives the canonical per-record
+key assignment back, rebuilds the shard's Intel Messages (extracting
+Intel Keys through the process-local memo cache) and computes the
+session's HW-graph statistics via the same
+:func:`~repro.graph.hwgraph.session_group_stats` the serial trainer uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..graph.hwgraph import session_group_stats
+from ..parsing.records import Session
+from ..parsing.spell import mask_message
+from .cache import process_cache
+
+
+# -- phase 1: masking + form tables -----------------------------------------
+
+
+@dataclass(slots=True)
+class ParseTask:
+    """Input of :func:`parse_shard` (one per shard)."""
+
+    index: int
+    content_hash: str
+    session: Session
+
+
+@dataclass(slots=True)
+class ShardParse:
+    """Output of :func:`parse_shard`.
+
+    ``forms[i] = (tokens, first_local_idx, count, sample)`` — the distinct
+    masked forms in first-appearance order; ``record_forms[r]`` maps the
+    shard's ``r``-th record to its form index.
+    """
+
+    index: int
+    content_hash: str
+    forms: list[tuple[tuple[str, ...], int, int, str]] = field(
+        default_factory=list
+    )
+    record_forms: list[int] = field(default_factory=list)
+    #: CPU seconds spent in this task (process time: immune to the
+    #: timesharing noise of oversubscribed worker pools).
+    duration: float = 0.0
+
+
+def parse_shard(task: ParseTask) -> ShardParse:
+    """Mask one shard's messages and collect its distinct-form table."""
+    started = time.process_time()
+    form_index: dict[tuple[str, ...], int] = {}
+    forms: list[list] = []  # [tokens, first_local_idx, count, sample]
+    record_forms: list[int] = []
+    for position, record in enumerate(task.session.records):
+        masked, _raw = mask_message(record.message)
+        form = tuple(masked)
+        idx = form_index.get(form)
+        if idx is None:
+            idx = len(forms)
+            form_index[form] = idx
+            forms.append([form, position, 1, record.message])
+        else:
+            forms[idx][2] += 1
+        record_forms.append(idx)
+    return ShardParse(
+        index=task.index,
+        content_hash=task.content_hash,
+        forms=[tuple(entry) for entry in forms],
+        record_forms=record_forms,
+        duration=time.process_time() - started,
+    )
+
+
+# -- phase 2: Intel Messages + per-session HW-graph stats --------------------
+
+
+@dataclass(slots=True)
+class StatsTask:
+    """Input of :func:`compute_shard_stats` (one per shard)."""
+
+    index: int
+    content_hash: str
+    session: Session
+    #: Canonical key id of every record, aligned with ``session.records``.
+    record_keys: list[str]
+    #: Canonical key table restricted to keys this shard uses:
+    #: ``(key_id, template tokens, sample)``.
+    key_table: list[tuple[str, tuple[str, ...], str]]
+    #: key id -> entity-group labels containing it (sorted tuples).
+    key_labels: dict[str, tuple[str, ...]]
+    cache: bool = True
+
+
+@dataclass(slots=True)
+class ShardStats:
+    """Output of :func:`compute_shard_stats`."""
+
+    index: int
+    content_hash: str
+    #: ``GroupSessionStats.to_payload()`` items, in computation order.
+    groups: list = field(default_factory=list)
+    messages: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    duration: float = 0.0
+
+
+def compute_shard_stats(task: StatsTask) -> ShardStats:
+    """Rebuild one shard's Intel Messages and compute its session stats."""
+    started = time.process_time()
+    cache = process_cache()
+    hits0, misses0 = cache.stats()
+    intel_keys = {
+        key_id: cache.extract(key_id, tokens, sample, enabled=task.cache)
+        for key_id, tokens, sample in task.key_table
+    }
+
+    session = task.session
+    messages = []
+    for record, key_id in zip(session.records, task.record_keys):
+        intel_key = intel_keys.get(key_id)
+        if intel_key is None:
+            continue
+        message = cache.extractor.to_intel_message(
+            intel_key,
+            record.message,
+            timestamp=record.timestamp,
+            session_id=session.session_id,
+        )
+        if message is not None:
+            messages.append(message)
+
+    stats = session_group_stats(messages, task.key_labels)
+    hits1, misses1 = cache.stats()
+    return ShardStats(
+        index=task.index,
+        content_hash=task.content_hash,
+        groups=[group.to_payload() for group in stats.groups],
+        messages=len(messages),
+        cache_hits=hits1 - hits0,
+        cache_misses=misses1 - misses0,
+        duration=time.process_time() - started,
+    )

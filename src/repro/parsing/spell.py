@@ -222,6 +222,26 @@ class SpellParser:
     def __len__(self) -> int:
         return len(self._keys)
 
+    # -- replay support (parallel training) ----------------------------------
+
+    def rebuild_bookkeeping(
+        self, line_ids_by_key: dict[str, list[int]], total_lines: int
+    ) -> None:
+        """Overwrite per-key occurrence bookkeeping after a form replay.
+
+        The parallel trainer (:mod:`repro.parallel`) discovers log keys by
+        consuming each *distinct masked form* once, then accounts for the
+        duplicate occurrences in bulk: ``line_ids_by_key`` maps each key to
+        the 1-based global line numbers of every message it matched, in any
+        order (they are sorted here, matching the streaming parser's
+        consumption-order append).
+        """
+        for key in self._keys:
+            ids = sorted(line_ids_by_key.get(key.key_id, ()))
+            key.line_ids = list(ids)
+            key.count = len(ids)
+        self._line_counter = total_lines
+
     # -- internals -----------------------------------------------------------
 
     def _threshold(self, seq_len: int, template_len: int) -> float:

@@ -262,6 +262,27 @@ class ModelStore:
             "hw_graph": self.hw_graph,
         }
 
+    def canonical_bytes(self) -> bytes:
+        """Canonical serialized form: sorted keys, tight separators.
+
+        Two models are *the same model* iff their canonical bytes are
+        equal; the golden-corpus regression suite and the parallel
+        trainer's equivalence tests compare models through
+        :meth:`digest` rather than structurally.
+        """
+        return json.dumps(
+            self.to_dict(),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+        ).encode("ascii")
+
+    def digest(self) -> str:
+        """SHA-256 over :meth:`canonical_bytes`."""
+        import hashlib
+
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 

@@ -1,9 +1,17 @@
 """Shared fixtures: simulated corpora and trained models.
 
 Expensive fixtures are session-scoped; tests must not mutate them.
+
+Setting ``REPRO_TRAIN_WORKERS=N`` trains every shared model through the
+sharded parallel pipeline (``IntelLog.train(..., workers=N)``) instead of
+the serial loop.  The pipeline's deterministic merge guarantees a
+byte-identical model, so the whole suite doubles as a serial-vs-parallel
+equivalence check — CI runs one matrix leg with it set to 2.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -18,6 +26,17 @@ from repro.simulators import (
     WorkloadGenerator,
     sessions_of,
 )
+
+def train_model(sessions) -> IntelLog:
+    """Train a shared fixture model, honouring ``REPRO_TRAIN_WORKERS``."""
+    workers_env = os.environ.get("REPRO_TRAIN_WORKERS", "").strip()
+    intellog = IntelLog()
+    if workers_env:
+        intellog.train(sessions, workers=int(workers_env))
+    else:
+        intellog.train(sessions)
+    return intellog
+
 
 #: The paper's Figure 1 log snippet (fetcher subroutine), verbatim.
 FIGURE1_SNIPPET = [
@@ -42,9 +61,7 @@ def mr_training_jobs():
 
 @pytest.fixture(scope="session")
 def mr_model(mr_training_jobs):
-    intellog = IntelLog()
-    intellog.train(sessions_of(mr_training_jobs))
-    return intellog
+    return train_model(sessions_of(mr_training_jobs))
 
 
 @pytest.fixture(scope="session")
@@ -55,9 +72,7 @@ def spark_training_jobs():
 
 @pytest.fixture(scope="session")
 def spark_model(spark_training_jobs):
-    intellog = IntelLog()
-    intellog.train(sessions_of(spark_training_jobs))
-    return intellog
+    return train_model(sessions_of(spark_training_jobs))
 
 
 @pytest.fixture(scope="session")
@@ -68,9 +83,7 @@ def tez_training_jobs():
 
 @pytest.fixture(scope="session")
 def tez_model(tez_training_jobs):
-    intellog = IntelLog()
-    intellog.train(sessions_of(tez_training_jobs))
-    return intellog
+    return train_model(sessions_of(tez_training_jobs))
 
 
 @pytest.fixture()

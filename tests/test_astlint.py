@@ -45,6 +45,9 @@ FIXTURE = textwrap.dedent(
         except Exception:
             pass
 
+    def bad_set_iter(names):
+        return [n for n in set(names)]
+
     def bare():
         try:
             pass
@@ -67,7 +70,9 @@ class TestRepoIsClean:
 class TestRules:
     def test_fixture_triggers_every_code(self):
         report = lint_source(FIXTURE, "fixture.py")
-        assert report.codes == {"DET001", "DET002", "PY001", "PY002"}
+        assert report.codes == {
+            "DET001", "DET002", "DET003", "PY001", "PY002"
+        }
 
     def test_det001_unseeded_default_rng(self):
         report = lint_source(
@@ -123,6 +128,59 @@ class TestRules:
         report = lint_source(
             "from datetime import datetime\n"
             "t = datetime.strptime('2019', '%Y')\n"
+        )
+        assert len(report) == 0
+
+    def test_det003_for_loop_over_set_call(self):
+        report = lint_source(
+            "def f(xs):\n"
+            "    for x in set(xs):\n"
+            "        print(x)\n"
+        )
+        assert report.codes == {"DET003"}
+
+    def test_det003_for_loop_over_set_literal(self):
+        report = lint_source(
+            "for x in {'a', 'b'}:\n    print(x)\n"
+        )
+        assert report.codes == {"DET003"}
+
+    def test_det003_comprehension_over_frozenset(self):
+        report = lint_source(
+            "def f(xs):\n"
+            "    return [x for x in frozenset(xs)]\n"
+        )
+        assert report.codes == {"DET003"}
+
+    def test_det003_list_and_tuple_materialisation(self):
+        for consumer in ("list", "tuple", "enumerate"):
+            report = lint_source(f"y = {consumer}(set([1, 2]))\n")
+            assert report.codes == {"DET003"}, consumer
+
+    def test_det003_sorted_set_is_fine(self):
+        for src in (
+            "def f(xs):\n    return sorted(set(xs))\n",
+            "def f(xs):\n    return [x for x in sorted(set(xs))]\n",
+            "def f(xs):\n    for x in sorted({'a', 'b'}):\n        pass\n",
+        ):
+            assert len(lint_source(src)) == 0, src
+
+    def test_det003_order_insensitive_consumers_are_fine(self):
+        for src in (
+            "def f(xs):\n    return sum(set(xs))\n",
+            "def f(xs):\n    return max(set(xs))\n",
+            "def f(xs):\n    return len(set(xs))\n",
+            "def f(xs, y):\n    return y in set(xs)\n",
+            # set comprehension over a set: result is unordered anyway
+            "def f(xs):\n    return {x for x in set(xs)}\n",
+        ):
+            assert len(lint_source(src)) == 0, src
+
+    def test_det003_set_typed_variable_is_not_flagged(self):
+        # Syntactic rule: only sets *by construction* are visible.
+        report = lint_source(
+            "def f(xs: set):\n"
+            "    return [x for x in xs]\n"
         )
         assert len(report) == 0
 

@@ -105,6 +105,65 @@ class TestCli:
         assert "groups" in payload
 
 
+class TestTrainParallelCli:
+    def _canonical(self, path):
+        from repro.query.store import ModelStore
+
+        return ModelStore.load_path(path).digest()
+
+    def test_workers_flag_produces_identical_model(self, log_files,
+                                                   capsys):
+        train_file, _, tmp_path = log_files
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["train", str(train_file),
+                     "--model", str(serial_path),
+                     "--formatter", "hadoop"]) == 0
+        assert main(["train", str(train_file),
+                     "--model", str(parallel_path),
+                     "--formatter", "hadoop", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel: 2 workers" in out
+        assert self._canonical(serial_path) == self._canonical(
+            parallel_path
+        )
+
+    def test_no_cache_flag_reported_and_model_unchanged(self, log_files,
+                                                        capsys):
+        train_file, _, tmp_path = log_files
+        cached = tmp_path / "cached.json"
+        uncached = tmp_path / "uncached.json"
+        main(["train", str(train_file), "--model", str(cached),
+              "--formatter", "hadoop", "--workers", "1"])
+        main(["train", str(train_file), "--model", str(uncached),
+              "--formatter", "hadoop", "--workers", "1", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "0 hits" in out  # the --no-cache run never hits the memo
+        assert self._canonical(cached) == self._canonical(uncached)
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_rejects_non_positive_workers(self, log_files, bad):
+        train_file, _, tmp_path = log_files
+        with pytest.raises(SystemExit, match="positive integer"):
+            main(["train", str(train_file),
+                  "--model", str(tmp_path / "m.json"),
+                  "--formatter", "hadoop", "--workers", bad])
+
+    def test_parallel_model_round_trips_through_store(self, log_files,
+                                                      capsys):
+        """train --workers → save → load → detect works end to end."""
+        train_file, detect_file, tmp_path = log_files
+        model_path = tmp_path / "model.json"
+        main(["train", str(train_file), "--model", str(model_path),
+              "--formatter", "hadoop", "--workers", "2"])
+        capsys.readouterr()
+        code = main(["detect", str(detect_file),
+                     "--model", str(model_path)])
+        assert code == 1  # the faulty log is still flagged
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["anomalous"] is True
+
+
 class TestWatch:
     def _train(self, log_files):
         train_file, detect_file, tmp_path = log_files

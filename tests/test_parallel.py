@@ -1,0 +1,405 @@
+"""Tests for ``repro.parallel``: sharding, merge determinism, the memo
+cache and the pipeline's serial equivalence.
+
+The hypothesis suites pin the deterministic-merge invariant directly:
+the merged parser state is a pure function of the corpus — independent of
+the order shard results arrive in and of how many workers produced them —
+and the parallel pipeline is extensionally equal to the serial trainer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IntelLog
+from repro.parallel import (
+    ExtractionCache,
+    MergeError,
+    ParseTask,
+    StatsTask,
+    compute_shard_stats,
+    corpus_manifest,
+    lpt_makespan,
+    make_shards,
+    merge_shards,
+    parse_shard,
+    process_cache,
+    shard_hash,
+    train_parallel,
+)
+from repro.parsing.records import LogRecord, Session
+
+# -- corpus strategies --------------------------------------------------------
+#
+# Messages are drawn from a pool of parametric templates: lowercase words
+# are template constants (the tokenizer masks numerals, identifiers and
+# localities), so drawn corpora exercise key creation, matching and LCS
+# template evolution without degenerating into all-variable noise.
+
+TEMPLATES = (
+    "worker {a} started task {b}",
+    "worker {a} finished task {b} in {c} ms",
+    "read {a} bytes from stream part{b}",
+    "connection to host{a}:{b} established",
+    "committed output of attempt_{a} to final location",
+    "shuffle fetch of segment {a} failed with code {b}",
+)
+
+message_st = st.builds(
+    lambda idx, a, b, c: TEMPLATES[idx].format(a=a, b=b, c=c),
+    st.integers(0, len(TEMPLATES) - 1),
+    st.integers(0, 30),
+    st.integers(0, 30),
+    st.integers(0, 30),
+)
+
+
+@st.composite
+def corpora(draw, max_sessions: int = 4, max_records: int = 10):
+    sessions = []
+    n_sessions = draw(st.integers(1, max_sessions))
+    for sid in range(n_sessions):
+        messages = draw(
+            st.lists(message_st, min_size=1, max_size=max_records)
+        )
+        records = [
+            LogRecord(
+                timestamp=float(sid * 1000 + pos),
+                level="INFO",
+                source="Worker",
+                message=message,
+                session_id=f"container_{sid:04d}",
+            )
+            for pos, message in enumerate(messages)
+        ]
+        sessions.append(
+            Session(
+                session_id=f"container_{sid:04d}",
+                app_id="app_1",
+                records=records,
+            )
+        )
+    return sessions
+
+
+def spell_state(parser):
+    """Full observable Spell state (table + bookkeeping)."""
+    return [
+        (k.key_id, tuple(k.tokens), k.sample, k.count, tuple(k.line_ids))
+        for k in parser.keys()
+    ]
+
+
+def model_json(intellog) -> str:
+    return json.dumps(intellog.hw_graph().to_dict(), sort_keys=True)
+
+
+# -- property-based: the deterministic-merge invariant ------------------------
+
+
+class TestMergeProperties:
+    @given(corpora(), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_shard_result_order_invariance(self, sessions, rng):
+        """The merge pairs results by shard index and content hash, so the
+        arrival (completion) order of shard results cannot matter."""
+        shards = make_shards(sessions)
+        parses = [
+            parse_shard(
+                ParseTask(s.index, s.content_hash, s.session)
+            )
+            for s in shards
+        ]
+        merged = merge_shards(shards, parses)
+        shuffled = list(parses)
+        rng.shuffle(shuffled)
+        remerged = merge_shards(shards, shuffled)
+        assert spell_state(remerged.spell) == spell_state(merged.spell)
+        assert remerged.record_keys == merged.record_keys
+        assert remerged.distinct_forms == merged.distinct_forms
+
+    @given(corpora())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_reproduces_streaming_spell(self, sessions):
+        """Form replay == consuming every record serially: same table,
+        same samples, same counts, same per-record assignment."""
+        from repro.parsing.spell import SpellParser
+
+        serial = SpellParser()
+        serial_keys = [
+            [serial.consume(r.message).key_id for r in session.records]
+            for session in sessions
+        ]
+        shards = make_shards(sessions)
+        merged = merge_shards(
+            shards,
+            [
+                parse_shard(
+                    ParseTask(s.index, s.content_hash, s.session)
+                )
+                for s in shards
+            ],
+        )
+        assert spell_state(merged.spell) == spell_state(serial)
+        assert merged.record_keys == serial_keys
+
+    @given(corpora(), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_equals_serial_trainer(self, sessions, workers):
+        """Key tables, Intel Keys, groups and subroutines all agree with
+        the serial trainer for any worker count (inline path)."""
+        serial = IntelLog()
+        serial.train(sessions)
+        # workers>1 would spawn real processes per hypothesis example;
+        # the inline path runs the identical shard/merge/apply code, and
+        # the multiprocess leg is covered by the non-property tests and
+        # the golden suite.
+        parallel = IntelLog()
+        parallel.train(sessions, workers=1)
+        assert spell_state(parallel.spell) == spell_state(serial.spell)
+        assert {
+            k: v.to_dict() for k, v in parallel.intel_keys.items()
+        } == {k: v.to_dict() for k, v in serial.intel_keys.items()}
+        assert model_json(parallel) == model_json(serial)
+
+
+# -- sharding ----------------------------------------------------------------
+
+
+class TestSharding:
+    def _sessions(self):
+        return [
+            Session(
+                session_id=f"c{i}",
+                records=[
+                    LogRecord(
+                        timestamp=float(i * 10 + j),
+                        level="INFO",
+                        source="S",
+                        message=f"worker {i} started task {j}",
+                    )
+                    for j in range(3)
+                ],
+            )
+            for i in range(4)
+        ]
+
+    def test_shard_partition_is_per_session(self):
+        sessions = self._sessions()
+        shards = make_shards(sessions)
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+        assert [s.base_offset for s in shards] == [0, 3, 6, 9]
+        assert all(len(s) == 3 for s in shards)
+
+    def test_content_hash_tracks_content(self):
+        sessions = self._sessions()
+        a = shard_hash(sessions[0])
+        assert a == shard_hash(sessions[0])  # deterministic
+        sessions[0].records[1].message += " extra"
+        assert shard_hash(sessions[0]) != a
+
+    def test_manifest_depends_on_order_and_content(self):
+        sessions = self._sessions()
+        manifest = corpus_manifest(make_shards(sessions))
+        assert manifest == corpus_manifest(make_shards(sessions))
+        reordered = corpus_manifest(
+            make_shards(list(reversed(sessions)))
+        )
+        assert reordered != manifest
+
+    def test_merge_rejects_foreign_results(self):
+        sessions = self._sessions()
+        shards = make_shards(sessions)
+        parses = [
+            parse_shard(ParseTask(s.index, s.content_hash, s.session))
+            for s in shards
+        ]
+        with pytest.raises(MergeError, match="duplicate"):
+            merge_shards(shards, parses[:-1] + [parses[0]])
+        with pytest.raises(MergeError, match="hash mismatch"):
+            bad = parses[0]
+            bad.content_hash = "0" * 64
+            merge_shards(shards, parses)
+
+    def test_merge_rejects_wrong_count(self):
+        shards = make_shards(self._sessions())
+        with pytest.raises(MergeError, match="expected"):
+            merge_shards(shards, [])
+
+
+# -- extraction cache --------------------------------------------------------
+
+
+class TestExtractionCache:
+    KEY = ("worker", "*", "started", "task", "*")
+    SAMPLE = "worker 3 started task 7"
+
+    def test_hit_returns_equal_key_with_requested_id(self):
+        cache = ExtractionCache()
+        first = cache.extract("K0", self.KEY, self.SAMPLE)
+        second = cache.extract("K9", self.KEY, self.SAMPLE)
+        assert cache.stats() == (1, 1)
+        assert second.key_id == "K9"
+        assert first.key_id == "K0"
+        # Identical apart from the stamped id.
+        from dataclasses import replace
+
+        assert replace(first, key_id="") == replace(second, key_id="")
+
+    def test_disabled_cache_always_misses(self):
+        cache = ExtractionCache()
+        cache.extract("K0", self.KEY, self.SAMPLE, enabled=False)
+        cache.extract("K0", self.KEY, self.SAMPLE, enabled=False)
+        assert cache.stats() == (0, 2)
+        assert len(cache) == 0
+
+    def test_cached_equals_cold(self):
+        cache = ExtractionCache()
+        warm = cache.extract("K0", self.KEY, self.SAMPLE)
+        cold = cache.extract("K0", self.KEY, self.SAMPLE, enabled=False)
+        assert warm == cold
+
+    def test_process_cache_is_a_singleton(self):
+        assert process_cache() is process_cache()
+
+
+# -- pipeline ----------------------------------------------------------------
+
+
+class TestTrainParallel:
+    def _sessions(self):
+        return [
+            Session(
+                session_id=f"c{i}",
+                records=[
+                    LogRecord(
+                        timestamp=float(i * 100 + j),
+                        level="INFO",
+                        source="S",
+                        message=m.format(i=i, j=j),
+                    )
+                    for j, m in enumerate(
+                        (
+                            "worker {i} started task {j}",
+                            "read {j} bytes from stream part{i}",
+                            "worker {i} finished task {j} in 5 ms",
+                        )
+                    )
+                ],
+            )
+            for i in range(5)
+        ]
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True, "2"])
+    def test_rejects_invalid_workers(self, bad):
+        with pytest.raises(ValueError, match="positive integer"):
+            train_parallel(IntelLog(), self._sessions(), workers=bad)
+
+    def test_train_workers_kwarg_routes_to_pipeline(self):
+        intellog = IntelLog()
+        summary = intellog.train(self._sessions(), workers=1)
+        report = intellog.last_parallel_report
+        assert report is not None
+        assert report.workers == 1
+        assert report.shards == 5
+        assert report.records == summary.messages == 15
+        assert len(report.parse_shard_seconds) == 5
+        assert len(report.stats_shard_seconds) == 5
+
+    def test_serial_train_leaves_no_report(self):
+        intellog = IntelLog()
+        intellog.train(self._sessions())
+        assert intellog.last_parallel_report is None
+
+    def test_multiprocess_equals_serial(self):
+        sessions = self._sessions()
+        serial = IntelLog()
+        serial.train(sessions)
+        parallel = IntelLog()
+        parallel.train(sessions, workers=2)
+        assert spell_state(parallel.spell) == spell_state(serial.spell)
+        assert model_json(parallel) == model_json(serial)
+
+    def test_cache_off_equals_cache_on(self):
+        sessions = self._sessions()
+        with_cache = IntelLog()
+        with_cache.train(sessions, workers=1, cache=True)
+        without = IntelLog()
+        without.train(sessions, workers=1, cache=False)
+        assert model_json(with_cache) == model_json(without)
+        assert without.last_parallel_report.cache_hits == 0
+
+    def test_detector_works_after_parallel_training(self):
+        sessions = self._sessions()
+        intellog = IntelLog()
+        intellog.train(sessions, workers=1)
+        report = intellog.detect_job(sessions[:2], job_id="replay")
+        assert report.sessions
+
+
+class TestLptMakespan:
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_single_bin_is_sum(self):
+        assert lpt_makespan([3.0, 1.0, 2.0], 1) == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        assert lpt_makespan([2.0, 2.0, 2.0, 2.0], 2) == pytest.approx(4.0)
+
+    def test_bounded_below_by_longest_task(self):
+        assert lpt_makespan([5.0, 0.1, 0.1], 8) == pytest.approx(5.0)
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            lpt_makespan([1.0], 0)
+
+    def test_more_bins_never_slower(self):
+        durations = [3.0, 2.5, 2.0, 1.0, 0.5, 0.5]
+        spans = [lpt_makespan(durations, n) for n in range(1, 7)]
+        assert spans == sorted(spans, reverse=True)
+
+
+# -- shard stats task ---------------------------------------------------------
+
+
+class TestShardStats:
+    def test_stats_payload_matches_direct_computation(self):
+        session = Session(
+            session_id="c0",
+            records=[
+                LogRecord(
+                    timestamp=float(j),
+                    level="INFO",
+                    source="S",
+                    message=f"worker 1 started task {j}",
+                )
+                for j in range(3)
+            ],
+        )
+        shards = make_shards([session])
+        parses = [
+            parse_shard(ParseTask(s.index, s.content_hash, s.session))
+            for s in shards
+        ]
+        merged = merge_shards(shards, parses)
+        key = merged.spell.keys()[0]
+        task = StatsTask(
+            index=0,
+            content_hash=shards[0].content_hash,
+            session=session,
+            record_keys=merged.record_keys[0],
+            key_table=[(key.key_id, tuple(key.tokens), key.sample)],
+            key_labels={key.key_id: ("worker",)},
+        )
+        stats = compute_shard_stats(task)
+        assert stats.content_hash == shards[0].content_hash
+        assert stats.messages == 3
+        [payload] = stats.groups
+        assert payload[0] == "worker"  # label
+        assert payload[2] == [0.0, 2.0]  # lifespan
+        assert payload[3] == 3  # max_key_repeat

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-corpus regression fixtures.
+
+The golden suite (``tests/test_golden_model.py``) pins the *exact*
+serialized model the trainer produces on a frozen corpus.  When a change
+legitimately alters the model (a parser fix, a new extraction rule), run::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and commit the updated ``tests/golden/expected.json`` together with the
+change — the diff of the expected summary numbers is part of the review.
+``--fresh`` also regenerates ``tests/golden/corpus.jsonl`` from the
+simulators (only needed when the simulators themselves change; the whole
+point of a frozen corpus is to *not* track simulator drift).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import IntelLog  # noqa: E402
+from repro.parsing.records import Session  # noqa: E402
+from repro.query.store import ModelStore  # noqa: E402
+
+GOLDEN_DIR = REPO / "tests" / "golden"
+CORPUS_PATH = GOLDEN_DIR / "corpus.jsonl"
+EXPECTED_PATH = GOLDEN_DIR / "expected.json"
+
+#: How the frozen corpus was generated (recorded in expected.json).
+GENERATOR = {
+    "systems": ["mapreduce", "spark", "tez"],
+    "jobs_per_system": 3,
+    "seed": 1301,
+}
+
+
+def generate_corpus() -> list[Session]:
+    """Fresh corpus from the simulators (``--fresh`` only)."""
+    from repro.simulators import WorkloadGenerator, sessions_of
+
+    sessions: list[Session] = []
+    for system in GENERATOR["systems"]:
+        gen = WorkloadGenerator(seed=GENERATOR["seed"])
+        jobs = gen.run_batch(system, GENERATOR["jobs_per_system"])
+        sessions.extend(sessions_of(jobs))
+    return sessions
+
+
+def load_corpus(path: Path = CORPUS_PATH) -> list[Session]:
+    return [
+        Session.from_dict(json.loads(line))
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def save_corpus(sessions: list[Session], path: Path = CORPUS_PATH) -> None:
+    path.write_text(
+        "".join(
+            json.dumps(session.to_dict(), sort_keys=True) + "\n"
+            for session in sessions
+        )
+    )
+
+
+def expected_for(sessions: list[Session]) -> dict:
+    intellog = IntelLog()
+    summary = intellog.train(sessions)
+    store = ModelStore.from_intellog(intellog)
+    return {
+        "digest": store.digest(),
+        "generator": GENERATOR,
+        "summary": {
+            "sessions": summary.sessions,
+            "messages": summary.messages,
+            "log_keys": summary.log_keys,
+            "intel_keys": summary.intel_keys,
+            "entity_groups": summary.entity_groups,
+            "critical_groups": summary.critical_groups,
+            "ignored_keys": summary.ignored_keys,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="regenerate corpus.jsonl from the simulators too",
+    )
+    args = parser.parse_args(argv)
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    if args.fresh or not CORPUS_PATH.exists():
+        sessions = generate_corpus()
+        save_corpus(sessions)
+        print(f"wrote {CORPUS_PATH} ({len(sessions)} sessions)")
+    else:
+        sessions = load_corpus()
+        print(f"loaded {CORPUS_PATH} ({len(sessions)} sessions)")
+
+    expected = expected_for(sessions)
+    EXPECTED_PATH.write_text(json.dumps(expected, indent=2) + "\n")
+    print(f"wrote {EXPECTED_PATH}")
+    print(f"  digest: {expected['digest']}")
+    for name, value in expected["summary"].items():
+        print(f"  {name}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
