@@ -1,0 +1,91 @@
+"""Detection-path benchmark: records/s and match-latency percentiles.
+
+Replays simulator-generated logs through an *instrumented*
+:class:`repro.detection.AnomalyDetector` and writes ``BENCH_detect.json``
+(``benchmarks/results/``) with, per system:
+
+* ``records_per_s`` — end-to-end batch ``detect_job`` rate;
+* ``match_p50_s`` / ``match_p99_s`` — ``spell_match_seconds`` histogram
+  quantiles, i.e. the per-message key-match latency distribution;
+* the registry's own counters (``detect_records_total``,
+  ``spell_match_attempts_total`` by result, anomaly mix) so that both
+  the throughput number and the observability layer feeding it are
+  regression-tested by the same artifact.
+
+The benchmark also asserts the registry agrees with the report: the
+``detect_records_total`` counter must equal the number of replayed
+records, which pins the instrumentation to the actual work done.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.obs import MetricsRegistry
+from repro.parsing.records import split_sessions
+
+from bench_common import RESULTS_DIR, SCALE, write_result
+
+REPLAY_JOBS = 3 * SCALE
+
+
+def _replay_sessions(generators, system):
+    jobs = generators[system].run_batch(system, REPLAY_JOBS)
+    records = [r for job in jobs for r in job.records]
+    records.sort(key=lambda r: r.timestamp)
+    return list(split_sessions(records)), len(records)
+
+
+def test_detect_throughput_and_latency(models, generators):
+    results = {"scale": SCALE, "replay_jobs": REPLAY_JOBS, "systems": {}}
+    for system in ("spark", "mapreduce"):
+        model = models[system]
+        sessions, n_records = _replay_sessions(generators, system)
+
+        registry = MetricsRegistry()
+        detector = model.detector().instrument(registry)
+
+        start = time.perf_counter()
+        report = detector.detect_job(sessions)
+        elapsed = time.perf_counter() - start
+
+        counted = int(registry.get("detect_records_total").value)
+        assert counted == n_records, (
+            f"{system}: registry counted {counted} records, "
+            f"replayed {n_records}"
+        )
+
+        match_hist = registry.get("spell_match_seconds")
+        attempts = {
+            labels.get("result", ""): int(value)
+            for labels, value in registry.get(
+                "spell_match_attempts_total"
+            ).samples()
+        }
+        anomalies = {
+            labels["kind"]: int(value)
+            for labels, value in registry.get(
+                "detect_anomalies_total"
+            ).samples()
+            if "kind" in labels
+        }
+
+        results["systems"][system] = {
+            "records": n_records,
+            "sessions": len(sessions),
+            "elapsed_s": round(elapsed, 3),
+            "records_per_s": round(n_records / max(elapsed, 1e-9)),
+            "match_count": int(match_hist.count),
+            "match_p50_s": round(match_hist.quantile(0.50), 9),
+            "match_p99_s": round(match_hist.quantile(0.99), 9),
+            "match_attempts": attempts,
+            "anomalous_sessions": sum(
+                1 for s in report.sessions if s.anomalous
+            ),
+            "anomalies_by_kind": anomalies,
+        }
+
+    text = json.dumps(results, indent=2)
+    (RESULTS_DIR / "BENCH_detect.json").write_text(text + "\n")
+    write_result("BENCH_detect.txt", text)

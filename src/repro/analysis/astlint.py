@@ -26,6 +26,10 @@ Rules (codes registered in :mod:`repro.analysis.diagnostics`):
 
 A finding on a line carrying ``# noqa: CODE`` is suppressed (used e.g. in
 lint fixtures' self-documentation, never needed in ``src/repro`` today).
+Whole subsystems with a sanctioned exemption are listed in
+:data:`PATH_ALLOWLIST` — currently only ``repro/obs`` for DET002, whose
+single wall-clock read stamps *when a metrics export happened* rather
+than feeding any measurement (see the DESIGN observability note).
 """
 
 from __future__ import annotations
@@ -37,7 +41,31 @@ from typing import Iterable, Iterator, Sequence
 
 from .diagnostics import Diagnostic, DiagnosticReport
 
-__all__ = ["LintRule", "Linter", "lint_source", "lint_paths", "main"]
+__all__ = [
+    "LintRule", "Linter", "PATH_ALLOWLIST", "lint_source", "lint_paths",
+    "main",
+]
+
+#: Per-rule path allowlist: a finding is dropped when the module path
+#: contains one of the listed fragments (POSIX separators; matched
+#: against the normalised path, so it works from any checkout root).
+#: Keep this list short and justified — each entry is a standing
+#: exemption, documented where the sanctioned call lives.
+PATH_ALLOWLIST: dict[str, tuple[str, ...]] = {
+    # repro.obs exports stamp snapshots with the wall clock (the stamp
+    # labels the export event and is never used as a measurement; all
+    # durations come from time.perf_counter).
+    "DET002": ("repro/obs/",),
+}
+
+
+def _path_allowlisted(code: str, path: str) -> bool:
+    fragments = PATH_ALLOWLIST.get(code)
+    if not fragments:
+        return False
+    normalised = path.replace("\\", "/")
+    return any(fragment in normalised for fragment in fragments)
+
 
 #: Wall-clock call suffixes flagged by DET002: dotted-name endings.
 _WALL_CLOCK_SUFFIXES = (
@@ -370,6 +398,8 @@ class Linter:
         for node in ast.walk(tree):
             for rule in self.rules:
                 if not isinstance(node, rule.node_types):
+                    continue
+                if _path_allowlisted(rule.code, ctx.path):
                     continue
                 for diag in rule.check(node, ctx):
                     line = getattr(node, "lineno", 0)

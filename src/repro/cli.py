@@ -9,12 +9,19 @@ log files, persist it as JSON, then check new log files against it.  The
     intellog detect --model model.json suspicious.log
     intellog watch  --model model.json --follow app.log [--once]
     intellog inspect --model model.json [--subroutines]
+    intellog stats  metrics.json
     intellog lint-model --model model.json [--strict]
     intellog lint-code [paths...]
 
 ``watch`` is the online mode (``repro.stream``): it tails a growing log
 file, assembles sessions incrementally and emits one report per closed
 session while the job is still running.
+
+``train``, ``detect`` and ``watch`` accept ``--metrics-out PATH`` to
+write a canonical JSON snapshot of the run's metrics registry
+(``repro.obs``) on exit; ``repro stats PATH`` renders such a snapshot.
+``watch --metrics-port N`` additionally serves live Prometheus text
+exposition at ``http://127.0.0.1:N/metrics`` while tailing.
 
 (The console script is installed under both names, ``intellog`` and
 ``repro``.)
@@ -40,6 +47,27 @@ def _read_lines(paths: list[str]) -> list[str]:
     return lines
 
 
+def _metrics_registry(args: argparse.Namespace):
+    """A fresh registry when the command asked for metrics, else None."""
+    if getattr(args, "metrics_out", None) or getattr(
+        args, "metrics_port", None
+    ) is not None:
+        from .obs import MetricsRegistry
+
+        return MetricsRegistry()
+    return None
+
+
+def _write_metrics(registry, args: argparse.Namespace) -> None:
+    """Write the ``--metrics-out`` snapshot (no-op when not requested)."""
+    if registry is None or not getattr(args, "metrics_out", None):
+        return
+    from .obs import write_snapshot
+
+    write_snapshot(registry, args.metrics_out)
+    print(f"METRICS written to {args.metrics_out}", file=sys.stderr)
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
         raise SystemExit(
@@ -50,8 +78,10 @@ def cmd_train(args: argparse.Namespace) -> int:
         spell_tau=args.tau, formatter=args.formatter
     )
     intellog = IntelLog(config)
+    registry = _metrics_registry(args)
     summary = intellog.train_lines(
-        _read_lines(args.logs), workers=args.workers, cache=args.cache
+        _read_lines(args.logs), workers=args.workers, cache=args.cache,
+        registry=registry,
     )
     print(
         f"trained on {summary.sessions} sessions / {summary.messages} "
@@ -68,6 +98,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         )
     ModelStore.from_intellog(intellog).save(args.model)
     print(f"model written to {args.model}")
+    _write_metrics(registry, args)
     return 0
 
 
@@ -96,8 +127,12 @@ def _load(args: argparse.Namespace) -> IntelLog:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     intellog = _load(args)
+    registry = _metrics_registry(args)
+    if registry is not None:
+        intellog.detector().instrument(registry)
     report = intellog.detect_lines(_read_lines(args.logs), job_id="cli")
     print(json.dumps(report.to_dict(), indent=2))
+    _write_metrics(registry, args)
     return 1 if report.anomalous else 0
 
 
@@ -195,21 +230,62 @@ def cmd_watch(args: argparse.Namespace) -> int:
             f"resumed from {runtime.resume_origin} {checkpoint}",
             file=sys.stderr,
         )
-    try:
-        stats = runtime.run(once=args.once)
-    except KeyboardInterrupt:  # graceful stop; resume from checkpoint
-        print("interrupted — state saved at last checkpoint",
-              file=sys.stderr)
-        return 130
-    if stats.health == "failed":
-        print(
-            f"error: stream failed: {stats.failure} — stopped at last "
-            f"checkpoint; fix the IO problem and rerun to resume",
-            file=sys.stderr,
+    server = None
+    if args.metrics_port is not None:
+        from .obs import start_metrics_server
+
+        server = start_metrics_server(
+            runtime.registry, args.metrics_port
         )
-        return 2
-    if args.once:
-        return 1 if stats.anomalous_sessions else 0
+        print(f"METRICS serving {server.url}", file=sys.stderr)
+    try:
+        try:
+            stats = runtime.run(once=args.once)
+        except KeyboardInterrupt:  # graceful stop; resume from checkpoint
+            print("interrupted — state saved at last checkpoint",
+                  file=sys.stderr)
+            return 130
+        if stats.health == "failed":
+            print(
+                f"error: stream failed: {stats.failure} — stopped at "
+                f"last checkpoint; fix the IO problem and rerun to "
+                f"resume",
+                file=sys.stderr,
+            )
+            return 2
+        if args.once:
+            return 1 if stats.anomalous_sessions else 0
+        return 0
+    finally:
+        if args.metrics_out:
+            from .obs import write_snapshot
+
+            write_snapshot(runtime.registry, args.metrics_out)
+            print(
+                f"METRICS written to {args.metrics_out}", file=sys.stderr
+            )
+        if server is not None:
+            server.close()
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Render a saved ``--metrics-out`` snapshot as a readable table."""
+    from .obs import render_snapshot
+
+    try:
+        snapshot = json.loads(Path(args.snapshot).read_text())
+    except OSError as exc:
+        raise SystemExit(
+            f"error: cannot read snapshot {args.snapshot!r}: {exc}"
+        )
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"error: {args.snapshot!r} is not JSON: {exc}"
+        )
+    try:
+        print(render_snapshot(snapshot))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     return 0
 
 
@@ -268,11 +344,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--no-cache", dest="cache", action="store_false",
                        help="disable the Intel Key extraction memo cache "
                             "(slower; model is unchanged)")
+    train.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a JSON metrics snapshot on exit")
     train.set_defaults(func=cmd_train, cache=True)
 
     detect = sub.add_parser("detect", help="check logs against a model")
     detect.add_argument("logs", nargs="+")
     detect.add_argument("--model", default="intellog-model.json")
+    detect.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a JSON metrics snapshot on exit")
     detect.set_defaults(func=cmd_detect)
 
     inspect = sub.add_parser("inspect", help="print the HW-graph")
@@ -321,7 +401,21 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--fail-after", type=int, default=12,
                        help="consecutive IO failures before the watch "
                             "stops at its checkpoint (default 12)")
+    watch.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a JSON metrics snapshot on exit")
+    watch.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live Prometheus text exposition at "
+                            "http://127.0.0.1:PORT/metrics (0 picks a "
+                            "free port, printed to stderr)")
     watch.set_defaults(func=cmd_watch)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a --metrics-out JSON snapshot as a readable table",
+    )
+    stats.add_argument("snapshot", help="metrics snapshot file")
+    stats.set_defaults(func=cmd_stats)
 
     lint_model = sub.add_parser(
         "lint-model",

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry
 
 from ..detection.detector import AnomalyDetector
 from ..detection.report import JobReport, SessionReport
@@ -74,6 +77,7 @@ class IntelLog:
         *,
         workers: int | None = None,
         cache: bool = True,
+        registry: "MetricsRegistry | None" = None,
     ) -> TrainingSummary:
         """Learn log keys, Intel Keys and the HW-graph from normal runs.
 
@@ -84,35 +88,48 @@ class IntelLog:
         deterministically — the resulting model is byte-identical to the
         serial one for every ``N``.  ``cache=False`` disables the Intel
         Key extraction memo (it never changes the model, only speed).
+
+        ``registry`` attaches a :class:`~repro.obs.MetricsRegistry`:
+        per-stage ``train.*`` spans land in its ``trace_span_seconds``
+        histogram (both the serial and the sharded path), which is what
+        ``repro train --metrics-out`` snapshots.  Never changes the
+        model.
         """
         if workers is not None:
             from ..parallel import train_parallel
 
             return train_parallel(
-                self, sessions, workers=workers, cache=cache
+                self, sessions, workers=workers, cache=cache,
+                registry=registry,
             )
+        from ..obs import Tracer
+
+        tracer = Tracer(registry=registry)
         sessions = list(sessions)
         message_count = 0
 
         # Stage 1: log keys via Spell (streaming over all sessions).
-        session_keys: list[list[tuple[LogRecord, str]]] = []
-        for session in sessions:
-            pairs: list[tuple[LogRecord, str]] = []
-            for record in session:
-                key = self.spell.consume(record.message)
-                pairs.append((record, key.key_id))
-                message_count += 1
-            session_keys.append(pairs)
+        with tracer.span("train.spell"):
+            session_keys: list[list[tuple[LogRecord, str]]] = []
+            for session in sessions:
+                pairs: list[tuple[LogRecord, str]] = []
+                for record in session:
+                    key = self.spell.consume(record.message)
+                    pairs.append((record, key.key_id))
+                    message_count += 1
+                session_keys.append(pairs)
 
         # Stage 2: Intel Keys.
-        self.intel_keys = self.extractor.build_all(self.spell.keys())
+        with tracer.span("train.extract"):
+            self.intel_keys = self.extractor.build_all(self.spell.keys())
 
         # Stage 3: HW-graph.
-        builder = HWGraphBuilder(self.intel_keys)
-        for session, pairs in zip(sessions, session_keys):
-            messages = self._to_messages(session, pairs)
-            builder.train_session(messages)
-        self.graph = builder.build()
+        with tracer.span("train.graph"):
+            builder = HWGraphBuilder(self.intel_keys)
+            for session, pairs in zip(sessions, session_keys):
+                messages = self._to_messages(session, pairs)
+                builder.train_session(messages)
+            self.graph = builder.build()
         if self.config.validate_model:
             self._validate_graph()
         self._detector = AnomalyDetector(
@@ -139,11 +156,13 @@ class IntelLog:
         *,
         workers: int | None = None,
         cache: bool = True,
+        registry: "MetricsRegistry | None" = None,
     ) -> TrainingSummary:
         """Train from raw log lines (formatted + split into sessions)."""
         records = self._format(lines, formatter)
         return self.train(
-            split_sessions(records), workers=workers, cache=cache
+            split_sessions(records), workers=workers, cache=cache,
+            registry=registry,
         )
 
     # -- detection ----------------------------------------------------------------

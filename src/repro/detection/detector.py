@@ -18,7 +18,9 @@ reported (paper §5).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..extraction.idvalue import FieldRole
 from ..extraction.intelkey import IntelKey
@@ -29,6 +31,9 @@ from ..parsing.records import LogRecord, Session
 from ..parsing.spell import LogKey, SpellParser
 from .instance import HWGraphInstance
 from .report import Anomaly, AnomalyKind, JobReport, SessionReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Counter, MetricsRegistry, Tracer
 
 #: A group must have appeared in at least this fraction of training
 #: sessions for its absence to be reported (guards against optional groups).
@@ -74,19 +79,72 @@ class AnomalyDetector:
         self._label_phrases: list[tuple[tuple[str, ...], str]] = [
             (tuple(label.split()), label) for label in graph.groups
         ]
+        self._tracer: "Tracer | None" = None
+        self._m_sessions: "Counter | None" = None
+        self._m_records: "Counter | None" = None
+        self._m_anomalies: "Counter | None" = None
+
+    def instrument(
+        self,
+        registry: "MetricsRegistry",
+        tracer: "Tracer | None" = None,
+    ) -> "AnomalyDetector":
+        """Attach metrics + tracing; also instruments the Spell parser.
+
+        Idempotent; returns ``self`` for chaining.
+        """
+        from ..obs import Tracer as _Tracer
+
+        self._tracer = tracer or _Tracer(registry=registry)
+        self.spell.instrument(registry)
+        self._m_sessions = registry.counter(
+            "detect_sessions_total", "Sessions run through detect_session."
+        )
+        self._m_records = registry.counter(
+            "detect_records_total", "Log records examined by the detector."
+        )
+        self._m_anomalies = registry.counter(
+            "detect_anomalies_total", "Anomalies reported, by kind."
+        )
+        return self
 
     # -- public API ---------------------------------------------------------------
 
     def detect_session(self, session: Session) -> SessionReport:
         """Consume one complete session and report its anomalies."""
+        tracer = self._tracer
+        if tracer is None:
+            return self._detect_session_inner(session, None)
+        with tracer.span("detect.session"):
+            report = self._detect_session_inner(session, tracer)
+        assert self._m_sessions and self._m_records and self._m_anomalies
+        self._m_sessions.inc()
+        self._m_records.inc(report.message_count)
+        for anomaly in report.anomalies:
+            self._m_anomalies.labels(kind=anomaly.kind.value).inc()
+        return report
+
+    def _detect_session_inner(
+        self, session: Session, tracer: "Tracer | None"
+    ) -> SessionReport:
         report = SessionReport(session_id=session.session_id)
         instance = HWGraphInstance(
             session_id=session.session_id, graph=self.graph
         )
 
+        # Matching and extraction interleave per record, so their phase
+        # times are accumulated across the loop and reported as two
+        # pre-measured spans rather than thousands of micro-spans.
+        timed = tracer is not None
+        match_s = 0.0
+        extract_s = 0.0
         for record in session:
             report.message_count += 1
+            if timed:
+                t0 = time.perf_counter()
             match = self.spell.match(record.message)
+            if timed:
+                match_s += time.perf_counter() - t0
             if match is None:
                 report.anomalies.append(
                     self._unexpected_message(record)
@@ -99,23 +157,39 @@ class AnomalyDetector:
             intel_key = self.graph.intel_keys.get(key_id)
             if intel_key is None:
                 continue
+            if timed:
+                t0 = time.perf_counter()
             message = self.extractor.to_intel_message(
                 intel_key,
                 record.message,
                 timestamp=record.timestamp,
                 session_id=session.session_id,
             )
+            if timed:
+                extract_s += time.perf_counter() - t0
             if message is None:
                 report.anomalies.append(self._unexpected_message(record))
                 continue
             instance.add(message)
 
         instance.finalize()
-        self._check_subroutines(instance, report)
+        if tracer is None:
+            self._check_subroutines(instance, report)
+            if self.config.report_missing_groups:
+                self._check_missing_groups(instance, report)
+            if self.config.check_hierarchy:
+                self._check_hierarchy(instance, report)
+            return report
+
+        tracer.record("detect.match", match_s)
+        tracer.record("detect.extract", extract_s)
+        with tracer.span("detect.subroutines"):
+            self._check_subroutines(instance, report)
         if self.config.report_missing_groups:
             self._check_missing_groups(instance, report)
         if self.config.check_hierarchy:
-            self._check_hierarchy(instance, report)
+            with tracer.span("detect.hierarchy"):
+                self._check_hierarchy(instance, report)
         return report
 
     def detect_job(

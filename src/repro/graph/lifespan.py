@@ -23,7 +23,20 @@ PARALLEL = "PARALLEL"
 
 @dataclass(frozen=True, slots=True)
 class Lifespan:
-    """Half-open time interval of a group's activity in one session."""
+    """Closed time interval ``[start, end]`` of a group's activity.
+
+    Both endpoints are inclusive: they are the timestamps of the group's
+    first and last log message in the session, and both messages belong
+    to the group.  Boundary semantics (shared by training-side
+    :meth:`RelationMatrix.observe_session` and detection-side
+    ``_check_hierarchy`` — they must agree, or relations learned in
+    training are unenforceable at detection time):
+
+    * :meth:`contains` is closed on both ends — a group whose first/last
+      messages coincide with its parent's is still contained;
+    * :meth:`precedes` accepts touching intervals (``end <= start``) — a
+      handoff logged at the same timestamp still orders the groups.
+    """
 
     start: float
     end: float
@@ -76,9 +89,14 @@ class RelationMatrix:
                     # dedicated mark that does not break a consistent
                     # PARENT vote from other sessions.
                     rel = "EQUAL"
-                elif la.end < lb.start:
+                elif la.precedes(lb):
+                    # Same boundary as detection-side _check_hierarchy:
+                    # touching spans (la.end == lb.start) count as
+                    # ordered.  The EQUAL branch above already caught
+                    # identical (incl. zero-width) lifespans, so the two
+                    # precedes tests cannot both be true here.
                     rel = BEFORE
-                elif lb.end < la.start:
+                elif lb.precedes(la):
                     rel = AFTER
                 else:
                     rel = PARALLEL

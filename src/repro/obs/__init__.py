@@ -1,0 +1,47 @@
+"""`repro.obs` — dependency-free runtime observability (ISSUE 5).
+
+Metric primitives (:mod:`repro.obs.registry`), hierarchical timing
+(:mod:`repro.obs.span`), and exporters (:mod:`repro.obs.export`).
+Subsystems accept a :class:`MetricsRegistry` at construction or via an
+``instrument()`` hook; nothing in the package imports the rest of
+``repro``, so every layer can depend on it without cycles.
+"""
+
+from .export import (
+    SNAPSHOT_FORMAT,
+    MetricsServer,
+    json_snapshot,
+    prometheus_text,
+    render_snapshot,
+    start_metrics_server,
+    write_snapshot,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .span import SPAN_HISTOGRAM, Span, SpanRecord, TraceRecorder, Tracer, trace
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "SNAPSHOT_FORMAT",
+    "SPAN_HISTOGRAM",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Span",
+    "SpanRecord",
+    "TraceRecorder",
+    "Tracer",
+    "json_snapshot",
+    "prometheus_text",
+    "render_snapshot",
+    "start_metrics_server",
+    "trace",
+    "write_snapshot",
+]

@@ -24,7 +24,6 @@ same code path, which is what the equivalence tests lean on.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
@@ -32,6 +31,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 from ..detection.detector import AnomalyDetector
 from ..extraction.intelkey import IntelKey
 from ..graph.hwgraph import GroupSessionStats, HWGraphBuilder, SessionStats
+from ..obs import MetricsRegistry, Tracer
 from ..parsing.records import Session
 from .cache import process_cache
 from .merge import MergeError, MergeResult, merge_shards
@@ -165,12 +165,17 @@ def train_parallel(
     *,
     workers: int = 1,
     cache: bool = True,
+    registry: MetricsRegistry | None = None,
 ) -> "TrainingSummary":
     """Train ``intellog`` on ``sessions`` using ``workers`` processes.
 
     Produces a model byte-identical to the serial
     :meth:`IntelLog.train` for any ``workers >= 1``; stores a
     :class:`ParallelReport` on ``intellog.last_parallel_report``.
+
+    Stage walls come from nested ``train.*`` spans; passing a
+    ``registry`` additionally feeds them into its
+    ``trace_span_seconds`` histogram (``--metrics-out`` visibility).
     """
     from ..core.intellog import TrainingSummary
 
@@ -179,118 +184,126 @@ def train_parallel(
     if workers < 1:
         raise ValueError(f"workers must be a positive integer, got {workers}")
 
-    started = time.perf_counter()
-    session_list = list(sessions)
-    shards = make_shards(session_list)
-    config = intellog.config
+    tracer = Tracer(registry=registry)
+    total_span = tracer.span("train.parallel")
+    with total_span:
+        session_list = list(sessions)
+        shards = make_shards(session_list)
+        config = intellog.config
 
-    executor = (
-        ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
-    )
-    parent_cache = process_cache()
-    hits0, misses0 = parent_cache.stats()
-    try:
-        # Phase 1: mask shards into form tables.
-        t0 = time.perf_counter()
-        parse_tasks = [
-            ParseTask(
-                index=shard.index,
-                content_hash=shard.content_hash,
-                session=shard.session,
-            )
-            for shard in shards
-        ]
-        parses: list[ShardParse] = _run_tasks(
-            executor, parse_shard, parse_tasks
+        executor = (
+            ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
         )
-        t1 = time.perf_counter()
-
-        # Merge: replay distinct forms to the canonical Spell table.
-        merged: MergeResult = merge_shards(
-            shards, parses, tau=config.spell_tau
-        )
-        t2 = time.perf_counter()
-
-        # Canonical Intel Keys, in Spell key order (same order as the
-        # serial ``extractor.build_all(self.spell.keys())``).
-        intel_keys: dict[str, IntelKey] = {
-            key.key_id: parent_cache.extract(
-                key.key_id, tuple(key.tokens), key.sample, enabled=cache
-            )
-            for key in merged.spell.keys()
-        }
-        builder = HWGraphBuilder(intel_keys)
-        key_labels = {
-            key_id: tuple(sorted(labels))
-            for key_id, labels in builder.graph.key_groups.items()
-        }
-        key_rows = {
-            key.key_id: (key.key_id, tuple(key.tokens), key.sample)
-            for key in merged.spell.keys()
-        }
-        t3 = time.perf_counter()
-
-        # Phase 2: per-shard Intel Messages + session statistics.
-        stats_tasks = []
-        for shard, record_keys in zip(shards, merged.record_keys):
-            used = sorted(set(record_keys))
-            stats_tasks.append(
-                StatsTask(
-                    index=shard.index,
-                    content_hash=shard.content_hash,
-                    session=shard.session,
-                    record_keys=record_keys,
-                    key_table=[key_rows[key_id] for key_id in used],
-                    key_labels={
-                        key_id: key_labels[key_id] for key_id in used
-                    },
-                    cache=cache,
-                )
-            )
-        stats_results: list[ShardStats] = _run_tasks(
-            executor, compute_shard_stats, stats_tasks
-        )
-        t4 = time.perf_counter()
-    finally:
-        if executor is not None:
-            executor.shutdown()
-
-    # Apply statistics strictly in corpus order (shard index), verifying
-    # each result still matches the shard it claims to be.
-    by_index = {stats.index: stats for stats in stats_results}
-    for shard in shards:
-        stats = by_index.get(shard.index)
-        if stats is None:
-            raise MergeError(f"missing stats for shard {shard.index}")
-        if stats.content_hash != shard.content_hash:
-            raise MergeError(
-                f"shard {shard.index} stats content hash mismatch"
-            )
-        builder.apply_session_stats(
-            SessionStats(
-                groups=[
-                    GroupSessionStats.from_payload(payload)
-                    for payload in stats.groups
+        parent_cache = process_cache()
+        hits0, misses0 = parent_cache.stats()
+        try:
+            # Phase 1: mask shards into form tables.
+            with tracer.span("train.parse") as parse_span:
+                parse_tasks = [
+                    ParseTask(
+                        index=shard.index,
+                        content_hash=shard.content_hash,
+                        session=shard.session,
+                    )
+                    for shard in shards
                 ]
-            )
+                parses: list[ShardParse] = _run_tasks(
+                    executor, parse_shard, parse_tasks
+                )
+
+            # Merge: replay distinct forms to the canonical Spell table.
+            with tracer.span("train.merge") as merge_span:
+                merged: MergeResult = merge_shards(
+                    shards, parses, tau=config.spell_tau
+                )
+
+            # Canonical Intel Keys, in Spell key order (same order as the
+            # serial ``extractor.build_all(self.spell.keys())``).
+            with tracer.span("train.extract") as extract_span:
+                intel_keys: dict[str, IntelKey] = {
+                    key.key_id: parent_cache.extract(
+                        key.key_id, tuple(key.tokens), key.sample,
+                        enabled=cache,
+                    )
+                    for key in merged.spell.keys()
+                }
+                builder = HWGraphBuilder(intel_keys)
+                key_labels = {
+                    key_id: tuple(sorted(labels))
+                    for key_id, labels in builder.graph.key_groups.items()
+                }
+                key_rows = {
+                    key.key_id: (key.key_id, tuple(key.tokens), key.sample)
+                    for key in merged.spell.keys()
+                }
+
+            # Phase 2: per-shard Intel Messages + session statistics.
+            with tracer.span("train.stats") as stats_span:
+                stats_tasks = []
+                for shard, record_keys in zip(shards, merged.record_keys):
+                    used = sorted(set(record_keys))
+                    stats_tasks.append(
+                        StatsTask(
+                            index=shard.index,
+                            content_hash=shard.content_hash,
+                            session=shard.session,
+                            record_keys=record_keys,
+                            key_table=[
+                                key_rows[key_id] for key_id in used
+                            ],
+                            key_labels={
+                                key_id: key_labels[key_id]
+                                for key_id in used
+                            },
+                            cache=cache,
+                        )
+                    )
+                stats_results: list[ShardStats] = _run_tasks(
+                    executor, compute_shard_stats, stats_tasks
+                )
+        finally:
+            if executor is not None:
+                executor.shutdown()
+
+        # Apply statistics strictly in corpus order (shard index),
+        # verifying each result still matches the shard it claims to be.
+        with tracer.span("train.apply") as apply_span:
+            by_index = {stats.index: stats for stats in stats_results}
+            for shard in shards:
+                stats = by_index.get(shard.index)
+                if stats is None:
+                    raise MergeError(
+                        f"missing stats for shard {shard.index}"
+                    )
+                if stats.content_hash != shard.content_hash:
+                    raise MergeError(
+                        f"shard {shard.index} stats content hash mismatch"
+                    )
+                builder.apply_session_stats(
+                    SessionStats(
+                        groups=[
+                            GroupSessionStats.from_payload(payload)
+                            for payload in stats.groups
+                        ]
+                    )
+                )
+            graph = builder.build()
+
+        # Install the trained model on the façade (same fields as
+        # train()).
+        intellog.spell = merged.spell
+        intellog.intel_keys = intel_keys
+        intellog.graph = graph
+        if config.validate_model:
+            intellog._validate_graph()
+        intellog._detector = AnomalyDetector(
+            graph,
+            merged.spell,
+            intellog.extractor,
+            config.detector,
         )
-    graph = builder.build()
-    t5 = time.perf_counter()
+        hits1, misses1 = parent_cache.stats()
 
-    # Install the trained model on the façade (same fields as train()).
-    intellog.spell = merged.spell
-    intellog.intel_keys = intel_keys
-    intellog.graph = graph
-    if config.validate_model:
-        intellog._validate_graph()
-    intellog._detector = AnomalyDetector(
-        graph,
-        merged.spell,
-        intellog.extractor,
-        config.detector,
-    )
-
-    hits1, misses1 = parent_cache.stats()
     report = ParallelReport(
         workers=workers,
         cache=cache,
@@ -299,12 +312,12 @@ def train_parallel(
         distinct_forms=merged.distinct_forms,
         log_keys=len(merged.spell),
         manifest=corpus_manifest(shards),
-        parse_wall=t1 - t0,
-        merge_wall=t2 - t1,
-        extract_wall=t3 - t2,
-        stats_wall=t4 - t3,
-        apply_wall=t5 - t4,
-        total_wall=t5 - started,
+        parse_wall=parse_span.duration_s,
+        merge_wall=merge_span.duration_s,
+        extract_wall=extract_span.duration_s,
+        stats_wall=stats_span.duration_s,
+        apply_wall=apply_span.duration_s,
+        total_wall=total_span.duration_s,
         parse_shard_seconds=[parse.duration for parse in parses],
         stats_shard_seconds=[
             by_index[shard.index].duration for shard in shards

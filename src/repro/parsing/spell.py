@@ -14,10 +14,17 @@ The matching threshold follows the IntelLog implementation: a message of
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..nlp.tokenizer import tokenize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry
+
+log = logging.getLogger(__name__)
 
 STAR = "*"
 
@@ -128,6 +135,44 @@ class MatchResult:
     #: Values captured by each ``*`` position, in template order.  One star
     #: may capture several adjacent tokens (joined by a space).
     parameters: list[str]
+    #: True when the message matched the key by LCS similarity but could
+    #: not be aligned against its template, so ``parameters`` is empty
+    #: despite the raw message carrying variable fields.  Callers that
+    #: care about parameter-level checks should treat such matches as
+    #: parameter-free rather than parameter-less-by-construction.
+    misaligned: bool = False
+
+
+class _SpellMetrics:
+    """Registry handles for one instrumented :class:`SpellParser`."""
+
+    __slots__ = (
+        "match_attempts", "lcs_comparisons", "keys", "match_seconds",
+        "param_misaligned",
+    )
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self.match_attempts = registry.counter(
+            "spell_match_attempts_total",
+            "Detection-side match() calls by result (hit/miss).",
+        )
+        self.lcs_comparisons = registry.counter(
+            "spell_lcs_comparisons_total",
+            "LCS similarity computations performed while matching.",
+        )
+        self.keys = registry.gauge(
+            "spell_keys",
+            "Log keys currently known to the parser.",
+        )
+        self.match_seconds = registry.histogram(
+            "spell_match_seconds",
+            "Latency of one match() call.",
+        )
+        self.param_misaligned = registry.counter(
+            "spell_param_misaligned_total",
+            "Matches whose raw message could not be aligned against the "
+            "matched template (parameters dropped), by key.",
+        )
 
 
 class SpellParser:
@@ -150,6 +195,16 @@ class SpellParser:
         self._line_counter = 0
         # Inverted index: constant token -> key indices, to prune the scan.
         self._token_index: dict[str, set[int]] = {}
+        self._metrics: _SpellMetrics | None = None
+        # Keys already warned about for template/raw misalignment (the
+        # log line fires once per key; the counter counts every event).
+        self._misaligned_keys: set[str] = set()
+
+    def instrument(self, registry: "MetricsRegistry") -> "SpellParser":
+        """Attach metrics (idempotent); returns ``self`` for chaining."""
+        self._metrics = _SpellMetrics(registry)
+        self._metrics.keys.set(len(self._keys))
+        return self
 
     # -- training ----------------------------------------------------------
 
@@ -191,6 +246,8 @@ class SpellParser:
                 self._reindex()
         key.count += 1
         key.line_ids.append(self._line_counter)
+        if self._metrics is not None:
+            self._metrics.keys.set(len(self._keys))
         return key
 
     def consume_all(self, messages: Iterable[str]) -> list[LogKey]:
@@ -200,6 +257,18 @@ class SpellParser:
 
     def match(self, message: str) -> MatchResult | None:
         """Match a message against the learned keys without mutating them."""
+        metrics = self._metrics
+        if metrics is None:
+            return self._match_uninstrumented(message)
+        start = time.perf_counter()
+        result = self._match_uninstrumented(message)
+        metrics.match_seconds.observe(time.perf_counter() - start)
+        metrics.match_attempts.labels(
+            result="hit" if result is not None else "miss"
+        ).inc()
+        return result
+
+    def _match_uninstrumented(self, message: str) -> MatchResult | None:
         masked, raw = mask_message(message)
         if not [t for t in masked if t != STAR]:
             reserved = next(
@@ -213,8 +282,25 @@ class SpellParser:
             return None
         params = extract_parameters(key.tokens, raw)
         if params is None:
-            params = []
+            # LCS said the message belongs to this key, but the greedy
+            # aligner could not map its raw tokens onto the template
+            # (usually a template that drifted during training).  The
+            # parameters are unknowable, not absent — flag it instead of
+            # silently pretending the message carried none.
+            self._note_misalignment(key)
+            return MatchResult(key=key, parameters=[], misaligned=True)
         return MatchResult(key=key, parameters=params)
+
+    def _note_misalignment(self, key: LogKey) -> None:
+        if self._metrics is not None:
+            self._metrics.param_misaligned.labels(key=key.key_id).inc()
+        if key.key_id not in self._misaligned_keys:
+            self._misaligned_keys.add(key.key_id)
+            log.warning(
+                "parameter extraction misaligned for key %s (template %r); "
+                "parameters dropped for such messages",
+                key.key_id, key.template,
+            )
 
     def keys(self) -> list[LogKey]:
         return list(self._keys)
@@ -282,17 +368,21 @@ class SpellParser:
 
         best_key: LogKey | None = None
         best_len = 0
+        lcs_calls = 0
         for idx in candidates:
             key = self._keys[idx]
             consts = key.constant_tokens()
             # Cheap upper bound prune.
             if min(len(consts), len(seq)) <= best_len:
                 continue
+            lcs_calls += 1
             common = lcs_length(consts, seq)
             if common >= self._threshold(len(seq), len(key.tokens)) and (
                 common > best_len
             ):
                 best_key, best_len = key, common
+        if lcs_calls and self._metrics is not None:
+            self._metrics.lcs_comparisons.inc(lcs_calls)
         return best_key
 
     def _index_key(self, idx: int, key: LogKey) -> None:

@@ -32,8 +32,16 @@ The runtime is built to outlive the failures it watches for:
 
 Memory stays bounded by the tracker's session cap; wall-clock pacing
 (`poll_interval`) only applies when the source has nothing to deliver.
-Runtime counters are exposed via :class:`RuntimeStats` and an optional
-periodic ``stats_callback``.
+
+Counters live in a :class:`~repro.obs.MetricsRegistry` (``stream_*``
+series, see the README metric table) shared with the instrumented
+detector/parser, so ``--metrics-out`` snapshots and the
+``--metrics-port`` exposition endpoint see one consistent store.
+:class:`RuntimeStats` remains the stable operator surface: it is now a
+point-in-time *view* assembled from the registry (``runtime.stats``
+builds a fresh snapshot; the periodic ``stats_callback`` receives one
+per emission).  Rates come from the runtime's monotonic clock, never
+wall time.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ from ..core.config import ResilienceConfig
 from ..core.errors import StreamFailedError
 from ..detection.detector import AnomalyDetector
 from ..detection.report import SessionReport
+from ..obs import Counter, MetricsRegistry
 from ..parsing.records import Session
 from .checkpoint import StreamCheckpoint
 from .detector import LiveAlert, StreamingDetector
@@ -75,7 +84,14 @@ log = logging.getLogger(__name__)
 
 @dataclass(slots=True)
 class RuntimeStats:
-    """Live counters, snapshotted for the periodic stats callback."""
+    """Point-in-time view of the runtime's registry-backed metrics.
+
+    Historically this dataclass *was* the counter store; it is now a
+    snapshot assembled by :meth:`StreamRuntime.stats` (and handed to the
+    periodic ``stats_callback``) while the counts themselves live in the
+    shared :class:`~repro.obs.MetricsRegistry`.  The field surface is
+    unchanged so existing callers keep working.
+    """
 
     records: int = 0
     live_alerts: int = 0
@@ -158,11 +174,14 @@ class StreamRuntime:
         resilience: ResilienceConfig | None = None,
         quarantine: Quarantine | None = None,
         on_health: Callable[[str, str, str], None] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if isinstance(model, AnomalyDetector):
             detector = model
         else:
             detector = model.detector()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        detector.instrument(self.registry)
         self.detector = StreamingDetector(detector)
         self.source = source
         self.sink: ReportSink = sink if sink is not None else ListSink()
@@ -198,18 +217,130 @@ class StreamRuntime:
             self.quarantine = getattr(
                 source, "quarantine", None
             ) or ListQuarantine()
-        self.stats = RuntimeStats()
+        self._init_metrics()
         self._run_consumed = 0
         self._last_checkpoint_at = 0
         self._stats_emitted_at = -1
+        # Non-metric snapshot state (owned by the loop, read by the view).
+        self._health = HEALTHY
+        self._failure: str | None = None
+        self._queue_depth: int | None = None
+        self._elapsed_s = 0.0
+        self._records_per_s = 0.0
         #: Exactly-once ledger: recently finalized session content ids.
         self._finalized_ids: set[str] = set()
         self._finalized_order: list[str] = []
         #: Finalized-but-undelivered reports (sink outage survivors).
         self._outbox: list[dict[str, Any]] = []
+        #: Finalization ids of parked reports — the O(1) companion index
+        #: of ``_outbox`` so replayed closures dedup without scanning it.
+        self._parked_fids: set[str] = set()
         self.resume_origin = "fresh"
         self.resume_notes: list[str] = []
         self._resumed = self._try_resume()
+
+    def _init_metrics(self) -> None:
+        reg = self.registry
+        self._m_records = reg.counter(
+            "stream_records_total", "Records consumed from the source."
+        )
+        self._m_live_alerts = reg.counter(
+            "stream_live_alerts_total",
+            "Immediate per-record unexpected-message alerts.",
+        )
+        self._m_reports = reg.counter(
+            "stream_reports_total", "Session reports finalized."
+        )
+        self._m_anom_sessions = reg.counter(
+            "stream_anomalous_sessions_total",
+            "Finalized sessions carrying at least one anomaly.",
+        )
+        self._m_closed = reg.counter(
+            "stream_closed_sessions_total",
+            "Sessions closed by the tracker, by reason.",
+        )
+        self._m_session_anoms = reg.counter(
+            "stream_session_anomalies_total",
+            "Anomalies in finalized session reports, by kind.",
+        )
+        self._m_deduped = reg.counter(
+            "stream_deduped_reports_total",
+            "Replayed closures suppressed by the exactly-once ledger.",
+        )
+        self._m_finalize_errors = reg.counter(
+            "stream_finalize_errors_total",
+            "Close-time detection errors routed to quarantine.",
+        )
+        self._m_io_failures = reg.counter(
+            "stream_io_failures_total",
+            "Failed source/sink IO attempts (each consumed one retry).",
+        )
+        self._g_open = reg.gauge(
+            "stream_open_sessions", "Sessions currently open in the tracker."
+        )
+        self._g_peak = reg.gauge(
+            "stream_peak_open_sessions",
+            "High-water mark of concurrently open sessions.",
+        )
+        self._g_evictions = reg.gauge(
+            "stream_evictions", "Sessions force-closed by the LRU cap."
+        )
+        self._g_queue = reg.gauge(
+            "stream_queue_depth",
+            "Source backlog at the last probe (-1 when unknown).",
+        )
+        self._g_outbox = reg.gauge(
+            "stream_outbox_reports",
+            "Reports parked in the outbox awaiting a recovered sink.",
+        )
+        self._g_rps = reg.gauge(
+            "stream_records_per_s",
+            "Consumption rate over this run, from the monotonic clock.",
+        )
+        self._g_degraded = reg.gauge(
+            "stream_degraded_seconds",
+            "Cumulative seconds spent out of the HEALTHY state.",
+        )
+
+    # -- stats view -------------------------------------------------------
+
+    @staticmethod
+    def _labeled_counts(metric: Counter, label: str) -> dict[str, int]:
+        return {
+            labels[label]: int(value)
+            for labels, value in metric.samples()
+            if label in labels
+        }
+
+    @property
+    def stats(self) -> RuntimeStats:
+        """A fresh :class:`RuntimeStats` snapshot of the registry."""
+        return RuntimeStats(
+            records=int(self._m_records.value),
+            live_alerts=int(self._m_live_alerts.value),
+            reports=int(self._m_reports.value),
+            anomalous_sessions=int(self._m_anom_sessions.value),
+            open_sessions=self.tracker.open_count,
+            peak_open_sessions=self.tracker.peak_open,
+            evictions=self.tracker.evictions,
+            closed_by_reason=self._labeled_counts(self._m_closed, "reason"),
+            anomalies_by_kind=self._labeled_counts(
+                self._m_session_anoms, "kind"
+            ),
+            queue_depth=self._queue_depth,
+            elapsed_s=self._elapsed_s,
+            records_per_s=self._records_per_s,
+            health=self._health,
+            failure=self._failure,
+            degraded_s=self._breaker.degraded_seconds(),
+            io_failures=int(self._m_io_failures.value),
+            quarantined=dict(self.quarantine.counts),
+            deduped_reports=int(self._m_deduped.value),
+            undelivered_reports=len(self._outbox),
+            finalize_errors=int(self._m_finalize_errors.value),
+            source_rotations=getattr(self.source, "rotations", 0),
+            source_truncations=getattr(self.source, "truncations", 0),
+        )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -234,23 +365,25 @@ class StreamRuntime:
         self.source.seek(checkpoint.source_position)
         self.tracker.load_state(checkpoint.tracker_state)
         counters = checkpoint.counters
-        self.stats.records = int(counters.get("records", 0))
-        self.stats.live_alerts = int(counters.get("live_alerts", 0))
-        self.stats.reports = int(counters.get("reports", 0))
-        self.stats.anomalous_sessions = int(
-            counters.get("anomalous_sessions", 0)
+        # The checkpoint continues the same logical run, so cumulative
+        # counters are carried over via the restore() escape hatch.
+        self._m_records.restore(int(counters.get("records", 0)))
+        self._m_live_alerts.restore(int(counters.get("live_alerts", 0)))
+        self._m_reports.restore(int(counters.get("reports", 0)))
+        self._m_anom_sessions.restore(
+            int(counters.get("anomalous_sessions", 0))
         )
-        self.stats.closed_by_reason = dict(
+        for reason, count in dict(
             counters.get("closed_by_reason", {})
-        )
-        self.stats.anomalies_by_kind = dict(
+        ).items():
+            self._m_closed.labels(reason=reason).restore(int(count))
+        for kind, count in dict(
             counters.get("anomalies_by_kind", {})
-        )
-        self.stats.deduped_reports = int(
-            counters.get("deduped_reports", 0)
-        )
-        self.stats.finalize_errors = int(
-            counters.get("finalize_errors", 0)
+        ).items():
+            self._m_session_anoms.labels(kind=kind).restore(int(count))
+        self._m_deduped.restore(int(counters.get("deduped_reports", 0)))
+        self._m_finalize_errors.restore(
+            int(counters.get("finalize_errors", 0))
         )
         for fid in checkpoint.finalized:
             self._remember_finalized(fid)
@@ -258,8 +391,15 @@ class StreamRuntime:
             entry for entry in checkpoint.outbox
             if isinstance(entry, dict) and entry.get("report")
         ]
-        self.stats.undelivered_reports = len(self._outbox)
-        self._last_checkpoint_at = self.stats.records
+        # Rebuild the parked-fid index so dedup stays O(1) and exactly
+        # as consistent with the outbox as before the restart.
+        self._parked_fids = {
+            str(entry["finalization_id"])
+            for entry in self._outbox
+            if entry.get("finalization_id")
+        }
+        self._g_outbox.set(len(self._outbox))
+        self._last_checkpoint_at = int(self._m_records.value)
         return True
 
     def _merge_sink_ledger(self) -> None:
@@ -281,19 +421,23 @@ class StreamRuntime:
         exactly-once ledger and outbox to disk (atomic, with .bak)."""
         if self.checkpoint_path is None:
             return
-        self._last_checkpoint_at = self.stats.records
+        self._last_checkpoint_at = int(self._m_records.value)
         StreamCheckpoint(
             source_position=self.source.position(),
             tracker_state=self.tracker.state_dict(),
             counters={
-                "records": self.stats.records,
-                "live_alerts": self.stats.live_alerts,
-                "reports": self.stats.reports,
-                "anomalous_sessions": self.stats.anomalous_sessions,
-                "closed_by_reason": dict(self.stats.closed_by_reason),
-                "anomalies_by_kind": dict(self.stats.anomalies_by_kind),
-                "deduped_reports": self.stats.deduped_reports,
-                "finalize_errors": self.stats.finalize_errors,
+                "records": int(self._m_records.value),
+                "live_alerts": int(self._m_live_alerts.value),
+                "reports": int(self._m_reports.value),
+                "anomalous_sessions": int(self._m_anom_sessions.value),
+                "closed_by_reason": self._labeled_counts(
+                    self._m_closed, "reason"
+                ),
+                "anomalies_by_kind": self._labeled_counts(
+                    self._m_session_anoms, "kind"
+                ),
+                "deduped_reports": int(self._m_deduped.value),
+                "finalize_errors": int(self._m_finalize_errors.value),
             },
             finalized=list(self._finalized_order),
             outbox=list(self._outbox),
@@ -317,7 +461,7 @@ class StreamRuntime:
                 value = fn()
             except OSError as exc:
                 attempt += 1
-                self.stats.io_failures += 1
+                self._m_io_failures.inc()
                 state = self._breaker.record_failure()
                 self._note_health(f"{what}: {exc}")
                 log.warning(
@@ -325,7 +469,7 @@ class StreamRuntime:
                     what, attempt, self._policy.max_attempts, state, exc,
                 )
                 if state == FAILED:
-                    self.stats.failure = f"{what}: {exc}"
+                    self._failure = f"{what}: {exc}"
                     return False, None
                 if attempt >= self._policy.max_attempts:
                     return False, None
@@ -337,14 +481,14 @@ class StreamRuntime:
 
     def _note_health(self, why: str) -> None:
         new = self._breaker.state
-        if new != self.stats.health:
-            old, self.stats.health = self.stats.health, new
+        if new != self._health:
+            old, self._health = self._health, new
             if self.on_health is not None:
                 self.on_health(old, new, why)
 
     @property
     def failed(self) -> bool:
-        return self.stats.health == FAILED
+        return self._health == FAILED
 
     # -- main loop --------------------------------------------------------
 
@@ -375,7 +519,7 @@ class StreamRuntime:
         self._run_consumed = 0
         consumed = 0
         paused = False
-        next_stats = self.stats.records + self.stats_every
+        next_stats = int(self._m_records.value) + self.stats_every
         while not self.failed:
             if self._outbox:
                 self._drain_outbox()
@@ -408,20 +552,20 @@ class StreamRuntime:
                     break
                 # One stats emission when the stream goes quiet, then
                 # silence until records flow again — not one per poll.
-                if self.stats.records != self._stats_emitted_at:
+                if int(self._m_records.value) != self._stats_emitted_at:
                     self._emit_stats(start)
                 self._sleep(self.poll_interval)
                 continue
 
-            emitted_before = self.stats.reports
+            emitted_before = int(self._m_reports.value)
             for record in batch:
                 consumed += 1
                 next_stats = self._ingest(record, start, next_stats)
             overdue = (
-                self.stats.records - self._last_checkpoint_at
+                int(self._m_records.value) - self._last_checkpoint_at
                 >= self.checkpoint_every
             )
-            if self.stats.reports != emitted_before or overdue:
+            if int(self._m_reports.value) != emitted_before or overdue:
                 self.checkpoint()
             if max_records is not None and consumed >= max_records:
                 paused = True
@@ -442,11 +586,11 @@ class StreamRuntime:
         if self.failed:
             log.error(
                 "stream runtime FAILED (%s); stopped at last checkpoint",
-                self.stats.failure,
+                self._failure,
             )
             if self.resilience.fail_fast:
                 raise StreamFailedError(
-                    self.stats.failure or "circuit breaker open"
+                    self._failure or "circuit breaker open"
                 )
         return self.stats
 
@@ -457,16 +601,16 @@ class StreamRuntime:
     # -- internals --------------------------------------------------------
 
     def _ingest(self, record, start: float, next_stats: int) -> int:
-        self.stats.records += 1
+        self._m_records.inc()
         self._run_consumed += 1
         alert = self.detector.observe(record)
         if alert is not None:
-            self.stats.live_alerts += 1
+            self._m_live_alerts.inc()
             if self.on_alert is not None:
                 self.on_alert(alert)
         for closed in self.tracker.observe(record):
             self._finalize(closed)
-        if self.stats.records >= next_stats:
+        if int(self._m_records.value) >= next_stats:
             next_stats += self.stats_every
             self._emit_stats(start)
         return next_stats
@@ -474,19 +618,17 @@ class StreamRuntime:
     def _finalize(self, closed: ClosedSession) -> None:
         fid = finalization_id(closed.session)
         closed.finalization_id = fid
-        if fid in self._finalized_ids or any(
-            entry.get("finalization_id") == fid for entry in self._outbox
-        ):
+        if fid in self._finalized_ids or fid in self._parked_fids:
             # Replayed closure already emitted (or parked) — the
             # exactly-once ledger suppresses the duplicate.
-            self.stats.deduped_reports += 1
+            self._m_deduped.inc()
             return
         try:
             report = self.detector.finalize(closed)
         except Exception as exc:
             # One corrupt session must never take down the runtime:
             # dead-letter it with a reason and keep streaming.
-            self.stats.finalize_errors += 1
+            self._m_finalize_errors.inc()
             log.warning(
                 "finalize failed for session %s: %s",
                 closed.session.session_id, exc,
@@ -497,17 +639,12 @@ class StreamRuntime:
                 source="detector",
             )
             return
-        self.stats.reports += 1
+        self._m_reports.inc()
         if report.anomalous:
-            self.stats.anomalous_sessions += 1
-        reason_counts = self.stats.closed_by_reason
-        reason_counts[closed.reason] = (
-            reason_counts.get(closed.reason, 0) + 1
-        )
-        kind_counts = self.stats.anomalies_by_kind
+            self._m_anom_sessions.inc()
+        self._m_closed.labels(reason=closed.reason).inc()
         for anomaly in report.anomalies:
-            kind = anomaly.kind.value
-            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+            self._m_session_anoms.labels(kind=anomaly.kind.value).inc()
         self._deliver(report, closed)
 
     def _deliver(
@@ -526,7 +663,9 @@ class StreamRuntime:
                 "reason": closed.reason,
                 "finalization_id": closed.finalization_id,
             })
-            self.stats.undelivered_reports = len(self._outbox)
+            if closed.finalization_id:
+                self._parked_fids.add(closed.finalization_id)
+            self._g_outbox.set(len(self._outbox))
 
     def _drain_outbox(self) -> None:
         while self._outbox and not self.failed:
@@ -544,8 +683,9 @@ class StreamRuntime:
             if not ok:
                 break
             self._outbox.pop(0)
+            self._parked_fids.discard(closed.finalization_id)
             self._remember_finalized(closed.finalization_id)
-        self.stats.undelivered_reports = len(self._outbox)
+        self._g_outbox.set(len(self._outbox))
 
     def _remember_finalized(self, fid: str) -> None:
         if not fid or fid in self._finalized_ids:
@@ -558,30 +698,26 @@ class StreamRuntime:
             self._finalized_ids.discard(old)
 
     def _emit_stats(self, start: float) -> None:
-        self._stats_emitted_at = self.stats.records
-        self.stats.open_sessions = self.tracker.open_count
-        self.stats.peak_open_sessions = self.tracker.peak_open
-        self.stats.evictions = self.tracker.evictions
+        self._stats_emitted_at = int(self._m_records.value)
+        self._g_open.set(self.tracker.open_count)
+        self._g_peak.set(self.tracker.peak_open)
+        self._g_evictions.set(self.tracker.evictions)
         try:
             # Advisory gauge: a failed probe must not consume retry
             # budget or move the breaker, so it bypasses _attempt.
-            self.stats.queue_depth = self.source.backlog()
+            self._queue_depth = self.source.backlog()
         except OSError:
-            self.stats.queue_depth = None
-        self.stats.degraded_s = self._breaker.degraded_seconds()
-        self.stats.quarantined = dict(self.quarantine.counts)
-        self.stats.source_rotations = getattr(
-            self.source, "rotations", 0
+            self._queue_depth = None
+        self._g_queue.set(
+            -1 if self._queue_depth is None else self._queue_depth
         )
-        self.stats.source_truncations = getattr(
-            self.source, "truncations", 0
-        )
-        self.stats.elapsed_s = max(self._clock() - start, 0.0)
-        if self.stats.elapsed_s > 0:
-            # Rate over *this* run only; cumulative counts may include
-            # records consumed before a checkpoint resume.
-            self.stats.records_per_s = (
-                self._run_consumed / self.stats.elapsed_s
-            )
+        self._g_degraded.set(self._breaker.degraded_seconds())
+        self._g_outbox.set(len(self._outbox))
+        self._elapsed_s = max(self._clock() - start, 0.0)
+        if self._elapsed_s > 0:
+            # Rate over *this* run only (monotonic clock); cumulative
+            # counts may include records consumed before a resume.
+            self._records_per_s = self._run_consumed / self._elapsed_s
+        self._g_rps.set(self._records_per_s)
         if self.stats_callback is not None:
             self.stats_callback(self.stats)

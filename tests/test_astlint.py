@@ -225,6 +225,27 @@ class TestRules:
         )
         assert len(report) == 0
 
+    def test_det002_path_allowlist_for_obs_exporter(self):
+        # The observability exporter's snapshot stamp is the one
+        # sanctioned wall-clock read; the allowlist scopes it to the
+        # repro/obs tree instead of a per-line noqa.
+        src = "import time\nstamp = time.time()\n"
+        allowed = lint_source(src, path="src/repro/obs/export.py")
+        assert len(allowed) == 0, allowed.render()
+        elsewhere = lint_source(src, path="src/repro/stream/runtime.py")
+        assert elsewhere.codes == {"DET002"}
+
+    def test_path_allowlist_normalises_windows_separators(self):
+        src = "import time\nstamp = time.time()\n"
+        report = lint_source(src, path="src\\repro\\obs\\export.py")
+        assert len(report) == 0, report.render()
+
+    def test_path_allowlist_is_per_rule(self):
+        # Other rules still fire inside the allowlisted tree.
+        src = "def bad(items=[]):\n    return items\n"
+        report = lint_source(src, path="src/repro/obs/export.py")
+        assert report.codes == {"PY001"}
+
     def test_noqa_suppression(self):
         report = lint_source(
             "import time\nt = time.time()  # noqa: DET002\n"

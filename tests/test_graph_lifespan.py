@@ -52,6 +52,19 @@ class TestRelationMatrix:
         observe(matrix, {"a": (0, 5), "b": (2, 8)})
         assert matrix.relation("a", "b") == PARALLEL
 
+    def test_touching_boundary_trains_before(self):
+        # Regression: observe_session used a strict ``end < start``
+        # comparison while ``precedes`` accepts the shared boundary
+        # (``end <= start``), so a handoff where one group's last message
+        # shares its timestamp with the next group's first was trained
+        # PARALLEL instead of BEFORE.  Both paths now agree.
+        matrix = RelationMatrix(min_support=1)
+        for _ in range(3):
+            observe(matrix, {"a": (0, 5), "b": (5, 9)})
+        assert Lifespan(0, 5).precedes(Lifespan(5, 9))
+        assert matrix.relation("a", "b") == BEFORE
+        assert matrix.relation("b", "a") == "AFTER"
+
     def test_zero_width_equal_is_not_before(self):
         # Regression: two single-message groups at the same timestamp must
         # not read as an ordering.

@@ -1,0 +1,300 @@
+"""Tests for the observability layer (``repro.obs``)."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    SPAN_HISTOGRAM,
+    MetricsRegistry,
+    SpanRecord,
+    TraceRecorder,
+    Tracer,
+    json_snapshot,
+    prometheus_text,
+    render_snapshot,
+    start_metrics_server,
+    trace,
+    write_snapshot,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = MetricsRegistry().counter("requests_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_restore_sets_absolute_value(self):
+        c = MetricsRegistry().counter("requests_total")
+        c.inc(5)
+        c.restore(42.0)
+        assert c.value == 42.0
+
+    def test_labeled_children_are_isolated_and_cached(self):
+        c = MetricsRegistry().counter("closed_total")
+        c.labels(reason="flush").inc()
+        c.labels(reason="eviction").inc(3)
+        assert c.labels(reason="flush") is c.labels(reason="flush")
+        assert c.labels(reason="flush").value == 1.0
+        assert c.labels(reason="eviction").value == 3.0
+        samples = c.samples()
+        assert samples == [
+            ({"reason": "eviction"}, 3.0),
+            ({"reason": "flush"}, 1.0),
+        ]
+
+    def test_unlabeled_sample_appears_when_touched(self):
+        c = MetricsRegistry().counter("mixed_total")
+        c.inc(2)
+        c.labels(kind="a").inc()
+        labels = [lbl for lbl, _ in c.samples()]
+        assert labels == [{}, {"kind": "a"}]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("open_sessions")
+        g.set(10)
+        g.inc()
+        g.dec(4)
+        assert g.value == 7.0
+
+    def test_gauge_may_go_negative(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        g.set(-1)
+        assert g.value == -1.0
+
+
+class TestHistogram:
+    def test_count_sum_and_cumulative_buckets(self):
+        h = MetricsRegistry().histogram(
+            "latency_seconds", buckets=[0.1, 1.0]
+        )
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        counts = h.bucket_counts()
+        assert counts[0] == (0.1, 1)
+        assert counts[1] == (1.0, 2)
+        assert counts[-1] == (float("inf"), 3)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = MetricsRegistry().histogram("q_seconds", buckets=[1.0, 2.0])
+        for _ in range(4):
+            h.observe(1.5)
+        # All mass in (1.0, 2.0]; the median interpolates inside it.
+        assert 1.0 < h.quantile(0.5) <= 2.0
+
+    def test_quantile_empty_is_zero(self):
+        h = MetricsRegistry().histogram("empty_seconds")
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_beyond_buckets_clamps_to_last_bound(self):
+        h = MetricsRegistry().histogram("big_seconds", buckets=[1.0, 2.0])
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_default_buckets_cover_latency_range(self):
+        h = MetricsRegistry().histogram("default_seconds")
+        bounds = [le for le, _ in h.bucket_counts()]
+        assert bounds[:-1] == list(DEFAULT_LATENCY_BUCKETS)
+
+    def test_non_increasing_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad_seconds", buckets=[1.0, 1.0])
+
+    def test_labeled_children_inherit_buckets(self):
+        h = MetricsRegistry().histogram("lab_seconds", buckets=[0.5])
+        child = h.labels(stage="parse")
+        child.observe(0.1)
+        assert child.bucket_counts()[0] == (0.5, 1)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name")
+
+    def test_contains_len_and_sorted_iteration(self):
+        registry = MetricsRegistry()
+        registry.gauge("zz")
+        registry.counter("aa_total")
+        assert "zz" in registry
+        assert "missing" not in registry
+        assert len(registry) == 2
+        assert [m.name for m in registry.metrics()] == ["aa_total", "zz"]
+
+
+class TestTracing:
+    def test_span_nesting_records_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            tracer.record("accum", 0.25)
+        got = [
+            (r.name, r.parent, r.depth)
+            for r in tracer.recorder.records()
+        ]
+        assert got == [
+            ("inner", "outer", 1),
+            ("accum", "outer", 1),
+            ("outer", None, 0),
+        ]
+
+    def test_span_duration_available_after_exit(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            pass
+        assert span.duration_s >= 0.0
+
+    def test_registry_backed_tracer_feeds_span_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("phase"):
+            pass
+        hist = registry.get(SPAN_HISTOGRAM)
+        assert hist.labels(span="phase").count == 1
+
+    def test_record_clamps_negative_duration(self):
+        tracer = Tracer()
+        record = tracer.record("weird", -1.0)
+        assert record.duration_s == 0.0
+
+    def test_stacks_are_thread_local(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("worker-span"):
+                pass
+            seen["parent"] = tracer.recorder.records()[-1].parent
+
+        with tracer.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker thread's span must not inherit this thread's stack.
+        assert seen["parent"] is None
+
+    def test_trace_helper_uses_default_tracer(self):
+        with trace("adhoc") as span:
+            pass
+        assert span.name == "adhoc"
+
+
+class TestTraceRecorder:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_ring_buffer_evicts_oldest(self):
+        recorder = TraceRecorder(capacity=2)
+        for i in range(5):
+            recorder.record(
+                SpanRecord(
+                    name=f"s{i}", parent=None, depth=0,
+                    start_s=float(i), duration_s=0.0,
+                )
+            )
+        assert [r.name for r in recorder.records()] == ["s3", "s4"]
+        assert recorder.total == 5
+        assert recorder.dropped == 3
+
+
+class TestExporters:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Events seen.").inc(3)
+        registry.counter("closed_total").labels(reason="flush").inc()
+        registry.gauge("depth").set(-1)
+        registry.histogram("lat_seconds", buckets=[0.1, 1.0]).observe(0.5)
+        return registry
+
+    def test_prometheus_text_format(self):
+        text = prometheus_text(self._registry())
+        assert "# HELP events_total Events seen." in text
+        assert "# TYPE events_total counter" in text
+        assert "events_total 3" in text
+        assert 'closed_total{reason="flush"} 1' in text
+        assert "depth -1" in text
+        assert 'lat_seconds_bucket{le="0.1"} 0' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total").labels(key='a"b\\c').inc()
+        text = prometheus_text(registry)
+        assert 'esc_total{key="a\\"b\\\\c"} 1' in text
+
+    def test_json_snapshot_unstamped_is_deterministic(self):
+        a = json_snapshot(self._registry(), stamp=False)
+        b = json_snapshot(self._registry(), stamp=False)
+        assert a == b
+        assert "snapshot_unix_s" not in a
+        assert a["format"] == "repro-metrics-v1"
+        assert a["metrics"]["events_total"]["samples"][0]["value"] == 3.0
+
+    def test_json_snapshot_stamped(self):
+        snapshot = json_snapshot(self._registry())
+        assert isinstance(snapshot["snapshot_unix_s"], float)
+
+    def test_write_snapshot_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        written = write_snapshot(self._registry(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+
+    def test_render_snapshot(self):
+        out = render_snapshot(json_snapshot(self._registry(), stamp=False))
+        assert "events_total (counter)" in out
+        assert '{reason="flush"}  1' in out
+        assert "p50=" in out and "p99=" in out
+
+    def test_render_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            render_snapshot({"format": "something-else"})
+
+
+class TestMetricsServer:
+    def test_serves_prometheus_text_on_free_port(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(7)
+        server = start_metrics_server(registry, port=0)
+        try:
+            assert server.port > 0
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                assert resp.status == 200
+                body = resp.read().decode("utf-8")
+            assert "hits_total 7" in body
+            bad = f"http://127.0.0.1:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(bad, timeout=5)
+            assert err.value.code == 404
+        finally:
+            server.close()

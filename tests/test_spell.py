@@ -179,3 +179,56 @@ class TestExtractParameters:
     def test_empty_star_capture(self):
         params = extract_parameters(["a", STAR, "c"], ["a", "c"])
         assert params == [""]
+
+
+class TestMisalignedMatch:
+    """Regression: parameter-extraction fallback must be observable.
+
+    ``match`` used to return ``parameters=[]`` indistinguishably from a
+    genuinely parameter-free message when the greedy aligner failed on a
+    drifted template.  The result now carries ``misaligned=True``, bumps
+    ``spell_param_misaligned_total`` and warns once per key.
+    """
+
+    def _parser(self):
+        # A constant-only template; a probe sharing 3 of its 4 constants
+        # clears the LCS threshold (3 >= 4/1.7) but cannot be aligned, so
+        # extract_parameters returns None.
+        parser = SpellParser()
+        parser.consume("alpha beta gamma delta")
+        return parser
+
+    def test_misaligned_flag_and_empty_parameters(self):
+        result = self._parser().match("alpha beta gamma omega")
+        assert result is not None
+        assert result.misaligned
+        assert result.parameters == []
+
+    def test_aligned_match_is_not_flagged(self):
+        result = self._parser().match("alpha beta gamma delta")
+        assert result is not None
+        assert not result.misaligned
+
+    def test_counter_counts_every_event(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        parser = self._parser().instrument(registry)
+        parser.match("alpha beta gamma omega")
+        parser.match("alpha beta gamma sigma")
+        key_id = parser.keys()[0].key_id
+        counter = registry.get("spell_param_misaligned_total")
+        assert counter.labels(key=key_id).value == 2.0
+
+    def test_warns_once_per_key(self, caplog):
+        import logging
+
+        parser = self._parser()
+        with caplog.at_level(logging.WARNING, logger="repro.parsing.spell"):
+            parser.match("alpha beta gamma omega")
+            parser.match("alpha beta gamma sigma")
+        warnings = [
+            r for r in caplog.records
+            if "parameter extraction misaligned" in r.message
+        ]
+        assert len(warnings) == 1

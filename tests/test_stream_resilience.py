@@ -693,3 +693,88 @@ class TestChaosEndToEnd:
             if c.session.session_id in clean
         }
         assert streamed == {sid: batch[sid] for sid in clean}
+
+
+# -- outbox parking: O(1) dedup + checkpoint-consistent parked set ---------
+
+
+class TestOutboxParking:
+    """Regression for the O(outbox) duplicate scan in ``_finalize``.
+
+    Parked finalization ids are mirrored in a set kept consistent with
+    the outbox across delivery, drain and checkpoint resume, so replayed
+    closures dedup without walking every parked entry.
+    """
+
+    def _runtime(self, model, records, sink, ckpt=None):
+        return StreamRuntime(
+            model, IterableSource(records), sink=sink,
+            tracker=PARITY_TRACKER,
+            checkpoint_path=ckpt,
+            resilience=ResilienceConfig(
+                retry_attempts=2, failed_after=10**6, **FAST
+            ),
+            **NO_SLEEP,
+        )
+
+    def test_outage_parks_every_report_and_dedups_in_constant_time(
+        self, spark_model, tmp_path
+    ):
+        from repro.stream import ClosedSession
+
+        records = _spark_records(seed=67)
+        ckpt = tmp_path / "ckpt.json"
+        sink = FlakySink(ListSink(), fail_first=10**6)  # permanent outage
+        runtime = self._runtime(spark_model, records, sink, ckpt)
+        stats = runtime.run(once=True)
+
+        batch = spark_model.detect_job(split_sessions(records))
+        assert len(batch.sessions) > 1
+        assert not sink.inner.reports  # nothing got through
+        assert stats.undelivered_reports == len(batch.sessions)
+        # The parked set mirrors the outbox exactly.
+        assert runtime._parked_fids == {
+            e["finalization_id"] for e in runtime._outbox
+        }
+
+        # Replay a closure for a session whose report is parked: the
+        # duplicate must be suppressed via the parked-fid set without
+        # touching the outbox or emitting anything.
+        deduped = stats.deduped_reports
+        outbox_len = len(runtime._outbox)
+        for session in split_sessions(records):
+            runtime._finalize(
+                ClosedSession(session=session, reason="flush")
+            )
+        assert len(runtime._outbox) == outbox_len
+        assert runtime.stats.deduped_reports == deduped + len(
+            batch.sessions
+        )
+
+    def test_parked_set_rebuilt_on_resume_then_drained(
+        self, spark_model, tmp_path
+    ):
+        records = _spark_records(seed=67)
+        ckpt = tmp_path / "ckpt.json"
+        outage = FlakySink(ListSink(), fail_first=10**6)
+        runtime = self._runtime(spark_model, records, outage, ckpt)
+        runtime.run(once=True)
+        parked = set(runtime._parked_fids)
+        assert parked
+        runtime.checkpoint()
+
+        # Resume with a healthy sink: the parked set is rebuilt from the
+        # checkpointed outbox, then emptied as the outbox drains.
+        healthy = ListSink()
+        runtime2 = self._runtime(spark_model, [], healthy, ckpt)
+        assert runtime2.resumed
+        assert runtime2._parked_fids == {
+            e["finalization_id"] for e in runtime2._outbox
+        }
+        assert runtime2._parked_fids == parked
+        runtime2.run(once=True)
+        assert not runtime2._outbox
+        assert not runtime2._parked_fids
+        fids = healthy.emitted_ids()
+        assert sorted(fids) == sorted(parked)
+        assert len(fids) == len(set(fids))
