@@ -1,35 +1,57 @@
 """Static analysis: HW-graph artifact validation + codebase lint.
 
-Two halves (both report :class:`Diagnostic` records with stable codes):
+Three passes (all report :class:`Diagnostic` records with stable codes):
 
 * :mod:`repro.analysis.validate` — structural checks over trained
   ``HWGraph`` / ``IntelKey`` / subroutine artifacts (``HW001``-``HW006``,
   ``IK001``, ``SR001``, ``RT001``), in memory and over the ``to_dict()``
   / :class:`~repro.query.store.ModelStore` serialization;
-* :mod:`repro.analysis.astlint` — AST lint of the codebase itself for
-  the determinism contract and Python hygiene (``DET001``, ``DET002``,
-  ``PY001``, ``PY002``).
+* :mod:`repro.analysis.astlint` — per-node AST lint of the codebase
+  itself for the determinism contract and Python hygiene (``DET001``-
+  ``DET003``, ``PY001``, ``PY002``);
+* :mod:`repro.analysis.concurrency` — whole-program concurrency
+  analysis: lock/attribute models per class, lock-order graphs, and
+  fork-safety of process-pool payloads (``RACE001``-``RACE005``).
 
-CLI: ``repro lint-model`` / ``repro lint-code``.
+Suppressions for the code-facing passes share one inline pragma syntax
+(:mod:`repro.analysis.suppress`, ``SUP001``/``SUP002``).
+
+CLI: ``repro lint-model`` / ``repro lint-code`` /
+``repro lint-concurrency``.
 """
 
 from .astlint import Linter, lint_paths, lint_source
+from .concurrency import (
+    ConcurrencyAnalyzer,
+    ProgramModel,
+    analyze_paths,
+    analyze_source,
+    build_program,
+)
 from .diagnostics import (
     DIAGNOSTIC_CODES,
     Diagnostic,
     DiagnosticReport,
     Severity,
 )
+from .suppress import SuppressionIndex, scan_pragmas
 from .validate import validate_graph, validate_model_dict, validate_round_trip
 
 __all__ = [
     "DIAGNOSTIC_CODES",
+    "ConcurrencyAnalyzer",
     "Diagnostic",
     "DiagnosticReport",
     "Linter",
+    "ProgramModel",
     "Severity",
+    "SuppressionIndex",
+    "analyze_paths",
+    "analyze_source",
+    "build_program",
     "lint_paths",
     "lint_source",
+    "scan_pragmas",
     "validate_graph",
     "validate_model_dict",
     "validate_round_trip",

@@ -24,12 +24,15 @@ Rules (codes registered in :mod:`repro.analysis.diagnostics`):
 * ``PY002`` — bare ``except:``, or ``except Exception:`` whose body is
   only ``pass`` (error swallowing).
 
-A finding on a line carrying ``# noqa: CODE`` is suppressed (used e.g. in
-lint fixtures' self-documentation, never needed in ``src/repro`` today).
-Whole subsystems with a sanctioned exemption are listed in
-:data:`PATH_ALLOWLIST` — currently only ``repro/obs`` for DET002, whose
-single wall-clock read stamps *when a metrics export happened* rather
-than feeding any measurement (see the DESIGN observability note).
+A finding is suppressed per line either by ``# noqa: CODE`` or by the
+shared ``# repro: allow=CODE -- reason`` pragma
+(:mod:`repro.analysis.suppress`) that the concurrency analyzer honours
+too; the pragma's justification is mandatory and malformed/unknown
+pragmas surface as ``SUP001``/``SUP002`` findings.  Whole subsystems
+with a sanctioned exemption can be listed in :data:`PATH_ALLOWLIST`,
+but the list is empty today — the previous ``repro/obs`` DET002 entry
+was replaced by an inline pragma on the one sanctioned wall-clock line
+(more precise: new wall-clock calls in obs are flagged again).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from .diagnostics import Diagnostic, DiagnosticReport
+from .suppress import SuppressionIndex, scan_pragmas
 
 __all__ = [
     "LintRule", "Linter", "PATH_ALLOWLIST", "lint_source", "lint_paths",
@@ -49,14 +53,11 @@ __all__ = [
 #: Per-rule path allowlist: a finding is dropped when the module path
 #: contains one of the listed fragments (POSIX separators; matched
 #: against the normalised path, so it works from any checkout root).
-#: Keep this list short and justified — each entry is a standing
-#: exemption, documented where the sanctioned call lives.
-PATH_ALLOWLIST: dict[str, tuple[str, ...]] = {
-    # repro.obs exports stamp snapshots with the wall clock (the stamp
-    # labels the export event and is never used as a measurement; all
-    # durations come from time.perf_counter).
-    "DET002": ("repro/obs/",),
-}
+#: Empty today: standing exemptions live on the exact sanctioned line
+#: as per-line ``allow=CODE -- reason`` suppression pragmas instead,
+#: which is both more precise and self-documenting.  The mechanism
+#: stays for cases a per-line pragma cannot express (generated trees).
+PATH_ALLOWLIST: dict[str, tuple[str, ...]] = {}
 
 
 def _path_allowlisted(code: str, path: str) -> bool:
@@ -88,8 +89,12 @@ class ModuleContext:
     random_aliases: set[str] = field(default_factory=set)
     #: Local names bound to ``numpy.random.default_rng``.
     default_rng_aliases: set[str] = field(default_factory=set)
+    #: Parsed suppression pragmas for this module (see suppress.py).
+    pragmas: SuppressionIndex | None = None
 
     def suppressed(self, line: int, code: str) -> bool:
+        if self.pragmas is not None and self.pragmas.allows(line, code):
+            return True
         if 1 <= line <= len(self.source_lines):
             text = self.source_lines[line - 1]
             if "# noqa" in text:
@@ -409,6 +414,7 @@ class Linter:
         return findings
 
     def lint_source(self, source: str, path: str) -> list[Diagnostic]:
+        pragmas = scan_pragmas(source, path)
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
@@ -418,8 +424,14 @@ class Linter:
                 subject=path,
                 location=f"{path}:{exc.lineno or 0}",
             )]
-        ctx = ModuleContext(path=path, source_lines=source.splitlines())
-        return self.lint_tree(tree, ctx)
+        ctx = ModuleContext(
+            path=path,
+            source_lines=source.splitlines(),
+            pragmas=pragmas,
+        )
+        # Pragma errors (unknown code, missing justification) are
+        # findings themselves — a broken suppression must not pass CI.
+        return list(pragmas.diagnostics) + self.lint_tree(tree, ctx)
 
     def lint_file(self, path: Path) -> list[Diagnostic]:
         return self.lint_source(

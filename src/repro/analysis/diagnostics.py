@@ -70,6 +70,31 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
     "PY002": (Severity.ERROR,
               "bare 'except:' or 'except Exception: pass' swallowing "
               "errors"),
+    # -- concurrency analysis (repro.analysis.concurrency) ------------------
+    "RACE001": (Severity.ERROR,
+                "unguarded write to an attribute that is lock-guarded "
+                "elsewhere in the same class (data race on a "
+                "thread-shared object)"),
+    "RACE002": (Severity.ERROR,
+                "lock-order cycle in the acquisition graph, or a "
+                "non-reentrant lock re-acquired while held (potential "
+                "deadlock)"),
+    "RACE003": (Severity.ERROR,
+                "fork-unsafe capture: an object holding a lock, open "
+                "file, socket or metrics registry is shipped into a "
+                "ProcessPoolExecutor worker"),
+    "RACE004": (Severity.WARNING,
+                "publication after handoff: an object is mutated after "
+                "being handed to another thread, queue or executor"),
+    "RACE005": (Severity.ERROR,
+                "blocking call (sleep, file/socket IO, subprocess) "
+                "while holding a lock"),
+    # -- suppression pragmas (repro.analysis.suppress) ----------------------
+    "SUP001": (Severity.ERROR,
+               "unknown or malformed code in a '# repro: allow=' "
+               "suppression pragma"),
+    "SUP002": (Severity.ERROR,
+               "suppression pragma without an inline justification"),
 }
 
 

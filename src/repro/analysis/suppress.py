@@ -1,0 +1,124 @@
+"""Shared inline suppression pragmas for the static-analysis layer.
+
+Both lint passes — the per-node AST lint (:mod:`repro.analysis.astlint`)
+and the whole-program concurrency analysis
+(:mod:`repro.analysis.concurrency`) — honour one pragma syntax::
+
+    some_call()  # repro: allow=RACE001 -- why this is safe here
+    other()      # repro: allow=DET002,RACE005 -- one reason for both
+
+Rules:
+
+* the pragma suppresses only the listed codes, only on its own line
+  (per-rule scoping — a ``RACE001`` pragma never hides a ``RACE005``);
+* every code must be registered in
+  :data:`repro.analysis.diagnostics.DIAGNOSTIC_CODES` — unknown or
+  malformed codes are *rejected* with a ``SUP001`` diagnostic instead of
+  silently suppressing nothing;
+* the justification after ``--`` is mandatory: a pragma without one
+  reports ``SUP002``, so the codebase can never accumulate unexplained
+  suppressions (the CI gate requires zero diagnostics, including these).
+
+Pragmas are found with :mod:`tokenize`, so the pattern inside a string
+literal (like the regex below) is never mistaken for a real pragma.
+
+This subsumes the blunter per-path ``PATH_ALLOWLIST`` mechanism from the
+first static-analysis PR: a standing exemption now lives on the exact
+line it sanctions, next to its one-line justification.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .diagnostics import DIAGNOSTIC_CODES, Diagnostic
+
+__all__ = ["SuppressionIndex", "scan_pragmas"]
+
+#: A well-formed pragma: hash, ``repro:``, ``allow=CODE[,CODE...]``,
+#: then an optional ``-- reason`` (spelled abstractly here so this very
+#: comment is not itself parsed as a pragma attempt).
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\s*=\s*"
+    r"(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+    r"\s*(?:--\s*(?P<why>\S.*?)\s*)?$"
+)
+
+#: Loose detector for *attempted* pragmas, so typos are rejected loudly
+#: instead of silently not suppressing.
+_ATTEMPT_RE = re.compile(r"#\s*repro:\s*allow")
+
+
+@dataclass(slots=True)
+class SuppressionIndex:
+    """Per-module map of ``line -> allowed codes`` plus pragma errors."""
+
+    path: str
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: SUP001/SUP002 findings raised while parsing the pragmas.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def allows(self, line: int, code: str) -> bool:
+        return code in self.by_line.get(line, ())
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """``(line, text)`` of every comment token; [] on unreadable input."""
+    out: list[tuple[int, str]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A file that does not tokenize is reported by the linters
+        # themselves; pragma scanning just yields what it saw so far.
+        pass
+    return out
+
+
+def scan_pragmas(source: str, path: str) -> SuppressionIndex:
+    """Parse every ``# repro: allow=`` pragma in ``source``.
+
+    Returns the per-line suppression table plus ``SUP001`` (unknown or
+    malformed code) and ``SUP002`` (missing justification) diagnostics.
+    """
+    index = SuppressionIndex(path=path)
+    for line, comment in _comment_tokens(source):
+        if not _ATTEMPT_RE.search(comment):
+            continue
+        location = f"{path}:{line}"
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            index.diagnostics.append(Diagnostic.make(
+                "SUP001",
+                "malformed suppression pragma (expected "
+                "'# repro: allow=CODE[,CODE] -- reason')",
+                subject=comment.strip(),
+                location=location,
+            ))
+            continue
+        codes = [c.strip() for c in match.group("codes").split(",")]
+        unknown = [c for c in codes if c not in DIAGNOSTIC_CODES]
+        known = [c for c in codes if c in DIAGNOSTIC_CODES]
+        for code in unknown:
+            index.diagnostics.append(Diagnostic.make(
+                "SUP001",
+                f"unknown diagnostic code {code!r} in suppression pragma",
+                subject=code,
+                location=location,
+            ))
+        if not match.group("why"):
+            index.diagnostics.append(Diagnostic.make(
+                "SUP002",
+                "suppression pragma without justification (append "
+                "' -- <one-line reason>')",
+                subject=",".join(codes),
+                location=location,
+            ))
+        if known:
+            index.by_line.setdefault(line, set()).update(known)
+    return index

@@ -12,6 +12,7 @@ log files, persist it as JSON, then check new log files against it.  The
     intellog stats  metrics.json
     intellog lint-model --model model.json [--strict]
     intellog lint-code [paths...]
+    intellog lint-concurrency [paths...] [--json]
 
 ``watch`` is the online mode (``repro.stream``): it tails a growing log
 file, assembles sessions incrementally and emits one report per closed
@@ -321,6 +322,21 @@ def cmd_lint_code(args: argparse.Namespace) -> int:
     return 1 if report else 0
 
 
+def cmd_lint_concurrency(args: argparse.Namespace) -> int:
+    """Whole-program concurrency analysis (RACE001-RACE005).
+
+    Exit status: 0 when clean, 1 on any finding, 2 on bad paths.
+    """
+    from .analysis.concurrency import main as concurrency_main
+
+    argv = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.dump_model:
+        argv.append("--dump-model")
+    return concurrency_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="intellog",
@@ -435,6 +451,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint_code.add_argument("paths", nargs="*", default=["src"],
                            help="files or directories (default: src)")
     lint_code.set_defaults(func=cmd_lint_code)
+
+    lint_conc = sub.add_parser(
+        "lint-concurrency",
+        help="whole-program race/lock-order/fork-safety analysis",
+    )
+    lint_conc.add_argument("paths", nargs="*", default=[],
+                           help="files or directories "
+                                "(default: src/repro)")
+    lint_conc.add_argument("--json", action="store_true",
+                           help="machine-readable diagnostics")
+    lint_conc.add_argument("--dump-model", action="store_true",
+                           help="print the per-class lock/sharing model")
+    lint_conc.set_defaults(func=cmd_lint_concurrency)
     return parser
 
 

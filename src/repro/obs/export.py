@@ -132,8 +132,7 @@ def json_snapshot(
         }
     snapshot: dict[str, Any] = {"format": SNAPSHOT_FORMAT}
     if stamp:
-        # Export stamp, not a measurement (see module docstring).
-        snapshot["snapshot_unix_s"] = round(time.time(), 3)
+        snapshot["snapshot_unix_s"] = round(time.time(), 3)  # repro: allow=DET002 -- stamps when the export happened, never a measurement
     snapshot["metrics"] = metrics
     return snapshot
 

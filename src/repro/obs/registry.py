@@ -224,8 +224,13 @@ class Histogram(_Metric):
             raise ValueError("histogram needs at least one bucket")
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
             raise ValueError("histogram buckets must be strictly increasing")
-        self._bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)
+        # _bounds/_counts must swap atomically w.r.t. observe(): a
+        # concurrent observer indexing new bounds against old counts
+        # would write out of range.  The family RLock is reentrant, so
+        # callers already holding it (registry, labels()) are fine.
+        with self._lock:
+            self._bounds = bounds
+            self._counts = [0] * (len(bounds) + 1)
 
     def _copy_config(self, child: "_Metric") -> None:
         assert isinstance(child, Histogram)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from pathlib import Path
 from typing import IO, Any, Callable, Protocol, runtime_checkable
 
@@ -163,9 +164,12 @@ class CircuitBreaker:
 
     def degraded_seconds(self) -> float:
         """Cumulative time out of HEALTHY, including the current spell."""
+        # Read once: a concurrent record_success() may None the field
+        # between a check and a use (stats threads call this live).
+        since = self._unhealthy_since
         live = 0.0
-        if self._unhealthy_since is not None:
-            live = max(0.0, self._clock() - self._unhealthy_since)
+        if since is not None:
+            live = max(0.0, self._clock() - since)
         return self._degraded_s + live
 
 
@@ -174,7 +178,13 @@ class CircuitBreaker:
 
 @runtime_checkable
 class Quarantine(Protocol):
-    """Dead-letter channel for malformed input, with per-reason counts."""
+    """Dead-letter channel for malformed input, with per-reason counts.
+
+    ``put`` may be called from the runtime loop while another thread
+    reads stats, so implementations guard their counters and expose a
+    consistent :meth:`snapshot` (reading ``counts`` directly during
+    concurrent puts can observe a dict mid-resize).
+    """
 
     counts: dict[str, int]
 
@@ -187,11 +197,15 @@ class Quarantine(Protocol):
     ) -> None:
         ...
 
+    def snapshot(self) -> dict[str, int]:
+        ...
+
 
 class ListQuarantine:
     """Collects quarantined entries in memory (default, tests)."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.entries: list[dict[str, Any]] = []
         self.counts: dict[str, int] = {}
 
@@ -202,10 +216,15 @@ class ListQuarantine:
         source: str = "",
         offset: int | None = None,
     ) -> None:
-        self.counts[reason] = self.counts.get(reason, 0) + 1
-        self.entries.append(
-            _entry(reason, line, source, offset)
-        )
+        entry = _entry(reason, line, source, offset)
+        with self._lock:
+            self.counts[reason] = self.counts.get(reason, 0) + 1
+            self.entries.append(entry)
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the per-reason counts."""
+        with self._lock:
+            return dict(self.counts)
 
 
 class JsonLinesQuarantine:
@@ -224,6 +243,7 @@ class JsonLinesQuarantine:
         else:
             self._fp = target
             self._owned = False
+        self._lock = threading.Lock()
         self.counts: dict[str, int] = {}
 
     def put(
@@ -233,11 +253,20 @@ class JsonLinesQuarantine:
         source: str = "",
         offset: int | None = None,
     ) -> None:
-        self.counts[reason] = self.counts.get(reason, 0) + 1
-        self._fp.write(
-            json.dumps(_entry(reason, line, source, offset)) + "\n"
-        )
+        payload = json.dumps(_entry(reason, line, source, offset)) + "\n"
+        with self._lock:
+            self.counts[reason] = self.counts.get(reason, 0) + 1
+        # File IO happens outside the lock: a slow disk must not stall
+        # every thread snapshotting the counts (RACE005 by design).
+        # Single-line str writes are atomic enough for an append-only
+        # dead-letter file; interleaved lines stay individually valid.
+        self._fp.write(payload)
         self._fp.flush()
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the per-reason counts."""
+        with self._lock:
+            return dict(self.counts)
 
     def close(self) -> None:
         if self._owned:

@@ -312,6 +312,19 @@ class StreamRuntime:
             if label in labels
         }
 
+    def _quarantine_counts(self) -> dict[str, int]:
+        """Consistent copy of the quarantine's per-reason counts.
+
+        Prefers the sink's lock-guarded ``snapshot()``; a bare
+        ``dict()`` of a dict another thread is inserting into can raise
+        RuntimeError or observe it mid-resize.  Third-party sinks that
+        predate ``snapshot()`` fall back to the raw copy.
+        """
+        snapshot = getattr(self.quarantine, "snapshot", None)
+        if callable(snapshot):
+            return dict(snapshot())
+        return dict(self.quarantine.counts)
+
     @property
     def stats(self) -> RuntimeStats:
         """A fresh :class:`RuntimeStats` snapshot of the registry."""
@@ -334,7 +347,7 @@ class StreamRuntime:
             failure=self._failure,
             degraded_s=self._breaker.degraded_seconds(),
             io_failures=int(self._m_io_failures.value),
-            quarantined=dict(self.quarantine.counts),
+            quarantined=self._quarantine_counts(),
             deduped_reports=int(self._m_deduped.value),
             undelivered_reports=len(self._outbox),
             finalize_errors=int(self._m_finalize_errors.value),

@@ -1,0 +1,32 @@
+"""Known-clean control: ordinary locked class + process pool on data.
+
+Nothing here should trip any RACE code: one leaf lock guarding all
+writes, no nesting, no blocking under the lock, plain tuples into
+the executor, nothing mutated after handoff.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[tuple[str, int]] = []
+
+    def post(self, key: str, amount: int) -> None:
+        with self._lock:
+            self._entries = self._entries + [(key, amount)]
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(amount for _, amount in self._entries)
+
+
+def weigh(item: tuple[str, int]) -> int:
+    return item[1] * 2
+
+
+def run(items: list[tuple[str, int]]) -> list[int]:
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(weigh, items))

@@ -1,0 +1,17 @@
+"""Known-clean: every non-__init__ write happens under the class lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def incr(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0

@@ -1,0 +1,22 @@
+"""Known-clean: a private helper writes without the lock, but every one
+of its intra-class call sites already holds it (guard propagation)."""
+
+import threading
+
+
+class Buffer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: list[int] = []
+
+    def push(self, item: int) -> None:
+        with self._lock:
+            self._store(item)
+
+    def push_two(self, a: int, b: int) -> None:
+        with self._lock:
+            self._store(a)
+            self._store(b)
+
+    def _store(self, item: int) -> None:
+        self._items = self._items + [item]

@@ -1,0 +1,33 @@
+"""Known-racy: attribute guarded in one method, bare in another."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def incr(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def reset(self) -> None:
+        # Racy: every other writer takes ``_lock`` first.
+        self._count = 0
+
+
+class AcqRelCounter:
+    """Same bug, with explicit acquire()/release() instead of ``with``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, n: int) -> None:
+        self._lock.acquire()
+        self._total += n
+        self._lock.release()
+
+    def clear(self) -> None:
+        self._total = 0

@@ -1,0 +1,39 @@
+"""Known-racy: lock-order cycle across two classes.
+
+``Producer.flush`` holds Producer._lock and calls into
+``Consumer.accept`` (takes Consumer._lock); ``Consumer.drain`` holds
+Consumer._lock and calls back into ``Producer.ack`` (takes
+Producer._lock).  Two threads running flush/drain deadlock.
+"""
+
+import threading
+
+
+class Producer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.partner = Consumer(self)
+        self.pending = 0
+
+    def flush(self) -> None:
+        with self._lock:
+            self.partner.accept()
+
+    def ack(self) -> None:
+        with self._lock:
+            self.pending = 0
+
+
+class Consumer:
+    def __init__(self, origin: Producer) -> None:
+        self._lock = threading.Lock()
+        self.origin = origin
+        self.seen = 0
+
+    def accept(self) -> None:
+        with self._lock:
+            self.seen += 1
+
+    def drain(self) -> None:
+        with self._lock:
+            self.origin.ack()

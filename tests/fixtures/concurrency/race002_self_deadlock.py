@@ -1,0 +1,34 @@
+"""Known-racy: a non-reentrant Lock re-acquired on the same thread.
+
+``PlainGate.outer`` holds the plain ``Lock`` and calls ``_inner``,
+which tries to take it again -- instant self-deadlock.  The RLock
+twin below is the known-clean control: reentrant acquisition is fine.
+"""
+
+import threading
+
+
+class PlainGate:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def outer(self) -> None:
+        with self._lock:
+            self._inner()
+
+    def _inner(self) -> None:
+        with self._lock:
+            pass
+
+
+class ReentrantGate:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+
+    def outer(self) -> None:
+        with self._lock:
+            self._inner()
+
+    def _inner(self) -> None:
+        with self._lock:
+            pass

@@ -1,0 +1,14 @@
+"""Known-clean: only plain data crosses the process boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def square(n: int) -> int:
+    return n * n
+
+
+def run() -> list[int]:
+    jobs = [1, 2, 3]
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(square, job) for job in jobs]
+    return [f.result() for f in futures]

@@ -1,0 +1,30 @@
+"""Known-racy: a lock-holding object shipped into a process pool.
+
+``Tracker`` owns a ``threading.Lock``; pickling it into a
+``ProcessPoolExecutor`` worker forks/spawns with a copy whose lock
+state is meaningless (and on fork-start, possibly held forever).
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+
+def work(tracker: Tracker) -> int:
+    tracker.record()
+    return tracker.hits
+
+
+def run() -> None:
+    tracker = Tracker()
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pool.submit(work, tracker)

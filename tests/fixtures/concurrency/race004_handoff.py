@@ -1,0 +1,25 @@
+"""Known-racy: object handed to a thread, then mutated by the giver.
+
+After ``Thread(args=(box,)).start()`` the consumer owns ``box``;
+the publisher appending to ``box.items`` afterwards races the
+consumer's reads without any common lock.
+"""
+
+import threading
+
+
+class Box:
+    def __init__(self) -> None:
+        self.items: list[int] = []
+
+
+def consume(box: Box) -> None:
+    for item in box.items:
+        print(item)
+
+
+def publish() -> None:
+    box = Box()
+    worker = threading.Thread(target=consume, args=(box,))
+    worker.start()
+    box.items.append(1)

@@ -1,0 +1,25 @@
+"""Known-racy: blocking calls made while a lock is held.
+
+``tick`` sleeps under the lock, stalling every other thread that
+wants it; ``log`` does file IO under the lock, coupling lock hold
+time to disk latency.
+"""
+
+import threading
+import time
+
+
+class Slow:
+    def __init__(self, path: str) -> None:
+        self._lock = threading.Lock()
+        self._fp = open(path, "a")
+        self._n = 0
+
+    def tick(self) -> None:
+        with self._lock:
+            time.sleep(0.1)
+            self._n += 1
+
+    def log(self, line: str) -> None:
+        with self._lock:
+            self._fp.write(line)

@@ -225,26 +225,74 @@ class TestRules:
         )
         assert len(report) == 0
 
-    def test_det002_path_allowlist_for_obs_exporter(self):
-        # The observability exporter's snapshot stamp is the one
-        # sanctioned wall-clock read; the allowlist scopes it to the
-        # repro/obs tree instead of a per-line noqa.
-        src = "import time\nstamp = time.time()\n"
-        allowed = lint_source(src, path="src/repro/obs/export.py")
-        assert len(allowed) == 0, allowed.render()
-        elsewhere = lint_source(src, path="src/repro/stream/runtime.py")
-        assert elsewhere.codes == {"DET002"}
-
-    def test_path_allowlist_normalises_windows_separators(self):
-        src = "import time\nstamp = time.time()\n"
-        report = lint_source(src, path="src\\repro\\obs\\export.py")
+    def test_det002_pragma_replaces_obs_allowlist(self):
+        # The observability exporter's snapshot stamp used to ride a
+        # path allowlist; it now carries an inline pragma like any
+        # other sanctioned exception, so the same source is flagged
+        # everywhere unless the line itself is annotated.
+        bare = "import time\nstamp = time.time()\n"
+        assert lint_source(bare, path="src/repro/obs/export.py").codes \
+            == {"DET002"}
+        annotated = (
+            "import time\n"
+            "stamp = time.time()"
+            "  # repro: allow=DET002 -- export stamp\n"
+        )
+        report = lint_source(annotated, path="src/repro/obs/export.py")
         assert len(report) == 0, report.render()
 
+    def test_path_allowlist_normalises_windows_separators(self):
+        # The mechanism survives (empty by default); entries match
+        # regardless of host path separator.
+        from repro.analysis import astlint
+
+        src = "import time\nstamp = time.time()\n"
+        original = dict(astlint.PATH_ALLOWLIST)
+        astlint.PATH_ALLOWLIST["DET002"] = ("src/repro/obs/",)
+        try:
+            report = lint_source(src, path="src\\repro\\obs\\export.py")
+            assert len(report) == 0, report.render()
+            elsewhere = lint_source(src, path="src/repro/stream/x.py")
+            assert elsewhere.codes == {"DET002"}
+        finally:
+            astlint.PATH_ALLOWLIST.clear()
+            astlint.PATH_ALLOWLIST.update(original)
+
     def test_path_allowlist_is_per_rule(self):
-        # Other rules still fire inside the allowlisted tree.
-        src = "def bad(items=[]):\n    return items\n"
-        report = lint_source(src, path="src/repro/obs/export.py")
-        assert report.codes == {"PY001"}
+        # Other rules still fire inside an allowlisted tree.
+        from repro.analysis import astlint
+
+        original = dict(astlint.PATH_ALLOWLIST)
+        astlint.PATH_ALLOWLIST["DET002"] = ("src/repro/obs/",)
+        try:
+            src = "def bad(items=[]):\n    return items\n"
+            report = lint_source(src, path="src/repro/obs/export.py")
+            assert report.codes == {"PY001"}
+        finally:
+            astlint.PATH_ALLOWLIST.clear()
+            astlint.PATH_ALLOWLIST.update(original)
+
+    def test_pragma_is_per_code(self):
+        # A pragma for one code does not silence another on the line.
+        src = (
+            "import time\n"
+            "t = time.time()  # repro: allow=PY001 -- wrong code\n"
+        )
+        assert lint_source(src).codes == {"DET002"}
+
+    def test_pragma_unknown_code_reports_sup001(self):
+        src = "x = 1  # repro: allow=NOPE999 -- hmm\n"
+        assert lint_source(src).codes == {"SUP001"}
+
+    def test_pragma_missing_justification_reports_sup002(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # repro: allow=DET002\n"
+        )
+        report = lint_source(src)
+        # The suppression still works, but the missing reason is
+        # itself reported.
+        assert report.codes == {"SUP002"}
 
     def test_noqa_suppression(self):
         report = lint_source(

@@ -1,0 +1,276 @@
+"""Concurrency analysis (repro.analysis.concurrency): rules + gate.
+
+``TestRepoGate`` is the pytest-collected race check: it runs the
+whole-program analyzer over ``src/repro`` on every tier-1 run, so a
+merge that adds an unguarded write, a lock-order inversion, or a
+fork-unsafe executor payload fails CI without extra tooling — the
+concurrency twin of ``test_astlint.TestRepoIsClean``.
+
+The golden corpus under ``tests/fixtures/concurrency/`` pins each
+diagnostic code to a minimal known-racy snippet and each known-clean
+control to silence, so rule behaviour cannot drift unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+import time
+from pathlib import Path
+
+from repro.analysis.concurrency import analyze_paths, analyze_source
+from repro.analysis.concurrency import main as concurrency_main
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "concurrency"
+
+RACY_FIXTURES = {
+    "race001_unguarded_write.py": "RACE001",
+    "race002_cycle.py": "RACE002",
+    "race002_self_deadlock.py": "RACE002",
+    "race003_fork_capture.py": "RACE003",
+    "race004_handoff.py": "RACE004",
+    "race005_blocking.py": "RACE005",
+}
+
+CLEAN_FIXTURES = (
+    "race001_clean_guarded.py",
+    "race001_helper_guarded.py",
+    "race003_clean.py",
+    "clean_pipeline.py",
+)
+
+
+def fixture_report(name: str):
+    return analyze_paths([FIXTURES / name])
+
+
+class TestRepoGate:
+    def test_src_repro_has_zero_findings_fast(self):
+        start = time.perf_counter()
+        report = analyze_paths([SRC])
+        elapsed = time.perf_counter() - start
+        assert len(report) == 0, report.render()
+        # The gate must stay cheap enough to run on every tier-1 pass.
+        assert elapsed < 10.0, f"analyzer took {elapsed:.1f}s"
+
+
+class TestGoldenCorpus:
+    def test_every_racy_fixture_fires_exactly_its_code(self):
+        for name, code in RACY_FIXTURES.items():
+            report = fixture_report(name)
+            assert report.codes == {code}, (name, report.render())
+
+    def test_every_clean_fixture_is_silent(self):
+        for name in CLEAN_FIXTURES:
+            report = fixture_report(name)
+            assert len(report) == 0, (name, report.render())
+
+    def test_corpus_covers_every_race_code(self):
+        assert set(RACY_FIXTURES.values()) == {
+            "RACE001", "RACE002", "RACE003", "RACE004", "RACE005"
+        }
+
+    def test_race001_names_class_attr_and_both_methods(self):
+        report = fixture_report("race001_unguarded_write.py")
+        subjects = {d.subject for d in report.diagnostics}
+        assert subjects == {"Counter._count", "AcqRelCounter._total"}
+        by_subject = {d.subject: d.message for d in report.diagnostics}
+        # The acquire()/release() pair counts as holding the lock.
+        assert "add()" in by_subject["AcqRelCounter._total"]
+        assert "clear()" in by_subject["AcqRelCounter._total"]
+
+    def test_race002_cycle_spans_two_classes(self):
+        report = fixture_report("race002_cycle.py")
+        (diag,) = report.diagnostics
+        assert "Producer._lock" in diag.message
+        assert "Consumer._lock" in diag.message
+        assert "cycle" in diag.message
+
+    def test_race002_self_deadlock_only_for_plain_lock(self):
+        report = fixture_report("race002_self_deadlock.py")
+        (diag,) = report.diagnostics
+        assert diag.subject == "PlainGate._lock"
+        assert "ReentrantGate" not in diag.message
+
+    def test_race003_names_the_captured_lock(self):
+        report = fixture_report("race003_fork_capture.py")
+        (diag,) = report.diagnostics
+        assert "Tracker" in diag.message
+        assert "_lock" in diag.message
+
+    def test_race004_is_a_warning_with_both_lines(self):
+        report = fixture_report("race004_handoff.py")
+        (diag,) = report.diagnostics
+        assert diag.severity.name == "WARNING"
+        assert "handed to another thread" in diag.message
+
+    def test_race005_flags_sleep_and_file_io(self):
+        report = fixture_report("race005_blocking.py")
+        messages = " | ".join(d.message for d in report.diagnostics)
+        assert len(report) == 2
+        assert "time.sleep" in messages
+        assert "IO" in messages
+
+
+class TestAnalyzeSource:
+    def test_unguarded_write_from_source_string(self):
+        src = textwrap.dedent(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+
+                def a(self):
+                    with self._lock:
+                        self.n += 1
+
+                def b(self):
+                    self.n = 0
+            """
+        )
+        report = analyze_source(src, path="mod.py")
+        assert report.codes == {"RACE001"}
+        assert report.diagnostics[0].location.startswith("mod.py:")
+
+    def test_init_writes_are_never_flagged(self):
+        src = textwrap.dedent(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+
+                def a(self):
+                    with self._lock:
+                        self.n += 1
+            """
+        )
+        assert len(analyze_source(src)) == 0
+
+    def test_syntax_error_is_reported_not_raised(self):
+        report = analyze_source("def broken(:\n", path="broken.py")
+        assert len(report) == 1
+        assert "does not parse" in report.diagnostics[0].message
+
+    def test_lock_received_via_constructor_param(self):
+        # A lock annotated on an __init__ parameter (the registry's
+        # shared-family-RLock pattern) still yields guard tracking.
+        src = textwrap.dedent(
+            """
+            import threading
+
+            class Child:
+                def __init__(self, lock: threading.RLock):
+                    self._lock = lock
+                    self.n = 0
+
+                def a(self):
+                    with self._lock:
+                        self.n += 1
+
+                def b(self):
+                    self.n = 0
+            """
+        )
+        assert analyze_source(src).codes == {"RACE001"}
+
+
+class TestSuppressionPragmas:
+    RACY = textwrap.dedent(
+        """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+
+            def a(self):
+                with self._lock:
+                    self.n += 1
+
+            def b(self):
+                self.n = 0{pragma}
+        """
+    )
+
+    def test_pragma_suppresses_the_named_code(self):
+        src = self.RACY.format(
+            pragma="  # repro: allow=RACE001 -- single-writer phase"
+        )
+        report = analyze_source(src)
+        assert len(report) == 0, report.render()
+
+    def test_pragma_is_per_code(self):
+        src = self.RACY.format(
+            pragma="  # repro: allow=RACE005 -- wrong code"
+        )
+        assert analyze_source(src).codes == {"RACE001"}
+
+    def test_unknown_code_reports_sup001(self):
+        src = self.RACY.format(
+            pragma="  # repro: allow=RACE999 -- no such rule"
+        )
+        assert analyze_source(src).codes == {"RACE001", "SUP001"}
+
+    def test_missing_justification_reports_sup002(self):
+        src = self.RACY.format(pragma="  # repro: allow=RACE001")
+        # The finding is suppressed but the bare pragma is flagged, so
+        # the CI gate still fails until a reason is written.
+        assert analyze_source(src).codes == {"SUP002"}
+
+
+class TestRunners:
+    def test_cli_clean_exit_zero(self, capsys):
+        code = main(["lint-concurrency", str(SRC)])
+        assert code == 0
+        assert "0 diagnostics" in capsys.readouterr().out
+
+    def test_cli_racy_fixture_exit_one(self, capsys):
+        code = main([
+            "lint-concurrency",
+            str(FIXTURES / "race001_unguarded_write.py"),
+        ])
+        assert code == 1
+        assert "RACE001" in capsys.readouterr().out
+
+    def test_cli_json_output(self, capsys):
+        code = main([
+            "lint-concurrency", "--json",
+            str(FIXTURES / "race002_cycle.py"),
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["code"] for d in payload["diagnostics"]] == ["RACE002"]
+
+    def test_cli_dump_model_describes_classes(self, capsys):
+        code = main([
+            "lint-concurrency", "--dump-model",
+            str(FIXTURES / "race001_clean_guarded.py"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "class Counter" in out
+        assert "_lock" in out
+
+    def test_standalone_main_json_out(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = concurrency_main([
+            "--json-out", str(out_path),
+            str(FIXTURES / "race003_fork_capture.py"),
+        ])
+        assert code == 1
+        payload = json.loads(out_path.read_text())
+        assert [d["code"] for d in payload["diagnostics"]] == ["RACE003"]
+
+    def test_standalone_main_missing_path_exit_two(self, capsys):
+        assert concurrency_main(["does/not/exist.py"]) == 2
+        assert "error" in capsys.readouterr().out

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Run the whole-program concurrency analysis from a checkout.
+
+Usage::
+
+    python tools/run_concurrency.py [paths...]          # default src/repro
+    python tools/run_concurrency.py --json-out report.json src/repro
+
+Exit status is non-zero when any finding is reported, so it can gate CI;
+``--json-out`` writes the machine-readable report for artifact upload.
+Equivalent to ``repro lint-concurrency`` once the package is installed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the in-tree package importable without installation.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.concurrency import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
