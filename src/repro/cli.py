@@ -8,6 +8,8 @@ log files, persist it as JSON, then check new log files against it.  The
     intellog train  --formatter spark --model model.json train1.log ...
     intellog detect --model model.json suspicious.log
     intellog watch  --model model.json --follow app.log [--once]
+    intellog publish --model model.json --name prod --registry DIR
+    intellog serve  --tenants tenants.toml --registry DIR [--drain]
     intellog inspect --model model.json [--subroutines]
     intellog stats  metrics.json
     intellog lint-model --model model.json [--strict]
@@ -269,6 +271,135 @@ def cmd_watch(args: argparse.Namespace) -> int:
             server.close()
 
 
+def cmd_publish(args: argparse.Namespace) -> int:
+    """Publish a trained model file into a serving registry."""
+    from .serve import ModelRegistry, RegistryError
+
+    store = _load_store(args.model)
+    try:
+        registry = ModelRegistry(args.registry)
+        version, digest = registry.publish(store, args.name)
+    except RegistryError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(f"published {args.name}@{version} ({digest})")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Multi-tenant serving: many log streams, shared model versions.
+
+    Attaches every tenant in the ``--tenants`` file (TOML or JSON),
+    then serves until interrupted — re-reading the file on change to
+    attach/detach/swap tenants at runtime — or, with ``--drain``,
+    processes everything currently available and exits.  Exit 1 when
+    draining found anomalous sessions, 3 when any tenant is parked
+    (pump failure or open breaker) at shutdown.
+    """
+    from .core.config import ServeConfig
+    from .serve import (
+        DetectionService,
+        ModelRegistry,
+        RegistryError,
+        apply_tenants,
+        apply_tenants_file,
+        load_tenants_file,
+    )
+
+    try:
+        specs = load_tenants_file(args.tenants)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: tenants file unusable: {exc}")
+    if not specs:
+        raise SystemExit("error: tenants file declares no tenants")
+    config = ServeConfig(
+        workers=args.workers,
+        global_session_budget=args.budget,
+        quantum=args.quantum,
+        queue_capacity=args.queue_capacity,
+        poll_interval=args.poll_interval,
+    )
+    try:
+        registry = ModelRegistry(args.registry)
+    except RegistryError as exc:
+        raise SystemExit(f"error: registry unusable: {exc}")
+    from .obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    service = DetectionService(
+        registry,
+        config,
+        checkpoint_dir=args.checkpoint_dir,
+        metrics=metrics,
+    )
+    summary = apply_tenants(service, specs)
+    attached = summary["attached"]
+    if not attached:
+        raise SystemExit("error: no tenant could be attached")
+    print(
+        f"serving {len(attached)} tenant(s): {', '.join(attached)}",
+        file=sys.stderr,
+    )
+    server = None
+    if args.metrics_port is not None:
+        from .obs import MetricsServer
+
+        server = MetricsServer(
+            metrics,
+            args.metrics_port,
+            json_routes={"/tenants": service.tenants_status},
+        )
+        print(f"METRICS serving {server.url}", file=sys.stderr)
+    try:
+        try:
+            if args.drain:
+                status = service.drain()
+            else:
+                status = service.run(
+                    duration=args.duration,
+                    tenants_file=args.tenants,
+                    apply_tenants_file=apply_tenants_file,
+                )
+        except KeyboardInterrupt:
+            print(
+                "interrupted — tenant state saved at last checkpoints",
+                file=sys.stderr,
+            )
+            return 130
+        if args.status_out:
+            status = service.tenants_status()
+            Path(args.status_out).write_text(
+                json.dumps(status, indent=2, sort_keys=True) + "\n"
+            )
+            print(
+                f"STATUS written to {args.status_out}", file=sys.stderr
+            )
+        parked = [
+            t["tenant"] for t in status["tenants"]
+            if t["failure"] or t["health"] == "failed"
+        ]
+        for tenant in parked:
+            print(f"error: tenant {tenant} is parked", file=sys.stderr)
+        anomalous = sum(
+            t["anomalous_sessions"] for t in status["tenants"]
+        )
+        if parked:
+            return 3
+        if args.drain:
+            return 1 if anomalous else 0
+        return 0
+    finally:
+        service.close(flush=args.drain)
+        if args.metrics_out:
+            from .obs import write_snapshot
+
+            write_snapshot(metrics, args.metrics_out)
+            print(
+                f"METRICS written to {args.metrics_out}", file=sys.stderr
+            )
+        if server is not None:
+            server.close()
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Render a saved ``--metrics-out`` snapshot as a readable table."""
     from .obs import render_snapshot
@@ -425,6 +556,64 @@ def build_parser() -> argparse.ArgumentParser:
                             "http://127.0.0.1:PORT/metrics (0 picks a "
                             "free port, printed to stderr)")
     watch.set_defaults(func=cmd_watch)
+
+    publish = sub.add_parser(
+        "publish",
+        help="publish a trained model into a serving registry",
+    )
+    publish.add_argument("--model", default="intellog-model.json",
+                         help="trained model file to publish")
+    publish.add_argument("--name", required=True,
+                         help="registry model name (versions are "
+                              "sequential per name)")
+    publish.add_argument("--registry", default="serve-registry",
+                         metavar="DIR",
+                         help="registry directory (default: "
+                              "serve-registry)")
+    publish.set_defaults(func=cmd_publish)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve many tenant streams over shared model versions",
+    )
+    serve.add_argument("--tenants", required=True, metavar="FILE",
+                       help="tenants file (TOML or JSON); re-read on "
+                            "change while serving")
+    serve.add_argument("--registry", default="serve-registry",
+                       metavar="DIR", help="model registry directory")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for per-tenant checkpoints "
+                            "(default: no checkpoints)")
+    serve.add_argument("--drain", action="store_true",
+                       help="process everything available, flush every "
+                            "session, and exit")
+    serve.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS", help="stop after this long")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="scheduler threads (0 = inline, "
+                            "deterministic; default 4)")
+    serve.add_argument("--budget", type=int, default=100_000,
+                       help="global cap on open sessions across all "
+                            "tenants (default 100000)")
+    serve.add_argument("--quantum", type=int, default=512,
+                       help="max records per tenant per scheduling "
+                            "turn (default 512)")
+    serve.add_argument("--queue-capacity", type=int, default=8192,
+                       help="per-tenant ingest queue bound; overflow "
+                            "sheds oldest (default 8192)")
+    serve.add_argument("--poll-interval", type=float, default=0.2,
+                       help="idle pacing between sweeps (default 0.2)")
+    serve.add_argument("--status-out", default=None, metavar="PATH",
+                       help="write the final /tenants JSON document "
+                            "here on exit")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a JSON metrics snapshot on exit")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve /metrics and /tenants at "
+                            "http://127.0.0.1:PORT (0 picks a free "
+                            "port, printed to stderr)")
+    serve.set_defaults(func=cmd_serve)
 
     stats = sub.add_parser(
         "stats",

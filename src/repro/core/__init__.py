@@ -1,6 +1,6 @@
 """Core façade: the IntelLog train/detect API, config, metrics, errors."""
 
-from .config import IntelLogConfig, ResilienceConfig
+from .config import IntelLogConfig, ResilienceConfig, ServeConfig
 from .errors import (
     CheckpointCorruptError,
     ConfigurationError,
@@ -27,6 +27,7 @@ __all__ = [
     "ModelValidationWarning",
     "NotTrainedError",
     "ResilienceConfig",
+    "ServeConfig",
     "StreamFailedError",
     "TrainingSummary",
     "score_predictions",

@@ -65,6 +65,70 @@ class ResilienceConfig:
 
 
 @dataclass(slots=True)
+class ServeConfig:
+    """Tunables for the multi-tenant serving layer (:mod:`repro.serve`).
+
+    ``quantum`` bounds how many records one tenant may consume per
+    scheduling turn, so a chatty tenant cannot monopolize a worker.
+    ``queue_capacity`` bounds each tenant's ingest queue; overflow sheds
+    the *oldest* queued records (surfaced as a per-tenant counter)
+    rather than blocking the poller.  ``global_session_budget`` caps
+    open sessions summed over all tenants — the fleet scheduler evicts
+    LRU sessions from the largest tenants first until back under it.
+    ``workers=0`` runs the scheduler inline (deterministic round-robin,
+    used by tests and ``--drain`` batch runs).
+    """
+
+    #: Max records one tenant consumes per scheduling quantum.
+    quantum: int = 512
+    #: Records pulled from a tenant's underlying source per refill.
+    ingest_batch: int = 1024
+    #: Per-tenant bounded ingest queue (shed-oldest above this).
+    queue_capacity: int = 8192
+    #: Cap on open sessions summed across every tenant.
+    global_session_budget: int = 100_000
+    #: Scheduler threads (0 = inline deterministic round-robin).
+    workers: int = 4
+    #: Pre-deserialized model artifacts kept warm for cold-start reuse.
+    warm_capacity: int = 4
+    #: Idle pacing between scheduling sweeps (threaded mode).
+    poll_interval: float = 0.2
+    #: Seconds between tenants-file freshness checks (hot-reload).
+    reload_every: float = 2.0
+
+    def validate(self) -> None:
+        if self.quantum < 1:
+            raise ConfigurationError(
+                f"quantum must be >= 1, got {self.quantum}"
+            )
+        if self.ingest_batch < 1:
+            raise ConfigurationError(
+                f"ingest_batch must be >= 1, got {self.ingest_batch}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.global_session_budget < 1:
+            raise ConfigurationError(
+                "global_session_budget must be >= 1, got "
+                f"{self.global_session_budget}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.warm_capacity < 0:
+            raise ConfigurationError(
+                f"warm_capacity must be >= 0, got {self.warm_capacity}"
+            )
+        if self.poll_interval < 0 or self.reload_every < 0:
+            raise ConfigurationError(
+                "poll_interval and reload_every must be >= 0"
+            )
+
+
+@dataclass(slots=True)
 class IntelLogConfig:
     """End-to-end configuration.
 

@@ -206,11 +206,31 @@ def render_snapshot(snapshot: dict[str, Any]) -> str:
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
-    registry: MetricsRegistry  # injected by start_metrics_server
+    registry: MetricsRegistry  # injected by MetricsServer
+    #: Extra JSON routes: path -> zero-arg callable returning a
+    #: JSON-serialisable object (e.g. ``/tenants`` on the serve fleet).
+    json_routes: dict[str, Any] = {}
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
-            self.send_error(404, "only /metrics is served")
+        path = self.path.split("?", 1)[0]
+        route = self.json_routes.get(path)
+        if route is not None:
+            body = json.dumps(
+                route(), indent=2, sort_keys=True
+            ).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if path not in ("/metrics", "/"):
+            routes = ", ".join(sorted(self.json_routes) or ())
+            self.send_error(
+                404,
+                "only /metrics is served"
+                + (f" (plus {routes})" if routes else ""),
+            )
             return
         body = prometheus_text(self.registry).encode("utf-8")
         self.send_response(200)
@@ -226,39 +246,113 @@ class _MetricsHandler(BaseHTTPRequestHandler):
 
 
 class MetricsServer:
-    """A background thread serving ``/metrics`` for one registry."""
+    """A background thread serving ``/metrics`` for one registry.
+
+    The server is restartable: :meth:`stop` releases the listener
+    socket and joins the thread, after which :meth:`start` binds a
+    fresh socket (with ``port=0`` a *new* free port each cycle).  The
+    constructor starts the server by default for backward
+    compatibility; pass ``start=False`` to construct idle and start
+    explicitly (the serving layer does, across restarts).
+    """
 
     def __init__(
         self,
         registry: MetricsRegistry,
         port: int,
         host: str = "127.0.0.1",
+        *,
+        json_routes: dict[str, Any] | None = None,
+        start: bool = True,
     ) -> None:
+        self._registry = registry
+        self._requested_port = port
+        self._host = host
+        self._json_routes = dict(json_routes or {})
+        self._lock = threading.Lock()
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        if start:
+            self.start()
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve; idempotent while already running."""
+        # Socket creation is real IO — do it outside the lock, then
+        # publish under the lock.  A concurrent start() that lost the
+        # publication race closes its own socket and defers.
         handler = type(
             "_BoundMetricsHandler", (_MetricsHandler,),
-            {"registry": registry},
+            {
+                "registry": self._registry,
+                "json_routes": dict(self._json_routes),
+            },
         )
-        self._server = ThreadingHTTPServer((host, port), handler)
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
+        with self._lock:
+            if self._server is not None:
+                return self
+        server = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        thread = threading.Thread(
+            target=server.serve_forever,
             name="repro-metrics-exporter",
             daemon=True,
         )
-        self._thread.start()
+        publish = False
+        with self._lock:
+            if self._server is None:
+                self._server = server
+                self._thread = thread
+                publish = True
+        if publish:
+            thread.start()
+        else:
+            server.server_close()
+        return self
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._server is not None
 
     @property
     def port(self) -> int:
-        return int(self._server.server_address[1])
+        with self._lock:
+            server = self._server
+        if server is None:
+            raise RuntimeError("metrics server is not running")
+        return int(server.server_address[1])
 
     @property
     def url(self) -> str:
-        host = self._server.server_address[0]
-        return f"http://{host}:{self.port}/metrics"
+        with self._lock:
+            server = self._server
+        if server is None:
+            raise RuntimeError("metrics server is not running")
+        host = server.server_address[0]
+        return f"http://{host}:{int(server.server_address[1])}/metrics"
+
+    def stop(self) -> None:
+        """Shut down, release the socket and join the listener thread.
+
+        Idempotent; after ``stop`` the instance can :meth:`start`
+        again (a fresh bind — under ``port=0`` likely a fresh port).
+        """
+        with self._lock:
+            server, self._server = self._server, None
+            thread, self._thread = self._thread, None
+        if server is None:
+            return
+        # shutdown() blocks on the serve_forever loop and join() on the
+        # thread — both outside the lock so a concurrent start() (which
+        # will see the cleared slot and bind anew) is never held up.
+        server.shutdown()
+        server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def close(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
-        self._thread.join(timeout=5.0)
+        self.stop()
 
 
 def start_metrics_server(

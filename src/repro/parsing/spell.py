@@ -206,6 +206,28 @@ class SpellParser:
         self._metrics.keys.set(len(self._keys))
         return self
 
+    def view(self) -> "SpellParser":
+        """A detection-only view sharing this parser's learned keys.
+
+        The view aliases ``_keys`` and the inverted index — the two
+        structures that are immutable once training ends — while owning
+        its instrumentation and misalignment bookkeeping, so several
+        tenants can :meth:`match` against one in-memory model without
+        their metrics clobbering each other.  Views must never
+        :meth:`consume` (that would mutate the shared key list under
+        every other view's feet); the serving layer only calls
+        ``match``.
+        """
+        clone = SpellParser.__new__(SpellParser)
+        clone.tau = self.tau
+        clone._keys = self._keys
+        clone._token_index = self._token_index
+        clone._next_id = self._next_id
+        clone._line_counter = self._line_counter
+        clone._metrics = None
+        clone._misaligned_keys = set()
+        return clone
+
     # -- training ----------------------------------------------------------
 
     def consume(self, message: str) -> LogKey:

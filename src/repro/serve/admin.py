@@ -1,0 +1,173 @@
+"""Control plane: tenants files, model refs, fleet reconciliation.
+
+The ``repro serve`` CLI describes its fleet in a **tenants file** —
+TOML (when the interpreter ships ``tomllib``, 3.11+) or JSON, decided
+by extension::
+
+    # tenants.toml
+    [[tenants]]
+    id = "team-a"
+    model = "spark-prod"        # latest version, or "spark-prod@3"
+    log = "/var/log/team-a/app.log"
+    formatter = "spark"
+    reports = "/var/run/repro/team-a.reports.jsonl"
+
+    [[tenants]]
+    id = "team-b"
+    model = "spark-prod@2"      # pinned
+    log = "/var/log/team-b/app.log"
+
+The JSON equivalent is ``{"tenants": [{...}, ...]}`` with the same
+keys.  :func:`apply_tenants` reconciles a running
+:class:`~repro.serve.service.DetectionService` against the parsed
+specs: new ids attach, missing ids detach (flushing their sessions),
+and an id whose model *ref* changed gets an atomic
+:meth:`~repro.serve.service.DetectionService.swap` — everything else
+about a surviving tenant is left untouched, because its queue, tracker
+and checkpoint state are exactly what a reload must preserve.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+try:  # 3.11+; the JSON path below covers older interpreters
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+from .tenant import TenantSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .service import DetectionService
+
+__all__ = [
+    "apply_tenants",
+    "apply_tenants_file",
+    "load_tenants_file",
+    "parse_model_ref",
+]
+
+log = logging.getLogger(__name__)
+
+
+def parse_model_ref(ref: str) -> tuple[str, int | None]:
+    """Split ``"name"`` / ``"name@version"`` into ``(name, version)``."""
+    name, sep, tail = ref.partition("@")
+    if not name:
+        raise ValueError(f"empty model name in ref {ref!r}")
+    if not sep:
+        return name, None
+    try:
+        return name, int(tail)
+    except ValueError as exc:
+        raise ValueError(
+            f"model ref {ref!r} has a non-integer version {tail!r}"
+        ) from exc
+
+
+def load_tenants_file(path: str | Path) -> list[TenantSpec]:
+    """Parse a tenants file (TOML by ``.toml`` extension, else JSON)."""
+    path = Path(path)
+    if path.suffix.lower() == ".toml":
+        if tomllib is None:
+            raise ValueError(
+                f"{path} is TOML but this interpreter has no tomllib "
+                f"(Python < 3.11) — use the JSON tenants format"
+            )
+        data = tomllib.loads(path.read_text())
+    else:
+        data = json.loads(path.read_text())
+    if not isinstance(data, dict) or not isinstance(
+        data.get("tenants"), list
+    ):
+        raise ValueError(
+            f"{path} must contain a 'tenants' array of tables/objects"
+        )
+    specs = [TenantSpec.from_dict(entry) for entry in data["tenants"]]
+    seen: set[str] = set()
+    for spec in specs:
+        if spec.tenant_id in seen:
+            raise ValueError(
+                f"{path} declares tenant {spec.tenant_id!r} twice"
+            )
+        seen.add(spec.tenant_id)
+    return specs
+
+
+def apply_tenants(
+    service: "DetectionService", specs: list[TenantSpec]
+) -> dict[str, Any]:
+    """Reconcile the running fleet against ``specs`` (diff-based).
+
+    Returns a summary ``{"attached": [...], "detached": [...],
+    "swapped": [...], "kept": [...]}``.  Individual failures (say a
+    spec naming an unpublished model) are logged and skipped so one bad
+    entry cannot take down a reload.
+    """
+    wanted = {spec.tenant_id: spec for spec in specs}
+    current = set(service.tenant_ids)
+    summary: dict[str, list[str]] = {
+        "attached": [], "detached": [], "swapped": [], "kept": [],
+    }
+    for tenant_id in sorted(current - set(wanted)):
+        try:
+            service.detach(tenant_id, flush=True)
+            summary["detached"].append(tenant_id)
+        except Exception:  # noqa: BLE001 - reload must survive
+            log.exception("detach of %s failed during reload", tenant_id)
+    for tenant_id, spec in sorted(wanted.items()):
+        if tenant_id not in current:
+            try:
+                service.attach(spec)
+                summary["attached"].append(tenant_id)
+            except Exception:  # noqa: BLE001 - reload must survive
+                log.exception(
+                    "attach of %s failed during reload", tenant_id
+                )
+            continue
+        tenant = service.tenant(tenant_id)
+        want_version = spec.version
+        have = tenant.lease
+        changed = spec.model != have.name or (
+            want_version is not None and want_version != have.version
+        )
+        if changed:
+            if spec.model != have.name:
+                log.warning(
+                    "tenant %s changed model %s -> %s in reload; "
+                    "model renames require detach/attach — skipping",
+                    tenant_id, have.name, spec.model,
+                )
+                summary["kept"].append(tenant_id)
+                continue
+            try:
+                service.swap(tenant_id, want_version)
+                summary["swapped"].append(tenant_id)
+            except Exception:  # noqa: BLE001 - reload must survive
+                log.exception(
+                    "swap of %s failed during reload", tenant_id
+                )
+        else:
+            summary["kept"].append(tenant_id)
+    return summary
+
+
+def apply_tenants_file(
+    service: "DetectionService", path: str | Path
+) -> dict[str, Any]:
+    """Hot-reload entry point: parse ``path`` and reconcile."""
+    specs = load_tenants_file(path)
+    summary = apply_tenants(service, specs)
+    log.info(
+        "tenants file %s applied: +%d -%d ~%d =%d",
+        path,
+        len(summary["attached"]),
+        len(summary["detached"]),
+        len(summary["swapped"]),
+        len(summary["kept"]),
+    )
+    return summary

@@ -1,0 +1,61 @@
+"""Fair cross-tenant session-budget planning.
+
+The serving layer caps *open sessions summed over every tenant*
+(``ServeConfig.global_session_budget``).  Each tenant's own tracker cap
+still applies; this module decides who gives sessions back when the
+fleet as a whole is over budget.
+
+The policy is **largest-first water-filling**: repeatedly take one
+session from the tenant currently holding the most (ties broken by
+tenant id, so plans are deterministic) until the sum fits.  Two
+properties follow directly and are locked in by the property tests:
+
+* the plan always reaches the budget exactly (never over-evicts);
+* **fairness** — a tenant at or below its fair share
+  (``budget // n_tenants``) is never asked to evict: pressure lands on
+  the tenants actually holding the surplus, so a small tenant cannot be
+  starved by a noisy neighbour.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["plan_evictions"]
+
+
+def plan_evictions(
+    open_counts: dict[str, int], budget: int
+) -> dict[str, int]:
+    """Evictions per tenant bringing ``sum(open_counts)`` under budget.
+
+    Returns ``{tenant_id: sessions_to_evict}`` with only positive
+    entries; empty when the fleet already fits.  Pure and deterministic
+    — the caller applies it via ``StreamRuntime.force_evict``.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    total = sum(open_counts.values())
+    excess = total - budget
+    if excess <= 0:
+        return {}
+    # Max-heap of (-count, tenant); pop the largest holder, take one
+    # session, push it back.  O(excess * log n) with small constants —
+    # excess is bounded by one scheduling sweep's worth of growth.
+    heap = [
+        (-count, tenant)
+        for tenant, count in open_counts.items()
+        if count > 0
+    ]
+    heapq.heapify(heap)
+    plan: dict[str, int] = {}
+    while excess > 0 and heap:
+        neg, tenant = heapq.heappop(heap)
+        count = -neg
+        if count <= 0:
+            break
+        plan[tenant] = plan.get(tenant, 0) + 1
+        excess -= 1
+        if count - 1 > 0:
+            heapq.heappush(heap, (-(count - 1), tenant))
+    return plan

@@ -1,0 +1,358 @@
+"""Content-addressed, versioned model registry for the serving layer.
+
+:class:`ModelRegistry` grows :meth:`repro.query.store.ModelStore.digest`
+into a small artifact store:
+
+* **artifacts** live under ``<root>/artifacts/<digest>.json`` holding
+  exactly the model's canonical bytes, so every stored file can be
+  re-verified against its own filename.  Artifacts are write-once —
+  publishing the same model twice is a no-op at the byte level;
+* the **index** (``<root>/index.json``) maps model *names* to an
+  append-only list of ``{"version": n, "digest": ...}`` entries with
+  sequential integer versions (no wall-clock stamps — the repo's
+  determinism rules treat time as poison, and ordering is what a
+  version means);
+* **publish** is atomic: artifact first (temp + ``os.replace``), index
+  second, so a crash between the two leaves an orphaned artifact but
+  never an index entry pointing at a missing or torn file;
+* loaded models are **shared**: one immutable in-memory
+  :class:`~repro.core.intellog.IntelLog` per digest, ref-counted across
+  the tenants leasing it.  Tenants get detection state of their own via
+  :meth:`LeasedModel.detector_view` (a fresh
+  :class:`~repro.detection.detector.AnomalyDetector` over a
+  :meth:`~repro.parsing.spell.SpellParser.view` of the shared parser);
+* releasing the last lease parks the deserialized model in a bounded
+  **warm cache** so the next attach of that version skips
+  deserialization (a warm cold-start).
+
+Lock discipline (checked by ``repro lint-concurrency``): ``_lock``
+guards the in-memory maps only; file IO and model deserialization
+always happen outside it.  ``_io_lock`` serializes on-disk publishes
+and is acquired *before* ``_lock`` when both are needed — never after.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..core.errors import IntelLogError
+from ..detection.detector import AnomalyDetector
+from ..extraction.pipeline import InformationExtractor
+from ..query.store import ModelStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.intellog import IntelLog
+
+__all__ = ["INDEX_FORMAT", "LeasedModel", "ModelRegistry", "RegistryError"]
+
+log = logging.getLogger(__name__)
+
+INDEX_FORMAT = "repro-registry-v1"
+
+
+class RegistryError(IntelLogError):
+    """Unknown model/version, or a corrupt registry on disk."""
+
+
+@dataclass(slots=True)
+class _LiveModel:
+    """One deserialized model plus the tenants leasing it."""
+
+    intellog: "IntelLog"
+    refcount: int
+
+
+class LeasedModel:
+    """A ref-counted lease on one immutable in-memory model.
+
+    The underlying :class:`IntelLog` is shared by every lease of the
+    same digest; treat it as read-only.  Per-tenant mutable detection
+    state comes from :meth:`detector_view`.  Call :meth:`release` (or
+    :meth:`ModelRegistry.release`) when the tenant detaches.
+    """
+
+    def __init__(
+        self,
+        registry: "ModelRegistry",
+        name: str,
+        version: int,
+        digest: str,
+        intellog: "IntelLog",
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.version = version
+        self.digest = digest
+        self.intellog = intellog
+        self._released = False
+
+    @property
+    def ref(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    def detector_view(self) -> AnomalyDetector:
+        """A tenant-private detector over the shared model.
+
+        The HW-graph and log-key list are aliased (immutable at detect
+        time); the Spell parser is a :meth:`~repro.parsing.spell.
+        SpellParser.view`, so per-tenant instrumentation and
+        misalignment bookkeeping never touch the shared object.
+        """
+        intellog = self.intellog
+        return AnomalyDetector(
+            intellog.hw_graph(),
+            intellog.spell.view(),
+            InformationExtractor(),
+            intellog.config.detector,
+        )
+
+    def release(self) -> None:
+        """Drop this lease (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        self._registry._release(self.digest)
+
+
+class ModelRegistry:
+    """Versioned model artifacts with ref-counted in-memory sharing."""
+
+    def __init__(self, root: str | Path, warm_capacity: int = 4) -> None:
+        self.root = Path(root)
+        self.artifacts_dir = self.root / "artifacts"
+        self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        self._io_lock = threading.Lock()  # serializes index writes
+        self._lock = threading.Lock()     # guards the maps below
+        #: name -> [{"version": int, "digest": str}], version-ascending.
+        self._index: dict[str, list[dict]] = {}
+        #: digest -> live (leased) model.
+        self._live: dict[str, _LiveModel] = {}
+        #: digest -> parked model (refcount 0), LRU, bounded.
+        self._warm: OrderedDict[str, "IntelLog"] = OrderedDict()
+        self.warm_capacity = max(0, warm_capacity)
+        # Plain counters (ints under _lock); the service layer mirrors
+        # them into its metrics registry.
+        self._publishes = 0
+        self._cold_loads = 0
+        self._warm_hits = 0
+        self._load_index()
+
+    # -- index persistence ------------------------------------------------
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load_index(self) -> None:
+        path = self.index_path
+        if not path.exists():
+            return
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RegistryError(
+                f"registry index {path} is corrupt: {exc}"
+            ) from exc
+        if data.get("format") != INDEX_FORMAT:
+            raise RegistryError(
+                f"registry index {path} has format "
+                f"{data.get('format')!r}, expected {INDEX_FORMAT!r}"
+            )
+        models = data.get("models", {})
+        index: dict[str, list[dict]] = {}
+        for name, entries in models.items():
+            parsed = [
+                {
+                    "version": int(entry["version"]),
+                    "digest": str(entry["digest"]),
+                }
+                for entry in entries
+            ]
+            parsed.sort(key=lambda e: e["version"])
+            index[str(name)] = parsed
+        with self._lock:
+            self._index = index
+
+    def _index_payload(self) -> str:
+        # Caller holds _lock; pure serialization, no IO.
+        return json.dumps(
+            {"format": INDEX_FORMAT, "models": self._index},
+            indent=2,
+            sort_keys=True,
+        )
+
+    # -- publish ----------------------------------------------------------
+
+    def artifact_path(self, digest: str) -> Path:
+        return self.artifacts_dir / f"{digest}.json"
+
+    def publish(self, store: ModelStore, name: str) -> tuple[int, str]:
+        """Store ``store`` as the next version of ``name``.
+
+        Returns ``(version, digest)``.  Publishing bytes identical to
+        the current latest version is idempotent — the existing version
+        number comes back and nothing is written.
+        """
+        if not name:
+            raise RegistryError("model name must be non-empty")
+        digest = store.digest()
+        with self._io_lock:
+            with self._lock:
+                versions = self._index.get(name, [])
+                if versions and versions[-1]["digest"] == digest:
+                    return versions[-1]["version"], digest
+            artifact = self.artifact_path(digest)
+            if not artifact.exists():
+                written = store.save_canonical(artifact)
+                if written != digest:  # pragma: no cover - defensive
+                    raise RegistryError(
+                        f"artifact digest mismatch publishing {name}: "
+                        f"{written} != {digest}"
+                    )
+            with self._lock:
+                versions = self._index.setdefault(name, [])
+                version = (
+                    versions[-1]["version"] + 1 if versions else 1
+                )
+                versions.append({"version": version, "digest": digest})
+                self._publishes += 1
+                payload = self._index_payload()
+            tmp = self.index_path.with_name(self.index_path.name + ".tmp")
+            tmp.write_text(payload)
+            os.replace(tmp, self.index_path)
+        log.info("published %s@%d (%s)", name, version, digest[:12])
+        return version, digest
+
+    # -- resolve / acquire / release --------------------------------------
+
+    def models(self) -> dict[str, list[dict]]:
+        """Snapshot of the index: name -> version entries (ascending)."""
+        with self._lock:
+            return {
+                name: [dict(e) for e in entries]
+                for name, entries in self._index.items()
+            }
+
+    def resolve(
+        self, name: str, version: int | None = None
+    ) -> tuple[int, str]:
+        """Map ``name`` (+ optional version) to ``(version, digest)``."""
+        with self._lock:
+            entries = self._index.get(name)
+            if not entries:
+                raise RegistryError(f"unknown model {name!r}")
+            if version is None:
+                entry = entries[-1]
+            else:
+                entry = next(
+                    (e for e in entries if e["version"] == version),
+                    None,
+                )
+                if entry is None:
+                    known = ", ".join(
+                        str(e["version"]) for e in entries
+                    )
+                    raise RegistryError(
+                        f"unknown version {version} of {name!r} "
+                        f"(have: {known})"
+                    )
+            return entry["version"], entry["digest"]
+
+    def acquire(
+        self, name: str, version: int | None = None
+    ) -> LeasedModel:
+        """Lease the model, sharing any already-loaded copy.
+
+        Resolution order: live (leased by someone — share it), warm
+        (recently released — revive it), cold (read + verify + rebuild
+        the artifact from disk, outside every lock).
+        """
+        version, digest = self.resolve(name, version)
+        with self._lock:
+            live = self._live.get(digest)
+            if live is not None:
+                live.refcount += 1
+                return LeasedModel(
+                    self, name, version, digest, live.intellog
+                )
+            warm = self._warm.pop(digest, None)
+            if warm is not None:
+                self._warm_hits += 1
+                self._live[digest] = _LiveModel(
+                    intellog=warm, refcount=1
+                )
+                return LeasedModel(self, name, version, digest, warm)
+        intellog = self._load_artifact(digest)
+        with self._lock:
+            live = self._live.get(digest)
+            if live is not None:
+                # Lost a concurrent cold-load race: share the winner's
+                # copy so one digest never has two live instances.
+                live.refcount += 1
+                return LeasedModel(
+                    self, name, version, digest, live.intellog
+                )
+            self._cold_loads += 1
+            self._live[digest] = _LiveModel(
+                intellog=intellog, refcount=1
+            )
+        return LeasedModel(self, name, version, digest, intellog)
+
+    def _load_artifact(self, digest: str) -> "IntelLog":
+        path = self.artifact_path(digest)
+        try:
+            body = path.read_bytes()
+        except OSError as exc:
+            raise RegistryError(
+                f"artifact {path} unreadable: {exc}"
+            ) from exc
+        actual = hashlib.sha256(body).hexdigest()
+        if actual != digest:
+            raise RegistryError(
+                f"artifact {path} content digest {actual} does not "
+                f"match its name (torn write or tampering)"
+            )
+        return ModelStore.from_json(body.decode("ascii")).to_intellog()
+
+    def _release(self, digest: str) -> None:
+        with self._lock:
+            live = self._live.get(digest)
+            if live is None:  # pragma: no cover - defensive
+                return
+            live.refcount -= 1
+            if live.refcount > 0:
+                return
+            del self._live[digest]
+            if self.warm_capacity > 0:
+                self._warm[digest] = live.intellog
+                self._warm.move_to_end(digest)
+                while len(self._warm) > self.warm_capacity:
+                    self._warm.popitem(last=False)
+
+    def release(self, lease: LeasedModel) -> None:
+        lease.release()
+
+    # -- introspection ----------------------------------------------------
+
+    def refcount(self, digest: str) -> int:
+        with self._lock:
+            live = self._live.get(digest)
+            return live.refcount if live is not None else 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "publishes": self._publishes,
+                "cold_loads": self._cold_loads,
+                "warm_hits": self._warm_hits,
+                "live_models": len(self._live),
+                "warm_models": len(self._warm),
+            }

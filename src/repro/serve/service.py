@@ -1,0 +1,480 @@
+"""The multi-tenant scheduler: many streams, one process, one model.
+
+:class:`DetectionService` multiplexes any number of tenants
+(:class:`~repro.serve.tenant.Tenant`) over a shared
+:class:`~repro.serve.registry.ModelRegistry`.  Scheduling is
+sweep-based: each sweep pumps every healthy tenant for one bounded
+quantum (``ServeConfig.quantum`` records), then enforces the global
+session budget (:func:`~repro.serve.budget.plan_evictions`) and mirrors
+per-tenant stats into the fleet metrics registry.  With
+``ServeConfig.workers == 0`` sweeps run inline in deterministic
+tenant-id order (tests, ``--drain`` batch runs); with workers the pumps
+of one sweep run on a thread pool — still at most one worker per tenant
+(the sweep is a barrier), which is what lets tenant internals stay
+lock-free.
+
+Health isolation: a pump that raises marks *that* tenant failed and
+parks it; a tenant whose circuit breaker opens is likewise parked; the
+rest of the fleet keeps streaming.  Fleet state is exposed as labeled
+``serve_*`` gauges on the fleet registry (``/metrics``) and as a JSON
+document (:meth:`DetectionService.tenants_status`, the ``/tenants``
+route).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.config import ResilienceConfig, ServeConfig
+from ..obs import MetricsRegistry
+from ..stream.sink import JsonLinesSink, ListSink, ReportSink
+from ..stream.source import FileFollowSource, LogSource
+from .budget import plan_evictions
+from .registry import ModelRegistry
+from .tenant import Tenant, TenantSpec
+
+__all__ = ["DetectionService"]
+
+log = logging.getLogger(__name__)
+
+
+class DetectionService:
+    """Runs many tenant streams against shared, versioned models."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServeConfig | None = None,
+        checkpoint_dir: str | Path | None = None,
+        metrics: MetricsRegistry | None = None,
+        resilience: ResilienceConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.config.validate()
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.resilience = resilience
+        self._clock = clock
+        self._sleep = sleep
+        # _lock guards the tenant map; pumps never run under it (the
+        # sweep snapshots the map first), so a slow tenant cannot block
+        # attach/detach/status calls.
+        self._lock = threading.Lock()
+        self._tenants: dict[str, Tenant] = {}
+        self._stop = threading.Event()
+        self._init_metrics()
+        self.budget_evictions = 0
+
+    def _init_metrics(self) -> None:
+        reg = self.metrics
+        self._g_active = reg.gauge(
+            "serve_active_tenants", "Tenants currently attached."
+        )
+        self._g_failed = reg.gauge(
+            "serve_failed_tenants",
+            "Tenants parked after a pump failure or open breaker.",
+        )
+        self._g_fleet_open = reg.gauge(
+            "serve_open_sessions",
+            "Open sessions summed over every tenant.",
+        )
+        self._g_budget = reg.gauge(
+            "serve_session_budget", "Configured global session budget."
+        )
+        self._g_budget.set(self.config.global_session_budget)
+        self._c_budget_evictions = reg.counter(
+            "serve_budget_evictions_total",
+            "Sessions force-closed by the global budget, by tenant.",
+        )
+        self._c_swaps = reg.counter(
+            "serve_model_swaps_total", "Model swaps applied, by tenant."
+        )
+        self._g_t_records = reg.gauge(
+            "serve_tenant_records", "Records consumed, by tenant."
+        )
+        self._g_t_reports = reg.gauge(
+            "serve_tenant_reports", "Reports finalized, by tenant."
+        )
+        self._g_t_open = reg.gauge(
+            "serve_tenant_open_sessions", "Open sessions, by tenant."
+        )
+        self._g_t_queue = reg.gauge(
+            "serve_tenant_queue_depth", "Queued records, by tenant."
+        )
+        self._g_t_shed = reg.gauge(
+            "serve_tenant_shed_records",
+            "Oldest-first records shed by the bounded queue, by tenant.",
+        )
+        self._g_reg_live = reg.gauge(
+            "serve_registry_live_models",
+            "Distinct model digests currently leased.",
+        )
+        self._g_reg_warm = reg.gauge(
+            "serve_registry_warm_models",
+            "Pre-deserialized models parked in the warm cache.",
+        )
+        self._g_reg_cold = reg.gauge(
+            "serve_registry_cold_loads",
+            "Artifact deserializations performed.",
+        )
+        self._g_reg_warm_hits = reg.gauge(
+            "serve_registry_warm_hits",
+            "Attaches served from the warm cache.",
+        )
+
+    # -- control plane -----------------------------------------------------
+
+    def attach(
+        self,
+        spec: TenantSpec,
+        source: LogSource | None = None,
+        sink: ReportSink | None = None,
+    ) -> Tenant:
+        """Attach one tenant; leases its model from the registry.
+
+        ``source``/``sink`` override the spec (tests and embedders pass
+        them directly; the tenants-file path builds a
+        :class:`~repro.stream.FileFollowSource` /
+        :class:`~repro.stream.JsonLinesSink` pair).
+        """
+        with self._lock:
+            if spec.tenant_id in self._tenants:
+                raise ValueError(
+                    f"tenant {spec.tenant_id!r} already attached"
+                )
+        if source is None:
+            if spec.log_path is None:
+                raise ValueError(
+                    f"tenant {spec.tenant_id!r} has no log path and no "
+                    f"explicit source"
+                )
+            source = FileFollowSource(
+                spec.log_path, formatter=spec.formatter
+            )
+        if sink is None:
+            sink = (
+                JsonLinesSink(spec.reports_path)
+                if spec.reports_path is not None else ListSink()
+            )
+        lease = self.registry.acquire(spec.model, spec.version)
+        tenant = Tenant(
+            spec,
+            lease,
+            source=source,
+            sink=sink,
+            checkpoint_dir=self.checkpoint_dir,
+            queue_capacity=self.config.queue_capacity,
+            ingest_batch=self.config.ingest_batch,
+            resilience=self.resilience,
+        )
+        with self._lock:
+            if spec.tenant_id in self._tenants:
+                # Lost an attach race; give the lease back.
+                tenant.close()
+                raise ValueError(
+                    f"tenant {spec.tenant_id!r} already attached"
+                )
+            self._tenants[spec.tenant_id] = tenant
+        log.info(
+            "attached tenant %s on %s", spec.tenant_id, lease.ref
+        )
+        return tenant
+
+    def detach(self, tenant_id: str, flush: bool = True) -> None:
+        """Detach a tenant; ``flush`` finalizes its open sessions."""
+        with self._lock:
+            tenant = self._tenants.pop(tenant_id, None)
+        if tenant is None:
+            raise KeyError(f"tenant {tenant_id!r} is not attached")
+        if flush and tenant.failure is None:
+            tenant.finish()
+        else:
+            # Not flushing: leave open sessions in the checkpoint so a
+            # future attach resumes them instead of losing them.
+            tenant.runtime.checkpoint()
+        tenant.close()
+        log.info("detached tenant %s", tenant_id)
+
+    def swap(
+        self, tenant_id: str, version: int | None = None
+    ) -> tuple[int, str]:
+        """Atomically move one tenant to another model version.
+
+        The new lease is acquired *first* (so a missing version fails
+        before anything changes), then parked on the tenant; the pump
+        installs it between quanta.  Other tenants keep their leases —
+        and with them, the old in-memory model.
+        """
+        tenant = self._get(tenant_id)
+        lease = self.registry.acquire(tenant.spec.model, version)
+        tenant.request_swap(lease)
+        return lease.version, lease.digest
+
+    def _get(self, tenant_id: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise KeyError(f"tenant {tenant_id!r} is not attached")
+        return tenant
+
+    def tenant(self, tenant_id: str) -> Tenant:
+        return self._get(tenant_id)
+
+    @property
+    def tenant_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _snapshot(self) -> list[Tenant]:
+        with self._lock:
+            return [
+                self._tenants[tid] for tid in sorted(self._tenants)
+            ]
+
+    def _pump_one(self, tenant: Tenant) -> int:
+        try:
+            return tenant.pump(self.config.quantum)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            tenant.mark_failed(f"pump: {exc}")
+            log.exception(
+                "tenant %s pump failed; parking it", tenant.tenant_id
+            )
+            return 0
+
+    def cycle(self, executor: ThreadPoolExecutor | None = None) -> int:
+        """One sweep: pump every healthy tenant once, enforce budget.
+
+        Returns total records consumed.  Inline (no executor) the
+        tenants run in sorted-id order — fully deterministic; with an
+        executor the pumps of the sweep run concurrently, one task per
+        tenant, and the sweep itself is the barrier that keeps a tenant
+        from ever being pumped twice at once.
+        """
+        tenants = [
+            t for t in self._snapshot()
+            if t.failure is None and not t.runtime.failed
+        ]
+        consumed = 0
+        if executor is None:
+            for tenant in tenants:
+                consumed += self._pump_one(tenant)
+        else:
+            futures = [
+                executor.submit(self._pump_one, tenant)
+                for tenant in tenants
+            ]
+            consumed = sum(f.result() for f in futures)
+        self._apply_detaches()
+        self.enforce_budget()
+        self._mirror_metrics()
+        return consumed
+
+    def _apply_detaches(self) -> None:
+        for tenant in self._snapshot():
+            if tenant.detach_requested:
+                try:
+                    self.detach(tenant.tenant_id, flush=True)
+                except KeyError:  # pragma: no cover - benign race
+                    pass
+
+    def enforce_budget(self) -> int:
+        """Evict LRU sessions until the fleet fits the global budget."""
+        tenants = self._snapshot()
+        plan = plan_evictions(
+            {t.tenant_id: t.open_sessions for t in tenants},
+            self.config.global_session_budget,
+        )
+        evicted = 0
+        for tenant in tenants:
+            want = plan.get(tenant.tenant_id, 0)
+            if want <= 0:
+                continue
+            done = tenant.runtime.force_evict(want)
+            evicted += done
+            self._c_budget_evictions.labels(
+                tenant=tenant.tenant_id
+            ).inc(done)
+        self.budget_evictions += evicted
+        return evicted
+
+    def drain(self) -> dict[str, Any]:
+        """Process every tenant to exhaustion, then finalize them all.
+
+        The multi-tenant analogue of ``StreamRuntime.drain()``: sweeps
+        run until no healthy tenant has records left *right now*, then
+        each tenant's tracker is flushed so every open session reports.
+        Tenants stay attached (callers can inspect, swap, keep going).
+        """
+        executor = self._executor()
+        try:
+            while True:
+                consumed = self.cycle(executor)
+                if consumed:
+                    continue
+                # An empty sweep ends the drain — mirroring
+                # run(once=True), which stops on an OK-but-empty poll —
+                # unless some tenant is mid-retry (DEGRADED: its poll
+                # *failed* rather than came back empty; run() keeps
+                # polling through transient outages, so the drain must
+                # too, until the tenant recovers or its breaker opens).
+                retrying = [
+                    t for t in self._snapshot()
+                    if t.failure is None and not t.runtime.failed
+                    and t.runtime.stats.health == "degraded"
+                ]
+                if not retrying:
+                    break
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        for tenant in self._snapshot():
+            if tenant.failure is None and not tenant.runtime.failed:
+                tenant.finish()
+        self._mirror_metrics()
+        return self.tenants_status()
+
+    def _executor(self) -> ThreadPoolExecutor | None:
+        if self.config.workers <= 0:
+            return None
+        return ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+
+    def run(
+        self,
+        duration: float | None = None,
+        max_cycles: int | None = None,
+        tenants_file: str | Path | None = None,
+        apply_tenants_file: Callable[["DetectionService", Path], Any]
+        | None = None,
+    ) -> dict[str, Any]:
+        """Serve until stopped (:meth:`stop`), for ``duration`` seconds,
+        or for ``max_cycles`` sweeps — whichever comes first.
+
+        With ``tenants_file`` the file's mtime is polled every
+        ``ServeConfig.reload_every`` seconds and changes are applied via
+        ``apply_tenants_file`` (the control plane's diff-based
+        reconciler — injected to keep this module free of parsing).
+        """
+        executor = self._executor()
+        started = self._clock()
+        cycles = 0
+        last_reload_check = started
+        last_mtime: float | None = None
+        path = Path(tenants_file) if tenants_file is not None else None
+        if path is not None:
+            try:
+                last_mtime = path.stat().st_mtime
+            except OSError:
+                last_mtime = None
+        try:
+            while not self._stop.is_set():
+                if (
+                    duration is not None
+                    and self._clock() - started >= duration
+                ):
+                    break
+                if max_cycles is not None and cycles >= max_cycles:
+                    break
+                if (
+                    path is not None
+                    and apply_tenants_file is not None
+                    and self._clock() - last_reload_check
+                    >= self.config.reload_every
+                ):
+                    last_reload_check = self._clock()
+                    try:
+                        mtime = path.stat().st_mtime
+                    except OSError:
+                        mtime = None
+                    if mtime is not None and mtime != last_mtime:
+                        last_mtime = mtime
+                        try:
+                            apply_tenants_file(self, path)
+                        except Exception:  # noqa: BLE001 - keep serving
+                            log.exception(
+                                "tenants-file reload failed; keeping "
+                                "the previous fleet"
+                            )
+                consumed = self.cycle(executor)
+                cycles += 1
+                if not consumed:
+                    self._sleep(self.config.poll_interval)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        self._mirror_metrics()
+        return self.tenants_status()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def close(self, flush: bool = True) -> None:
+        """Detach every tenant and release every lease."""
+        self.stop()
+        for tenant_id in list(self.tenant_ids):
+            try:
+                self.detach(tenant_id, flush=flush)
+            except KeyError:  # pragma: no cover - concurrent detach
+                pass
+
+    # -- fleet state -------------------------------------------------------
+
+    def _mirror_metrics(self) -> None:
+        tenants = self._snapshot()
+        failed = 0
+        fleet_open = 0
+        for tenant in tenants:
+            status = tenant.status()
+            if status["failure"] or status["health"] == "failed":
+                failed += 1
+            fleet_open += status["open_sessions"]
+            labels = {"tenant": tenant.tenant_id}
+            self._g_t_records.labels(**labels).set(status["records"])
+            self._g_t_reports.labels(**labels).set(status["reports"])
+            self._g_t_open.labels(**labels).set(
+                status["open_sessions"]
+            )
+            self._g_t_queue.labels(**labels).set(status["queue_depth"])
+            self._g_t_shed.labels(**labels).set(status["shed_records"])
+            self._c_swaps.labels(**labels).restore(status["swaps"])
+        self._g_active.set(len(tenants))
+        self._g_failed.set(failed)
+        self._g_fleet_open.set(fleet_open)
+        reg = self.registry.stats()
+        self._g_reg_live.set(reg["live_models"])
+        self._g_reg_warm.set(reg["warm_models"])
+        self._g_reg_cold.set(reg["cold_loads"])
+        self._g_reg_warm_hits.set(reg["warm_hits"])
+
+    def tenants_status(self) -> dict[str, Any]:
+        """JSON document for the ``/tenants`` route."""
+        tenants = [t.status() for t in self._snapshot()]
+        return {
+            "tenants": tenants,
+            "fleet": {
+                "active": len(tenants),
+                "open_sessions": sum(
+                    t["open_sessions"] for t in tenants
+                ),
+                "session_budget": self.config.global_session_budget,
+                "budget_evictions": self.budget_evictions,
+            },
+            "registry": {
+                "models": self.registry.models(),
+                **self.registry.stats(),
+            },
+        }

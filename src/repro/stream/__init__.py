@@ -32,6 +32,7 @@ from .checkpoint import (
     StreamCheckpoint,
     backup_checkpoint_path,
     default_checkpoint_path,
+    tenant_checkpoint_name,
 )
 from .detector import LiveAlert, StreamingDetector
 from .resilience import (
@@ -88,5 +89,6 @@ __all__ = [
     "corrupt_checkpoint",
     "default_checkpoint_path",
     "finalization_id",
+    "tenant_checkpoint_name",
     "yarn_session_key",
 ]

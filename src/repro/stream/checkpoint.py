@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -44,15 +45,45 @@ __all__ = [
     "StreamCheckpoint",
     "default_checkpoint_path",
     "backup_checkpoint_path",
+    "tenant_checkpoint_name",
 ]
 
 _VERSION = 2
 
+_TENANT_SAFE = re.compile(r"[^A-Za-z0-9._-]")
 
-def default_checkpoint_path(model_path: str | Path) -> Path:
-    """Sibling checkpoint path for a model artifact."""
+
+def tenant_checkpoint_name(tenant: str) -> str:
+    """Filesystem-safe checkpoint filename component for a tenant id.
+
+    Unsafe characters are replaced with ``_``; when sanitization changed
+    anything, a short content hash of the *original* id is appended so
+    distinct tenant ids that sanitize identically (``"a/b"`` vs
+    ``"a_b"``) still get distinct checkpoint files.
+    """
+    safe = _TENANT_SAFE.sub("_", tenant) or "_"
+    if safe != tenant:
+        digest = hashlib.sha256(tenant.encode("utf-8")).hexdigest()[:8]
+        safe = f"{safe}-{digest}"
+    return safe
+
+
+def default_checkpoint_path(
+    model_path: str | Path, tenant: str | None = None
+) -> Path:
+    """Sibling checkpoint path for a model artifact.
+
+    With ``tenant`` the path is namespaced per tenant
+    (``model.json`` → ``model.<tenant>.stream-ckpt.json``), so several
+    tenants sharing one model artifact never clobber each other's
+    checkpoints.
+    """
     path = Path(model_path)
-    return path.with_name(path.stem + ".stream-ckpt.json")
+    if tenant is None:
+        return path.with_name(path.stem + ".stream-ckpt.json")
+    return path.with_name(
+        f"{path.stem}.{tenant_checkpoint_name(tenant)}.stream-ckpt.json"
+    )
 
 
 def backup_checkpoint_path(path: str | Path) -> Path:

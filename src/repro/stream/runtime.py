@@ -237,6 +237,11 @@ class StreamRuntime:
         self._parked_fids: set[str] = set()
         self.resume_origin = "fresh"
         self.resume_notes: list[str] = []
+        # Quantum-mode bookkeeping (step()/finish(), used by repro.serve):
+        # lazily initialized on the first step so a runtime driven via
+        # run() never pays for it.
+        self._loop_start: float | None = None
+        self._next_stats_at: int | None = None
         self._resumed = self._try_resume()
 
     def _init_metrics(self) -> None:
@@ -610,6 +615,119 @@ class StreamRuntime:
     def drain(self) -> RuntimeStats:
         """Convenience: process everything currently available and stop."""
         return self.run(once=True)
+
+    # -- quantum mode (serving layer) -------------------------------------
+
+    def step(self, max_records: int | None = None) -> int:
+        """Run one bounded scheduling quantum; return records consumed.
+
+        The serving layer (:mod:`repro.serve`) multiplexes many runtimes
+        on a shared scheduler, so it cannot call :meth:`run` — that loop
+        only returns on exhaustion, pause, or failure.  ``step`` does
+        exactly one cycle of the same pipeline: drain the outbox, poll
+        the source once (retry/breaker-guarded), ingest the batch,
+        checkpoint when reports were emitted or a checkpoint is overdue.
+        Returning ``0`` means the quantum was idle (nothing available,
+        or the breaker is open — check :attr:`failed`); the caller owns
+        pacing between quanta.  Semantics per record are identical to
+        :meth:`run`, so stepped output matches a standalone run on the
+        same stream.  Finish a stepped stream with :meth:`finish`.
+        """
+        if self._loop_start is None:
+            self._loop_start = self._clock()
+            self._run_consumed = 0
+        if self._next_stats_at is None:
+            self._next_stats_at = (
+                int(self._m_records.value) + self.stats_every
+            )
+        if self.failed:
+            return 0
+        if self._outbox:
+            self._drain_outbox()
+            if self.failed:
+                return 0
+        want = self.poll_batch
+        if max_records is not None:
+            want = min(want, max_records)
+        if want <= 0:
+            return 0
+        ok, batch = self._attempt(
+            "source.poll", lambda: self.source.poll(want)
+        )
+        if not ok:
+            return 0
+        if not batch:
+            flush_pending = getattr(self.source, "flush_pending", None)
+            if flush_pending is not None:
+                batch = flush_pending()
+        if not batch:
+            if int(self._m_records.value) != self._stats_emitted_at:
+                self._emit_stats(self._loop_start)
+            return 0
+        emitted_before = int(self._m_reports.value)
+        consumed = 0
+        for record in batch:
+            consumed += 1
+            self._next_stats_at = self._ingest(
+                record, self._loop_start, self._next_stats_at
+            )
+        overdue = (
+            int(self._m_records.value) - self._last_checkpoint_at
+            >= self.checkpoint_every
+        )
+        if int(self._m_reports.value) != emitted_before or overdue:
+            self.checkpoint()
+        return consumed
+
+    def finish(self) -> RuntimeStats:
+        """End-of-stream epilogue for a stepped runtime.
+
+        Mirrors the natural end of :meth:`run`: collect the source's
+        tail (``finalize``), flush the tracker so every open session
+        gets its report, drain the outbox, checkpoint, and emit a final
+        stats snapshot.
+        """
+        start = (
+            self._loop_start
+            if self._loop_start is not None else self._clock()
+        )
+        if self._next_stats_at is None:
+            self._next_stats_at = (
+                int(self._m_records.value) + self.stats_every
+            )
+        if not self.failed:
+            finalize = getattr(self.source, "finalize", None)
+            if finalize is not None:
+                ok, tail = self._attempt("source.finalize", finalize)
+                for record in tail or ():
+                    self._next_stats_at = self._ingest(
+                        record, start, self._next_stats_at
+                    )
+            for closed in self.tracker.flush():
+                self._finalize(closed)
+            if self._outbox:
+                self._drain_outbox()
+        self.checkpoint()
+        self._emit_stats(start)
+        if self.failed and self.resilience.fail_fast:
+            raise StreamFailedError(
+                self._failure or "circuit breaker open"
+            )
+        return self.stats
+
+    def force_evict(self, count: int) -> int:
+        """Force-close ``count`` LRU sessions (global-budget pressure).
+
+        Closures flow through the normal finalize path — exactly-once
+        ledger, metrics, sink/outbox — exactly as a cap eviction would.
+        Returns how many sessions were actually closed.
+        """
+        closed = self.tracker.evict_lru(count)
+        for item in closed:
+            self._finalize(item)
+        if closed:
+            self.checkpoint()
+        return len(closed)
 
     # -- internals --------------------------------------------------------
 

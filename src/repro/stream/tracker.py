@@ -130,6 +130,23 @@ class SessionTracker:
         self._open.clear()
         return closed
 
+    def evict_lru(self, count: int) -> list[ClosedSession]:
+        """Force-close the ``count`` least recently active sessions.
+
+        Used by the serving layer to enforce a *global* budget across
+        tenants: each tracker's own ``max_open_sessions`` cap still
+        applies, but the fleet scheduler may demand extra evictions
+        when the sum over tenants exceeds the shared budget.  Evicted
+        sessions flow through the normal closure path (reason
+        ``"evicted"``) and count toward :attr:`evictions`.
+        """
+        closed: list[ClosedSession] = []
+        for _ in range(min(count, len(self._open))):
+            _, entry = self._open.popitem(last=False)
+            self.evictions += 1
+            closed.append(self._close(entry, "evicted"))
+        return closed
+
     @property
     def open_count(self) -> int:
         return len(self._open)

@@ -1,0 +1,23 @@
+"""Known-racy: a registry-style swap writing the lease map bare.
+
+Models the serve-layer bug class the lint gate exists to catch: a model
+registry whose acquire path guards its refcount map, while the
+hot-swap path — called from the control-plane thread under load —
+reassigns the same map without the lock.
+"""
+
+import threading
+
+
+class SwapRegistry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._leases = {}
+
+    def acquire(self, digest: str) -> None:
+        with self._lock:
+            self._leases[digest] = self._leases.get(digest, 0) + 1
+
+    def swap_all(self, digest: str) -> None:
+        # Racy: rebinds the map while acquire() mutates it under _lock.
+        self._leases = {digest: sum(self._leases.values())}

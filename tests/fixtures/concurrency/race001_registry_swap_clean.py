@@ -1,0 +1,17 @@
+"""Known-clean control for the registry swap-under-load fixture."""
+
+import threading
+
+
+class SwapRegistry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._leases = {}
+
+    def acquire(self, digest: str) -> None:
+        with self._lock:
+            self._leases[digest] = self._leases.get(digest, 0) + 1
+
+    def swap_all(self, digest: str) -> None:
+        with self._lock:
+            self._leases = {digest: sum(self._leases.values())}

@@ -28,6 +28,7 @@ FIXTURES = REPO_ROOT / "tests" / "fixtures" / "concurrency"
 
 RACY_FIXTURES = {
     "race001_unguarded_write.py": "RACE001",
+    "race001_registry_swap.py": "RACE001",
     "race002_cycle.py": "RACE002",
     "race002_self_deadlock.py": "RACE002",
     "race003_fork_capture.py": "RACE003",
@@ -37,6 +38,7 @@ RACY_FIXTURES = {
 
 CLEAN_FIXTURES = (
     "race001_clean_guarded.py",
+    "race001_registry_swap_clean.py",
     "race001_helper_guarded.py",
     "race003_clean.py",
     "clean_pipeline.py",

@@ -10,6 +10,7 @@ from repro.obs import (
     DEFAULT_LATENCY_BUCKETS,
     SPAN_HISTOGRAM,
     MetricsRegistry,
+    MetricsServer,
     SpanRecord,
     TraceRecorder,
     Tracer,
@@ -296,5 +297,72 @@ class TestMetricsServer:
             with pytest.raises(urllib.error.HTTPError) as err:
                 urllib.request.urlopen(bad, timeout=5)
             assert err.value.code == 404
+        finally:
+            server.close()
+
+    def test_start_stop_cycles_leak_no_threads_or_sockets(self):
+        """Regression: serve restarts must not leak listener threads.
+
+        Historically the listener thread was started in ``__init__``
+        and ``close()`` was terminal — a restart leaked the old thread
+        and kept the socket bound.  Now stop() releases both and
+        start() rebinds (port 0 picks a fresh free port each cycle).
+        """
+
+        def exporter_threads():
+            return [
+                t for t in threading.enumerate()
+                if t.name == "repro-metrics-exporter" and t.is_alive()
+            ]
+
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(1)
+        baseline = len(exporter_threads())
+        server = MetricsServer(registry, port=0, start=False)
+        assert not server.running
+        ports = []
+        for _ in range(3):
+            server.start()
+            assert server.running
+            ports.append(server.port)
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                assert resp.status == 200
+            # Idempotent start: same bind, no second thread.
+            server.start()
+            assert server.port == ports[-1]
+            assert len(exporter_threads()) == baseline + 1
+            port = server.port
+            server.stop()
+            server.stop()  # idempotent
+            assert not server.running
+            assert len(exporter_threads()) == baseline
+            # The old socket is released: connecting is refused.
+            with pytest.raises(OSError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=1
+                )
+        with pytest.raises(RuntimeError):
+            _ = server.port
+
+    def test_json_routes_served_alongside_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(3)
+        server = MetricsServer(
+            registry, port=0,
+            json_routes={"/tenants": lambda: {"tenants": ["a", "b"]}},
+        )
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(
+                base + "/tenants", timeout=5
+            ) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == "application/json"
+                payload = json.loads(resp.read().decode("utf-8"))
+            assert payload == {"tenants": ["a", "b"]}
+            with urllib.request.urlopen(
+                base + "/metrics", timeout=5
+            ) as resp:
+                assert "hits_total 3" in resp.read().decode("utf-8")
         finally:
             server.close()
