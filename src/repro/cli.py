@@ -10,6 +10,7 @@ log files, persist it as JSON, then check new log files against it.  The
     intellog watch  --model model.json --follow app.log [--once]
     intellog publish --model model.json --name prod --registry DIR
     intellog serve  --tenants tenants.toml --registry DIR [--drain]
+    intellog fsck   --registry DIR [--repair] [--json]
     intellog inspect --model model.json [--subroutines]
     intellog stats  metrics.json
     intellog lint-model --model model.json [--strict]
@@ -273,16 +274,46 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
 def cmd_publish(args: argparse.Namespace) -> int:
     """Publish a trained model file into a serving registry."""
+    from .core.config import DurabilityConfig
     from .serve import ModelRegistry, RegistryError
 
     store = _load_store(args.model)
+    durability = (
+        DurabilityConfig.durable() if args.fsync else DurabilityConfig()
+    )
     try:
-        registry = ModelRegistry(args.registry)
+        registry = ModelRegistry(args.registry, durability=durability)
         version, digest = registry.publish(store, args.name)
     except RegistryError as exc:
         raise SystemExit(f"error: {exc}")
     print(f"published {args.name}@{version} ({digest})")
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Check (and optionally repair) a registry's crash consistency.
+
+    Scans for the debris a crash mid-publish or mid-swap can leave —
+    orphaned artifacts, dangling index versions, truncated intent
+    journals, stray temp files — and with ``--repair`` rolls each one
+    forward or back.  Exit 0 when consistent (or fully repaired),
+    1 when findings remain.
+    """
+    from .serve import run_fsck
+
+    try:
+        report = run_fsck(
+            args.registry,
+            checkpoint_dir=args.checkpoint_dir,
+            repair=args.repair,
+        )
+    except OSError as exc:
+        raise SystemExit(f"error: cannot scan {args.registry!r}: {exc}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -292,10 +323,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     then serves until interrupted — re-reading the file on change to
     attach/detach/swap tenants at runtime — or, with ``--drain``,
     processes everything currently available and exits.  Exit 1 when
-    draining found anomalous sessions, 3 when any tenant is parked
-    (pump failure or open breaker) at shutdown.
+    draining found anomalous sessions, 2 when the whole fleet is dead
+    (every tenant quarantined or failed — mirroring ``watch``'s exit 2
+    on an open breaker), 3 when only some tenants are parked at
+    shutdown.
     """
-    from .core.config import ServeConfig
+    from .core.config import (
+        DurabilityConfig,
+        ServeConfig,
+        SupervisorConfig,
+    )
     from .serve import (
         DetectionService,
         ModelRegistry,
@@ -318,8 +355,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         poll_interval=args.poll_interval,
     )
+    durability = (
+        DurabilityConfig.durable() if args.fsync else DurabilityConfig()
+    )
+    supervisor_config = SupervisorConfig(
+        restart_budget=args.restart_budget,
+        restart_window=args.restart_window,
+    )
     try:
-        registry = ModelRegistry(args.registry)
+        registry = ModelRegistry(args.registry, durability=durability)
     except RegistryError as exc:
         raise SystemExit(f"error: registry unusable: {exc}")
     from .obs import MetricsRegistry
@@ -330,7 +374,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         config,
         checkpoint_dir=args.checkpoint_dir,
         metrics=metrics,
+        supervisor_config=supervisor_config,
+        durability=durability,
     )
+    if service.startup_fsck is not None and not service.startup_fsck.clean:
+        print(
+            f"FSCK repaired {len(service.startup_fsck.findings)} "
+            f"finding(s) at startup",
+            file=sys.stderr,
+        )
     summary = apply_tenants(service, specs)
     attached = summary["attached"]
     if not attached:
@@ -375,13 +427,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         parked = [
             t["tenant"] for t in status["tenants"]
-            if t["failure"] or t["health"] == "failed"
+            if t["failure"] or t["health"] in ("failed", "quarantined")
         ]
         for tenant in parked:
             print(f"error: tenant {tenant} is parked", file=sys.stderr)
         anomalous = sum(
             t["anomalous_sessions"] for t in status["tenants"]
         )
+        if parked and len(parked) == len(status["tenants"]):
+            print(
+                f"FLEET dead: all {len(parked)} tenant(s) quarantined "
+                f"or failed",
+                file=sys.stderr,
+            )
+            return 2
         if parked:
             return 3
         if args.drain:
@@ -570,7 +629,26 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="DIR",
                          help="registry directory (default: "
                               "serve-registry)")
+    publish.add_argument("--fsync", action="store_true",
+                         help="fsync artifact, index and journal writes "
+                              "(survives power loss, not just crashes)")
     publish.set_defaults(func=cmd_publish)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="check/repair a registry after a crash",
+    )
+    fsck.add_argument("--registry", default="serve-registry",
+                      metavar="DIR", help="registry directory to scan")
+    fsck.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                      help="also scan per-tenant checkpoints for stray "
+                           "temp files and swap journals")
+    fsck.add_argument("--repair", action="store_true",
+                      help="roll findings forward/back instead of just "
+                           "reporting them")
+    fsck.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    fsck.set_defaults(func=cmd_fsck)
 
     serve = sub.add_parser(
         "serve",
@@ -603,6 +681,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "sheds oldest (default 8192)")
     serve.add_argument("--poll-interval", type=float, default=0.2,
                        help="idle pacing between sweeps (default 0.2)")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync checkpoints, registry and journal "
+                            "writes (power-loss durability)")
+    serve.add_argument("--restart-budget", type=int, default=5,
+                       help="supervised restarts allowed per tenant "
+                            "inside the rolling window before "
+                            "quarantine (default 5)")
+    serve.add_argument("--restart-window", type=float, default=300.0,
+                       help="rolling window in seconds for the restart "
+                            "budget (default 300)")
     serve.add_argument("--status-out", default=None, metavar="PATH",
                        help="write the final /tenants JSON document "
                             "here on exit")

@@ -1,16 +1,24 @@
 """Core façade: the IntelLog train/detect API, config, metrics, errors."""
 
-from .config import IntelLogConfig, ResilienceConfig, ServeConfig
+from .config import (
+    DurabilityConfig,
+    IntelLogConfig,
+    ResilienceConfig,
+    ServeConfig,
+    SupervisorConfig,
+)
 from .errors import (
     CheckpointCorruptError,
     ConfigurationError,
     FormatterError,
+    FsckError,
     IntelLogError,
     ModelValidationError,
     ModelValidationWarning,
     NotTrainedError,
     StreamFailedError,
 )
+from .fsio import FaultyFS, FileSystem, REAL_FS, atomic_replace_write
 from .intellog import IntelLog, TrainingSummary
 from .metrics import DetectionCounts, ExtractionAccuracy, score_predictions
 
@@ -18,17 +26,24 @@ __all__ = [
     "CheckpointCorruptError",
     "ConfigurationError",
     "DetectionCounts",
+    "DurabilityConfig",
     "ExtractionAccuracy",
+    "FaultyFS",
+    "FileSystem",
     "FormatterError",
+    "FsckError",
     "IntelLog",
     "IntelLogConfig",
     "IntelLogError",
     "ModelValidationError",
     "ModelValidationWarning",
     "NotTrainedError",
+    "REAL_FS",
     "ResilienceConfig",
     "ServeConfig",
     "StreamFailedError",
+    "SupervisorConfig",
     "TrainingSummary",
+    "atomic_replace_write",
     "score_predictions",
 ]

@@ -65,6 +65,94 @@ class ResilienceConfig:
 
 
 @dataclass(slots=True)
+class DurabilityConfig:
+    """Crash-durability knobs for the storage paths.
+
+    Every durable write in the registry/checkpoint layer is already
+    *atomic* (temp sibling + ``os.replace``), which protects readers
+    from torn files regardless of these flags.  What the flags add is
+    ``fsync`` — the guarantee that acknowledged data survives power
+    loss, at a per-write syscall cost.  The default is everything off:
+    tests and single-box runs care about process crashes (which rename
+    alone survives), while a production fleet turns on
+    :meth:`durable` and pays the sync on the paths that matter —
+    registry artifacts and the version index (model bytes are
+    irreplaceable) and, optionally, streaming checkpoints (losing one
+    only costs a bounded replay, so it is a separate knob).
+    """
+
+    #: fsync registry artifacts (model bytes) before acknowledging.
+    fsync_artifacts: bool = False
+    #: fsync the version index and publish/swap intent journals.
+    fsync_index: bool = False
+    #: fsync streaming checkpoints on every save.
+    fsync_checkpoints: bool = False
+
+    @classmethod
+    def durable(cls) -> "DurabilityConfig":
+        """Everything synced — the production profile."""
+        return cls(
+            fsync_artifacts=True,
+            fsync_index=True,
+            fsync_checkpoints=True,
+        )
+
+
+@dataclass(slots=True)
+class SupervisorConfig:
+    """Per-tenant restart policy for the serving fleet.
+
+    A tenant whose pump raises (or whose circuit breaker opens) is not
+    parked forever: the supervisor schedules a restart after an
+    exponential-backoff delay (``backoff_base`` doubling up to
+    ``backoff_max``, with seeded ``±backoff_jitter`` so a mass failure
+    does not restart the whole fleet in lockstep).  Restarts are
+    budgeted: more than ``restart_budget`` restarts within a rolling
+    ``restart_window`` seconds escalates the tenant to a permanent
+    ``quarantined`` state that keeps the reason and traceback visible
+    on ``/tenants`` until an operator intervenes (detach/re-attach, or
+    a changed tenants-file entry).  ``restart_budget=0`` disables
+    restarts entirely — the first failure quarantines.
+    """
+
+    backoff_base: float = 0.5
+    backoff_max: float = 30.0
+    backoff_jitter: float = 0.25
+    backoff_seed: int = 20190622
+    #: Max restarts inside the rolling window before quarantine.
+    restart_budget: int = 5
+    #: Rolling window (seconds) the budget applies to.
+    restart_window: float = 300.0
+    #: Restart-history entries retained per tenant (for /tenants).
+    history_cap: int = 20
+
+    def validate(self) -> None:
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.backoff_max < self.backoff_base:
+            raise ConfigurationError(
+                "backoff_max must be >= backoff_base"
+            )
+        if not (0.0 <= self.backoff_jitter < 1.0):
+            raise ConfigurationError(
+                f"backoff_jitter must be in [0, 1), got "
+                f"{self.backoff_jitter}"
+            )
+        if self.restart_budget < 0:
+            raise ConfigurationError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if self.restart_window <= 0:
+            raise ConfigurationError(
+                f"restart_window must be > 0, got {self.restart_window}"
+            )
+        if self.history_cap < 1:
+            raise ConfigurationError(
+                f"history_cap must be >= 1, got {self.history_cap}"
+            )
+
+
+@dataclass(slots=True)
 class ServeConfig:
     """Tunables for the multi-tenant serving layer (:mod:`repro.serve`).
 

@@ -50,6 +50,17 @@ class CheckpointCorruptError(IntelLogError):
         self.path = path
 
 
+class FsckError(IntelLogError):
+    """Registry fsck found damage it could not (or was not asked to)
+    repair — e.g. a corrupt index with no usable fallback.  Carries the
+    machine-readable findings on :attr:`findings`.
+    """
+
+    def __init__(self, message: str, findings: list | None = None):
+        super().__init__(message)
+        self.findings = findings or []
+
+
 class StreamFailedError(IntelLogError):
     """The streaming runtime's circuit breaker opened (health FAILED).
 

@@ -209,6 +209,9 @@ class _MetricsHandler(BaseHTTPRequestHandler):
     registry: MetricsRegistry  # injected by MetricsServer
     #: Extra JSON routes: path -> zero-arg callable returning a
     #: JSON-serialisable object (e.g. ``/tenants`` on the serve fleet).
+    #: This is the *live* mapping owned by the MetricsServer — routes
+    #: added via :meth:`MetricsServer.add_json_route` after startup are
+    #: visible to the next request (the handler reads per request).
     json_routes: dict[str, Any] = {}
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -280,11 +283,15 @@ class MetricsServer:
         # Socket creation is real IO — do it outside the lock, then
         # publish under the lock.  A concurrent start() that lost the
         # publication race closes its own socket and defers.
+        # The handler gets the server's *live* route mapping, not a
+        # copy, so add_json_route() works on a running server.  Reads
+        # are single dict lookups (atomic under the GIL); writes happen
+        # under self._lock.
         handler = type(
             "_BoundMetricsHandler", (_MetricsHandler,),
             {
                 "registry": self._registry,
-                "json_routes": dict(self._json_routes),
+                "json_routes": self._json_routes,
             },
         )
         with self._lock:
@@ -309,6 +316,18 @@ class MetricsServer:
         else:
             server.server_close()
         return self
+
+    def add_json_route(self, path: str, route: Any) -> None:
+        """Register a JSON route on a (possibly running) server.
+
+        ``route`` is a zero-arg callable returning a JSON-serialisable
+        object; it becomes visible to the very next request.  Restarts
+        keep every registered route.
+        """
+        if not path.startswith("/"):
+            raise ValueError(f"route path must start with '/': {path!r}")
+        with self._lock:
+            self._json_routes[path] = route
 
     @property
     def running(self) -> bool:

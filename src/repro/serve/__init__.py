@@ -17,7 +17,13 @@ is the long-running service layer above it (ROADMAP item 1):
   tenant (inline-deterministic or thread-pool), with per-tenant health
   isolation and fleet metrics;
 * :mod:`~repro.serve.admin` — tenants files (TOML/JSON), hot-reload
-  reconciliation, model refs.
+  reconciliation, model refs;
+* :mod:`~repro.serve.supervisor` — per-tenant restart policy
+  (seeded-jitter exponential backoff, rolling restart budget,
+  quarantine escalation) driven from the sweep loop;
+* :mod:`~repro.serve.fsck` — crash-consistency checker/repairer for
+  the registry's journaled publish/swap protocol, run at service
+  startup and via ``repro fsck``.
 
 Surfaced on the command line as ``repro serve`` / ``repro publish``.
 The load-bearing invariant, inherited from the streaming layer and
@@ -32,6 +38,7 @@ from .admin import (
     parse_model_ref,
 )
 from .budget import plan_evictions
+from .fsck import Finding, FsckReport, RegistryFsck, run_fsck
 from .registry import (
     INDEX_FORMAT,
     LeasedModel,
@@ -39,20 +46,26 @@ from .registry import (
     RegistryError,
 )
 from .service import DetectionService
+from .supervisor import TenantSupervisor
 from .tenant import BoundedQueueSource, Tenant, TenantSpec
 
 __all__ = [
     "BoundedQueueSource",
     "DetectionService",
+    "Finding",
+    "FsckReport",
     "INDEX_FORMAT",
     "LeasedModel",
     "ModelRegistry",
     "RegistryError",
+    "RegistryFsck",
     "Tenant",
     "TenantSpec",
+    "TenantSupervisor",
     "apply_tenants",
     "apply_tenants_file",
     "load_tenants_file",
     "parse_model_ref",
     "plan_evictions",
+    "run_fsck",
 ]

@@ -144,6 +144,24 @@ def apply_tenants(
                 )
                 summary["kept"].append(tenant_id)
                 continue
+            if tenant.quarantined is not None:
+                # A changed spec is the operator's way out of
+                # quarantine: rebuild the tenant from scratch (its
+                # checkpoint survives the detach) instead of swapping
+                # a model under a permanently parked runtime.
+                try:
+                    service.detach(tenant_id, flush=False)
+                    service.attach(spec)
+                    summary["swapped"].append(tenant_id)
+                    log.info(
+                        "tenant %s revived from quarantine by "
+                        "changed spec", tenant_id,
+                    )
+                except Exception:  # noqa: BLE001 - reload must survive
+                    log.exception(
+                        "revive of %s failed during reload", tenant_id
+                    )
+                continue
             try:
                 service.swap(tenant_id, want_version)
                 summary["swapped"].append(tenant_id)

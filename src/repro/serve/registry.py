@@ -12,9 +12,15 @@ into a small artifact store:
   sequential integer versions (no wall-clock stamps — the repo's
   determinism rules treat time as poison, and ordering is what a
   version means);
-* **publish** is atomic: artifact first (temp + ``os.replace``), index
-  second, so a crash between the two leaves an orphaned artifact but
-  never an index entry pointing at a missing or torn file;
+* **publish** is a journaled two-phase operation: an *intent record*
+  (``<root>/intents/``) naming the model and digest is written first,
+  then the artifact (temp + ``os.replace``, optionally fsync'd per
+  :class:`~repro.core.config.DurabilityConfig`), then the index entry,
+  and the intent is cleared last.  A crash at any point leaves a state
+  :class:`~repro.serve.fsck.RegistryFsck` can roll forward (artifact
+  durable → complete the publish) or roll back (artifact missing/torn
+  → reclaim the intent and any partial file) — never a silent orphan
+  and never an index entry pointing at a missing or torn file;
 * loaded models are **shared**: one immutable in-memory
   :class:`~repro.core.intellog.IntelLog` per digest, ref-counted across
   the tenants leasing it.  Tenants get detection state of their own via
@@ -36,14 +42,16 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..core.config import DurabilityConfig
 from ..core.errors import IntelLogError
+from ..core.fsio import REAL_FS, FileSystem, atomic_replace_write
+from ..core.killpoints import kill_point
 from ..detection.detector import AnomalyDetector
 from ..extraction.pipeline import InformationExtractor
 from ..query.store import ModelStore
@@ -125,10 +133,20 @@ class LeasedModel:
 class ModelRegistry:
     """Versioned model artifacts with ref-counted in-memory sharing."""
 
-    def __init__(self, root: str | Path, warm_capacity: int = 4) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        warm_capacity: int = 4,
+        durability: DurabilityConfig | None = None,
+        fs: FileSystem | None = None,
+    ) -> None:
         self.root = Path(root)
         self.artifacts_dir = self.root / "artifacts"
         self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        self.intents_dir = self.root / "intents"
+        self.intents_dir.mkdir(parents=True, exist_ok=True)
+        self.durability = durability or DurabilityConfig()
+        self.fs = fs or REAL_FS
         self._io_lock = threading.Lock()  # serializes index writes
         self._lock = threading.Lock()     # guards the maps below
         #: name -> [{"version": int, "digest": str}], version-ascending.
@@ -194,12 +212,37 @@ class ModelRegistry:
     def artifact_path(self, digest: str) -> Path:
         return self.artifacts_dir / f"{digest}.json"
 
+    def intent_path(self, name: str, digest: str) -> Path:
+        """Journal entry for an in-flight publish of ``name``/``digest``.
+
+        The filename is derived (digest prefix + name hash) purely to be
+        filesystem-safe and unique; fsck reads the JSON payload, never
+        the filename.
+        """
+        tag = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
+        return self.intents_dir / f"{digest[:16]}-{tag}.intent.json"
+
+    def reload_index(self) -> None:
+        """Re-read ``index.json`` (after an external repair, e.g. fsck)."""
+        with self._lock:
+            self._index = {}
+        self._load_index()
+
     def publish(self, store: ModelStore, name: str) -> tuple[int, str]:
         """Store ``store`` as the next version of ``name``.
 
         Returns ``(version, digest)``.  Publishing bytes identical to
         the current latest version is idempotent — the existing version
         number comes back and nothing is written.
+
+        The write sequence is journaled (intent → artifact → index →
+        intent clear) so a crash at any point is recoverable by
+        :class:`~repro.serve.fsck.RegistryFsck`: an intent with a
+        durable artifact rolls *forward* (the version append is
+        completed), one without rolls *back* (intent and partial bytes
+        reclaimed).  A clean ``OSError`` (disk full, not a crash)
+        rolls itself back before raising :class:`RegistryError` —
+        journal entries on disk always mean a dead publisher.
         """
         if not name:
             raise RegistryError("model name must be non-empty")
@@ -209,27 +252,104 @@ class ModelRegistry:
                 versions = self._index.get(name, [])
                 if versions and versions[-1]["digest"] == digest:
                     return versions[-1]["version"], digest
+            intent = self.intent_path(name, digest)
             artifact = self.artifact_path(digest)
-            if not artifact.exists():
-                written = store.save_canonical(artifact)
-                if written != digest:  # pragma: no cover - defensive
-                    raise RegistryError(
-                        f"artifact digest mismatch publishing {name}: "
-                        f"{written} != {digest}"
+            version: int | None = None
+            created_artifact = False
+            try:
+                self.fs.write_text(intent, json.dumps(
+                    {"op": "publish", "name": name, "digest": digest},
+                    sort_keys=True,
+                ))
+                if self.durability.fsync_index:
+                    self.fs.fsync_file(intent)
+                    self.fs.fsync_dir(self.intents_dir)
+                kill_point("registry.publish.intent")
+                if not artifact.exists():
+                    atomic_replace_write(
+                        artifact,
+                        store.canonical_bytes(),
+                        fs=self.fs,
+                        fsync=self.durability.fsync_artifacts,
                     )
-            with self._lock:
-                versions = self._index.setdefault(name, [])
-                version = (
-                    versions[-1]["version"] + 1 if versions else 1
+                    created_artifact = True
+                kill_point("registry.publish.artifact")
+                with self._lock:
+                    versions = self._index.setdefault(name, [])
+                    version = (
+                        versions[-1]["version"] + 1 if versions else 1
+                    )
+                    versions.append(
+                        {"version": version, "digest": digest}
+                    )
+                    self._publishes += 1
+                    payload = self._index_payload()
+                atomic_replace_write(
+                    self.index_path,
+                    payload,
+                    fs=self.fs,
+                    fsync=self.durability.fsync_index,
                 )
-                versions.append({"version": version, "digest": digest})
-                self._publishes += 1
-                payload = self._index_payload()
-            tmp = self.index_path.with_name(self.index_path.name + ".tmp")
-            tmp.write_text(payload)
-            os.replace(tmp, self.index_path)
+                kill_point("registry.publish.index")
+            except OSError as exc:
+                self._rollback_publish(
+                    name, digest, version, intent,
+                    created_artifact=created_artifact,
+                )
+                raise RegistryError(
+                    f"publish of {name!r} failed: {exc}"
+                ) from exc
+            try:
+                self.fs.remove(intent)
+            except OSError as exc:  # pragma: no cover - disk flaking
+                # The publish itself is durable; a stranded intent is
+                # only noise that the next fsck clears as "complete".
+                log.warning(
+                    "publish intent %s not cleared (%s); fsck will",
+                    intent, exc,
+                )
         log.info("published %s@%d (%s)", name, version, digest[:12])
         return version, digest
+
+    def _rollback_publish(
+        self,
+        name: str,
+        digest: str,
+        version: int | None,
+        intent: Path,
+        created_artifact: bool = False,
+    ) -> None:
+        """Undo a publish that failed with the process still alive."""
+        referenced = False
+        with self._lock:
+            if version is not None:
+                versions = self._index.get(name, [])
+                if versions and versions[-1] == {
+                    "version": version, "digest": digest,
+                }:
+                    versions.pop()
+                    self._publishes -= 1
+                if not versions:
+                    self._index.pop(name, None)
+            referenced = any(
+                entry["digest"] == digest
+                for entries in self._index.values()
+                for entry in entries
+            )
+        artifact = self.artifact_path(digest)
+        strays = [
+            intent,
+            artifact.with_name(artifact.name + ".tmp"),
+            self.index_path.with_name(self.index_path.name + ".tmp"),
+        ]
+        if created_artifact and not referenced:
+            strays.append(artifact)
+        for stray in strays:
+            try:
+                if stray.exists():
+                    self.fs.remove(stray)
+            except OSError:  # pragma: no cover - leave it for fsck
+                pass
 
     # -- resolve / acquire / release --------------------------------------
 

@@ -13,12 +13,21 @@ of one sweep run on a thread pool — still at most one worker per tenant
 (the sweep is a barrier), which is what lets tenant internals stay
 lock-free.
 
-Health isolation: a pump that raises marks *that* tenant failed and
-parks it; a tenant whose circuit breaker opens is likewise parked; the
-rest of the fleet keeps streaming.  Fleet state is exposed as labeled
-``serve_*`` gauges on the fleet registry (``/metrics``) and as a JSON
-document (:meth:`DetectionService.tenants_status`, the ``/tenants``
-route).
+Health isolation is now *self-healing*: a pump that raises (or a
+breaker that opens) marks that tenant failed — with the exception type
+and a traceback tail, not just ``str(exc)`` — and hands it to the
+:class:`~repro.serve.supervisor.TenantSupervisor`, which schedules a
+restart with seeded-jitter exponential backoff.  Restarts resume from
+the tenant's durable checkpoint (exactly-once reports hold across the
+replay); a tenant that exhausts its restart budget inside the rolling
+window is **quarantined** permanently with the reason and traceback on
+``/tenants``.  The rest of the fleet keeps streaming throughout.  At
+startup the service runs :class:`~repro.serve.fsck.RegistryFsck` in
+repair mode over the registry (and checkpoint directory), so a crashed
+publish or swap is rolled forward/back before any tenant attaches.
+Fleet state is exposed as labeled ``serve_*`` gauges on the fleet
+registry (``/metrics``) and as a JSON document
+(:meth:`DetectionService.tenants_status`, the ``/tenants`` route).
 """
 
 from __future__ import annotations
@@ -26,16 +35,25 @@ from __future__ import annotations
 import logging
 import threading
 import time
+import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Callable
 
-from ..core.config import ResilienceConfig, ServeConfig
+from ..core.config import (
+    DurabilityConfig,
+    ResilienceConfig,
+    ServeConfig,
+    SupervisorConfig,
+)
+from ..core.fsio import FileSystem
 from ..obs import MetricsRegistry
 from ..stream.sink import JsonLinesSink, ListSink, ReportSink
 from ..stream.source import FileFollowSource, LogSource
 from .budget import plan_evictions
+from .fsck import FsckReport, RegistryFsck
 from .registry import ModelRegistry
+from .supervisor import BACKOFF, QUARANTINED, TenantSupervisor
 from .tenant import Tenant, TenantSpec
 
 __all__ = ["DetectionService"]
@@ -53,6 +71,11 @@ class DetectionService:
         checkpoint_dir: str | Path | None = None,
         metrics: MetricsRegistry | None = None,
         resilience: ResilienceConfig | None = None,
+        supervisor: TenantSupervisor | None = None,
+        supervisor_config: SupervisorConfig | None = None,
+        durability: DurabilityConfig | None = None,
+        fs: FileSystem | None = None,
+        fsck_on_start: bool = True,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -64,6 +87,11 @@ class DetectionService:
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.resilience = resilience
+        self.durability = durability or DurabilityConfig()
+        self._fs = fs
+        self.supervisor = supervisor or TenantSupervisor(
+            supervisor_config, clock=clock
+        )
         self._clock = clock
         self._sleep = sleep
         # _lock guards the tenant map; pumps never run under it (the
@@ -74,6 +102,24 @@ class DetectionService:
         self._stop = threading.Event()
         self._init_metrics()
         self.budget_evictions = 0
+        self.fleet_dead = False
+        # Repair any half-finished publish/swap/checkpoint *before* the
+        # first tenant attaches, so leases and resumes only ever see a
+        # consistent registry.
+        self.startup_fsck: FsckReport | None = None
+        if fsck_on_start:
+            self.startup_fsck = RegistryFsck(
+                registry.root,
+                checkpoint_dir=self.checkpoint_dir,
+                fs=fs,
+            ).repair()
+            if not self.startup_fsck.clean:
+                registry.reload_index()
+                log.warning(
+                    "startup fsck repaired %d finding(s) in %s",
+                    len(self.startup_fsck.findings),
+                    registry.root,
+                )
 
     def _init_metrics(self) -> None:
         reg = self.metrics
@@ -98,6 +144,15 @@ class DetectionService:
         )
         self._c_swaps = reg.counter(
             "serve_model_swaps_total", "Model swaps applied, by tenant."
+        )
+        self._c_restarts = reg.counter(
+            "serve_restarts_total",
+            "Supervised tenant restarts performed, by tenant.",
+        )
+        self._g_quarantined = reg.gauge(
+            "serve_quarantined_tenants",
+            "Tenants permanently parked after exhausting their "
+            "restart budget.",
         )
         self._g_t_records = reg.gauge(
             "serve_tenant_records", "Records consumed, by tenant."
@@ -176,6 +231,8 @@ class DetectionService:
             queue_capacity=self.config.queue_capacity,
             ingest_batch=self.config.ingest_batch,
             resilience=self.resilience,
+            durability=self.durability,
+            fs=self._fs,
         )
         with self._lock:
             if spec.tenant_id in self._tenants:
@@ -185,6 +242,10 @@ class DetectionService:
                     f"tenant {spec.tenant_id!r} already attached"
                 )
             self._tenants[spec.tenant_id] = tenant
+        # A fresh attach is an operator action: start with a clean
+        # supervision slate (re-attaching is how a quarantine is lifted).
+        self.supervisor.forget(spec.tenant_id)
+        self.fleet_dead = False
         log.info(
             "attached tenant %s on %s", spec.tenant_id, lease.ref
         )
@@ -203,6 +264,7 @@ class DetectionService:
             # future attach resumes them instead of losing them.
             tenant.runtime.checkpoint()
         tenant.close()
+        self.supervisor.forget(tenant_id)
         log.info("detached tenant %s", tenant_id)
 
     def swap(
@@ -243,15 +305,79 @@ class DetectionService:
                 self._tenants[tid] for tid in sorted(self._tenants)
             ]
 
-    def _pump_one(self, tenant: Tenant) -> int:
+    @staticmethod
+    def _trace_tail(limit: int = 12) -> str:
+        """Last ``limit`` lines of the current exception's traceback."""
+        lines = _traceback.format_exc().strip().splitlines()
+        return "\n".join(lines[-limit:])
+
+    def _pump_one(
+        self, tenant: Tenant
+    ) -> tuple[int, tuple[str, str] | None]:
+        """Pump one quantum.  Returns ``(consumed, failure)`` where
+        ``failure`` is ``(reason, traceback_tail)`` if the pump raised —
+        the supervisor call itself happens back on the sweep thread."""
         try:
-            return tenant.pump(self.config.quantum)
+            return tenant.pump(self.config.quantum), None
         except Exception as exc:  # noqa: BLE001 - isolation boundary
-            tenant.mark_failed(f"pump: {exc}")
+            note = f"pump: {type(exc).__name__}: {exc}"
+            trace = self._trace_tail()
+            tenant.mark_failed(note, trace=trace)
             log.exception(
-                "tenant %s pump failed; parking it", tenant.tenant_id
+                "tenant %s pump failed", tenant.tenant_id
             )
-            return 0
+            return 0, (note, trace)
+
+    def _register_failure(
+        self, tenant: Tenant, reason: str, trace: str | None
+    ) -> None:
+        """Route one tenant failure through the supervisor."""
+        state = self.supervisor.record_failure(
+            tenant.tenant_id, reason, trace
+        )
+        if state == QUARANTINED:
+            tenant.mark_quarantined(reason, trace)
+            log.error(
+                "tenant %s quarantined (restart budget exhausted): %s",
+                tenant.tenant_id, reason,
+            )
+        else:
+            status = self.supervisor.status(tenant.tenant_id)
+            log.warning(
+                "tenant %s failed (%s); restart in %ss",
+                tenant.tenant_id, reason, status["next_restart_in"],
+            )
+
+    def _revive_due(self) -> None:
+        """Restart every tenant whose backoff has elapsed."""
+        for tenant_id in self.supervisor.due():
+            with self._lock:
+                tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                self.supervisor.forget(tenant_id)
+                continue
+            if (
+                tenant.quarantined is not None
+                or tenant.detach_requested
+            ):
+                continue
+            try:
+                tenant.restart()
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                note = f"restart: {type(exc).__name__}: {exc}"
+                trace = self._trace_tail()
+                tenant.mark_failed(note, trace=trace)
+                log.exception(
+                    "tenant %s restart failed", tenant_id
+                )
+                self._register_failure(tenant, note, trace)
+                continue
+            self.supervisor.record_restart(tenant_id)
+            self._c_restarts.labels(tenant=tenant_id).inc()
+            log.info(
+                "restarted tenant %s (restart #%d)",
+                tenant_id, tenant.restarts,
+            )
 
     def cycle(self, executor: ThreadPoolExecutor | None = None) -> int:
         """One sweep: pump every healthy tenant once, enforce budget.
@@ -260,22 +386,43 @@ class DetectionService:
         tenants run in sorted-id order — fully deterministic; with an
         executor the pumps of the sweep run concurrently, one task per
         tenant, and the sweep itself is the barrier that keeps a tenant
-        from ever being pumped twice at once.
+        from ever being pumped twice at once.  Supervision happens at
+        the sweep edges, always on the calling thread: due restarts
+        first, then pump failures and newly opened breakers are fed to
+        the supervisor after the barrier.
         """
+        self._revive_due()
         tenants = [
             t for t in self._snapshot()
-            if t.failure is None and not t.runtime.failed
+            if t.quarantined is None
+            and t.failure is None
+            and not t.runtime.failed
         ]
-        consumed = 0
         if executor is None:
-            for tenant in tenants:
-                consumed += self._pump_one(tenant)
+            results = [(t, *self._pump_one(t)) for t in tenants]
         else:
             futures = [
-                executor.submit(self._pump_one, tenant)
-                for tenant in tenants
+                (t, executor.submit(self._pump_one, t))
+                for t in tenants
             ]
-            consumed = sum(f.result() for f in futures)
+            results = [(t, *f.result()) for t, f in futures]
+        consumed = 0
+        for tenant, n, failure in results:
+            consumed += n
+            if failure is not None:
+                self._register_failure(tenant, *failure)
+            elif tenant.runtime.failed:
+                # The pump returned but left the breaker open (e.g. a
+                # run of source errors): same supervision path as a
+                # raised exception, minus the traceback.
+                note = (
+                    "breaker: "
+                    f"{tenant.runtime.stats.failure or 'circuit open'}"
+                )
+                tenant.mark_failed(note)
+                self._register_failure(tenant, note, None)
+            else:
+                self.supervisor.record_success(tenant.tenant_id)
         self._apply_detaches()
         self.enforce_budget()
         self._mirror_metrics()
@@ -334,6 +481,17 @@ class DetectionService:
                     if t.failure is None and not t.runtime.failed
                     and t.runtime.stats.health == "degraded"
                 ]
+                # Likewise a tenant waiting out a supervised backoff is
+                # *healing*, not done — sleep through the backoff so its
+                # restart (and replay) happens inside the drain.
+                healing = [
+                    t for t in self._snapshot()
+                    if t.quarantined is None
+                    and self.supervisor.state(t.tenant_id) == BACKOFF
+                ]
+                if healing:
+                    self._sleep(self.config.poll_interval)
+                    continue
                 if not retrying:
                     break
         finally:
@@ -411,6 +569,18 @@ class DetectionService:
                             )
                 consumed = self.cycle(executor)
                 cycles += 1
+                tenants = self._snapshot()
+                if tenants and all(
+                    t.quarantined is not None for t in tenants
+                ):
+                    # Nothing left that can ever recover on its own.
+                    self.fleet_dead = True
+                    log.error(
+                        "FLEET dead: all %d tenant(s) quarantined; "
+                        "stopping the serve loop",
+                        len(tenants),
+                    )
+                    break
                 if not consumed:
                     self._sleep(self.config.poll_interval)
         finally:
@@ -453,6 +623,7 @@ class DetectionService:
             self._c_swaps.labels(**labels).restore(status["swaps"])
         self._g_active.set(len(tenants))
         self._g_failed.set(failed)
+        self._g_quarantined.set(len(self.supervisor.quarantined()))
         self._g_fleet_open.set(fleet_open)
         reg = self.registry.stats()
         self._g_reg_live.set(reg["live_models"])
@@ -462,8 +633,14 @@ class DetectionService:
 
     def tenants_status(self) -> dict[str, Any]:
         """JSON document for the ``/tenants`` route."""
-        tenants = [t.status() for t in self._snapshot()]
-        return {
+        tenants = []
+        for tenant in self._snapshot():
+            status = tenant.status()
+            status["supervisor"] = self.supervisor.status(
+                tenant.tenant_id
+            )
+            tenants.append(status)
+        doc = {
             "tenants": tenants,
             "fleet": {
                 "active": len(tenants),
@@ -472,9 +649,19 @@ class DetectionService:
                 ),
                 "session_budget": self.config.global_session_budget,
                 "budget_evictions": self.budget_evictions,
+                "restarts": self.supervisor.total_restarts(),
+                "quarantined": self.supervisor.quarantined(),
+                "dead": self.fleet_dead,
             },
             "registry": {
                 "models": self.registry.models(),
                 **self.registry.stats(),
             },
         }
+        if self.startup_fsck is not None:
+            doc["startup_fsck"] = {
+                "clean": self.startup_fsck.clean,
+                "findings": len(self.startup_fsck.findings),
+                "remaining": len(self.startup_fsck.remaining),
+            }
+        return doc

@@ -38,6 +38,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+import json
+
+from ..core.fsio import REAL_FS, FileSystem
+from ..core.killpoints import kill_point
 from ..obs import MetricsRegistry
 from ..stream.checkpoint import default_checkpoint_path
 from ..stream.detector import StreamingDetector
@@ -52,7 +56,7 @@ from ..stream.tracker import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.config import ResilienceConfig
+    from ..core.config import DurabilityConfig, ResilienceConfig
     from .registry import LeasedModel
 
 __all__ = ["BoundedQueueSource", "Tenant", "TenantSpec"]
@@ -233,6 +237,11 @@ class _Shared:
     pending_lease: "LeasedModel | None" = None
     detached: bool = False
     failure: str | None = None
+    #: Traceback tail of the failure (why, not just what).
+    failure_trace: str | None = None
+    #: Permanent parking reason once the restart budget is exhausted.
+    quarantined: str | None = None
+    quarantine_trace: str | None = None
 
 
 class Tenant:
@@ -248,6 +257,8 @@ class Tenant:
         queue_capacity: int = 8192,
         ingest_batch: int = 1024,
         resilience: "ResilienceConfig | None" = None,
+        durability: "DurabilityConfig | None" = None,
+        fs: FileSystem | None = None,
     ) -> None:
         self.spec = spec
         self.tenant_id = spec.tenant_id
@@ -263,19 +274,41 @@ class Tenant:
             checkpoint_path = default_checkpoint_path(
                 checkpoint_dir / "model.json", spec.tenant_id
             )
-        self.runtime = StreamRuntime(
-            lease.detector_view(),
-            source=self.queue,
-            sink=sink,
-            tracker=SessionTracker(spec.tracker_config()),
-            checkpoint_path=checkpoint_path,
-            registry=self.registry,
-            resilience=resilience,
-        )
+        # Kept for supervisor restarts (rebuild from checkpoint) and
+        # the journaled swap path.
+        self._sink = sink
+        self._checkpoint_path = checkpoint_path
+        self._resilience = resilience
+        self._durability = durability
+        self._fs = fs or REAL_FS
+        self.runtime = self._build_runtime()
         self._lock = threading.Lock()
         self._shared = _Shared()
         #: Model swaps applied (pump-side only).
         self.swaps = 0
+        #: Supervisor restarts applied to this tenant handle.
+        self.restarts = 0
+
+    def _build_runtime(self) -> StreamRuntime:
+        """A fresh runtime over the current lease, queue and sink.
+
+        When a checkpoint path is set the constructor auto-resumes:
+        source position (including queued-but-unprocessed records),
+        tracker state, cumulative counters, the exactly-once ledger and
+        the outbox all come back — which is exactly what a supervisor
+        restart needs.
+        """
+        return StreamRuntime(
+            self.lease.detector_view(),
+            source=self.queue,
+            sink=self._sink,
+            tracker=SessionTracker(self.spec.tracker_config()),
+            checkpoint_path=self._checkpoint_path,
+            registry=self.registry,
+            resilience=self._resilience,
+            durability=self._durability,
+            fs=self._fs,
+        )
 
     # -- control plane (any thread) ---------------------------------------
 
@@ -300,15 +333,86 @@ class Tenant:
             return self._shared.detached
 
     @property
+    def swap_pending(self) -> bool:
+        """True while a requested swap is parked but not yet applied."""
+        with self._lock:
+            return self._shared.pending_lease is not None
+
+    @property
     def failure(self) -> str | None:
         with self._lock:
             return self._shared.failure
 
-    def mark_failed(self, why: str) -> None:
+    @property
+    def failure_trace(self) -> str | None:
+        with self._lock:
+            return self._shared.failure_trace
+
+    @property
+    def quarantined(self) -> str | None:
+        with self._lock:
+            return self._shared.quarantined
+
+    @property
+    def quarantine_trace(self) -> str | None:
+        with self._lock:
+            return self._shared.quarantine_trace
+
+    def mark_failed(self, why: str, trace: str | None = None) -> None:
         with self._lock:
             self._shared.failure = why
+            self._shared.failure_trace = trace
+
+    def mark_quarantined(
+        self, reason: str, trace: str | None = None
+    ) -> None:
+        """Permanent parking: restart budget exhausted (or policy says
+        never restart).  Cleared only by detach or a changed spec."""
+        with self._lock:
+            self._shared.quarantined = reason
+            self._shared.quarantine_trace = trace
+
+    # -- supervisor side (sweep loop, between pump barriers) ---------------
+
+    def restart(self) -> None:
+        """Bring a failed tenant back: clear the failure note and give
+        it a healthy runtime.
+
+        Tenants with a durable checkpoint on disk get a full rebuild —
+        the fresh runtime resumes from it (plus the sink's own delivery
+        log), exactly like a process crash-restart: records since the
+        checkpoint replay and reports dedupe through the exactly-once
+        ledger.  The possibly-poisoned in-memory state of the dead
+        runtime is deliberately *not* checkpointed first — the failure
+        may have left it mid-record.  Tenants with no checkpoint yet
+        keep their in-memory runtime (a rebuild would lose every open
+        session) and only have their breaker/health reset.
+        """
+        with self._lock:
+            self._shared.failure = None
+            self._shared.failure_trace = None
+        ckpt = self._checkpoint_path
+        has_durable = ckpt is not None and (
+            ckpt.exists()
+            or ckpt.with_name(ckpt.name + ".bak").exists()
+        )
+        if has_durable:
+            self.runtime = self._build_runtime()
+        else:
+            self.runtime.reset_health()
+        self.restarts += 1
 
     # -- pump side (one worker at a time) ----------------------------------
+
+    def _swap_intent_path(self) -> Path | None:
+        if self._checkpoint_path is None:
+            return None
+        name = self._checkpoint_path.name
+        if name.endswith(".stream-ckpt.json"):
+            name = name[: -len(".stream-ckpt.json")]
+        return self._checkpoint_path.with_name(
+            name + ".swap-intent.json"
+        )
 
     def apply_pending_swap(self) -> bool:
         """Install a parked lease, if any.  Runs between quanta only.
@@ -316,6 +420,15 @@ class Tenant:
         The runtime's source position and tracker state are untouched —
         no record is lost — and the detector is replaced wholesale, so
         every report is finalized entirely under one model version.
+
+        For checkpointed tenants the swap is journaled: a *swap intent*
+        is written first, the checkpoint is rewritten under the new
+        model once the lease is installed, and the intent is cleared
+        last.  A crash anywhere in between is recoverable — a restarted
+        tenant leases whatever its spec (the control plane) says, the
+        checkpoint carries the stream state forward, and a leftover
+        intent only tells fsck that a swap was in flight and may need
+        re-issuing (recovery never replays one on its own).
         """
         with self._lock:
             lease, self._shared.pending_lease = (
@@ -324,12 +437,47 @@ class Tenant:
         if lease is None:
             return False
         old = self.lease
+        intent = self._swap_intent_path()
+        if intent is not None:
+            try:
+                self._fs.write_text(intent, json.dumps({
+                    "op": "swap",
+                    "tenant": self.tenant_id,
+                    "from": old.ref,
+                    "to": lease.ref,
+                    "to_digest": lease.digest,
+                }, sort_keys=True))
+                durability = self._durability
+                if durability is not None and durability.fsync_index:
+                    self._fs.fsync_file(intent)
+            except OSError as exc:
+                # Journal is advisory; a full disk must not veto the
+                # swap (the checkpoint still records the outcome).
+                log.warning(
+                    "tenant %s: swap intent not journaled: %s",
+                    self.tenant_id, exc,
+                )
+                intent = None
+            kill_point("swap.intent")
         detector = lease.detector_view()
         detector.instrument(self.registry)
         self.runtime.detector = StreamingDetector(detector)
         self.lease = lease
         self.swaps += 1
         old.release()
+        if self._checkpoint_path is not None:
+            # Make the swap durable: the checkpoint written under the
+            # new model is the commit point a restart observes.
+            self.runtime.checkpoint()
+            kill_point("swap.applied")
+        if intent is not None:
+            try:
+                self._fs.remove(intent)
+            except OSError as exc:  # pragma: no cover - disk flaking
+                log.warning(
+                    "tenant %s: swap intent not cleared (%s); fsck will",
+                    self.tenant_id, exc,
+                )
         log.info(
             "tenant %s swapped %s -> %s",
             self.tenant_id, old.ref, lease.ref,
@@ -367,8 +515,17 @@ class Tenant:
             "tenant": self.tenant_id,
             "model": self.lease.ref,
             "digest": self.lease.digest,
-            "health": stats.health,
-            "failure": self.failure or stats.failure,
+            "health": (
+                "quarantined" if self.quarantined is not None
+                else stats.health
+            ),
+            "failure": self.quarantined
+            or self.failure
+            or stats.failure,
+            "failure_trace": self.quarantine_trace
+            or self.failure_trace,
+            "restarts": self.restarts,
+            "deferred_checkpoints": stats.deferred_checkpoints,
             "records": stats.records,
             "reports": stats.reports,
             "anomalous_sessions": stats.anomalous_sessions,

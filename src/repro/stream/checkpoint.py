@@ -33,13 +33,14 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from ..core.errors import CheckpointCorruptError
+from ..core.fsio import REAL_FS, FileSystem
+from ..core.killpoints import kill_point
 
 __all__ = [
     "StreamCheckpoint",
@@ -132,21 +133,37 @@ class StreamCheckpoint:
         )
         return body
 
-    def save(self, path: str | Path) -> None:
+    def save(
+        self,
+        path: str | Path,
+        fs: FileSystem | None = None,
+        fsync: bool = False,
+    ) -> None:
         """Atomic write with a rolling backup.
 
         The previous checkpoint (if any) is renamed to ``.bak`` before
         the new one replaces the live path, so at every instant at
         least one intact checkpoint exists on disk; a crash mid-save
         leaves either the old file, or the ``.bak`` plus a temp file —
-        never a torn live checkpoint.
+        never a torn live checkpoint.  ``fs`` is the durability seam
+        (fault-injection tests substitute a
+        :class:`~repro.core.fsio.FaultyFS`); ``fsync`` additionally
+        syncs the temp file before the renames and the directory after,
+        per ``DurabilityConfig.fsync_checkpoints``.
         """
+        fs = fs or REAL_FS
         path = Path(path)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict()))
+        fs.write_text(tmp, json.dumps(self.to_dict()))
+        if fsync:
+            fs.fsync_file(tmp)
+        kill_point("checkpoint.tmp")
         if path.exists():
-            os.replace(path, backup_checkpoint_path(path))
-        os.replace(tmp, path)
+            fs.replace(path, backup_checkpoint_path(path))
+            kill_point("checkpoint.bak")
+        fs.replace(tmp, path)
+        if fsync:
+            fs.fsync_dir(path.parent)
 
     @classmethod
     def from_dict(cls, data: Any) -> "StreamCheckpoint":

@@ -97,6 +97,28 @@ class RetryPolicy:
         self.config = config or ResilienceConfig()
         self._rng = default_rng(self.config.retry_seed)
 
+    @classmethod
+    def for_backoff(
+        cls,
+        base: float,
+        maximum: float,
+        jitter: float,
+        seed: int,
+    ) -> "RetryPolicy":
+        """Build a policy from raw backoff knobs.
+
+        The serve-layer supervisor schedules tenant *restarts* with the
+        same delay curve as IO retries; this constructor lets it reuse
+        :meth:`delay` without inventing a full :class:`ResilienceConfig`
+        (retry counts and breaker thresholds are meaningless there).
+        """
+        return cls(ResilienceConfig(
+            retry_base_delay=base,
+            retry_max_delay=maximum,
+            retry_jitter=jitter,
+            retry_seed=seed,
+        ))
+
     @property
     def max_attempts(self) -> int:
         return self.config.retry_attempts

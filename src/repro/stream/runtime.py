@@ -52,8 +52,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
-from ..core.config import ResilienceConfig
+from ..core.config import DurabilityConfig, ResilienceConfig
 from ..core.errors import StreamFailedError
+from ..core.fsio import REAL_FS, FileSystem
+from ..core.killpoints import kill_point
 from ..detection.detector import AnomalyDetector
 from ..detection.report import SessionReport
 from ..obs import Counter, MetricsRegistry
@@ -125,6 +127,10 @@ class RuntimeStats:
     #: Log-rotation / truncation events the source recovered from.
     source_rotations: int = 0
     source_truncations: int = 0
+    #: Checkpoint saves skipped because the disk refused the write
+    #: (ENOSPC/EIO); the runtime keeps serving with a bounded-replay
+    #: warning instead of crashing.
+    deferred_checkpoints: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -150,6 +156,7 @@ class RuntimeStats:
             "finalize_errors": self.finalize_errors,
             "source_rotations": self.source_rotations,
             "source_truncations": self.source_truncations,
+            "deferred_checkpoints": self.deferred_checkpoints,
         }
 
 
@@ -175,6 +182,8 @@ class StreamRuntime:
         quarantine: Quarantine | None = None,
         on_health: Callable[[str, str, str], None] | None = None,
         registry: MetricsRegistry | None = None,
+        durability: DurabilityConfig | None = None,
+        fs: FileSystem | None = None,
     ) -> None:
         if isinstance(model, AnomalyDetector):
             detector = model
@@ -203,6 +212,8 @@ class StreamRuntime:
         self._sleep = sleep
         self.resilience = resilience or ResilienceConfig()
         self.resilience.validate()
+        self.durability = durability or DurabilityConfig()
+        self._fs = fs or REAL_FS
         self._policy = RetryPolicy(self.resilience)
         self._breaker = CircuitBreaker(
             degraded_after=self.resilience.degraded_after,
@@ -220,6 +231,9 @@ class StreamRuntime:
         self._init_metrics()
         self._run_consumed = 0
         self._last_checkpoint_at = 0
+        # True while checkpoint saves are being refused by the disk;
+        # gates the bounded-loss warning to once per outage spell.
+        self._checkpoint_deferred_spell = False
         self._stats_emitted_at = -1
         # Non-metric snapshot state (owned by the loop, read by the view).
         self._health = HEALTHY
@@ -306,6 +320,10 @@ class StreamRuntime:
             "stream_degraded_seconds",
             "Cumulative seconds spent out of the HEALTHY state.",
         )
+        self._m_ckpt_deferred = reg.counter(
+            "stream_deferred_checkpoints_total",
+            "Checkpoint saves refused by the disk (kept serving).",
+        )
 
     # -- stats view -------------------------------------------------------
 
@@ -358,6 +376,7 @@ class StreamRuntime:
             finalize_errors=int(self._m_finalize_errors.value),
             source_rotations=getattr(self.source, "rotations", 0),
             source_truncations=getattr(self.source, "truncations", 0),
+            deferred_checkpoints=int(self._m_ckpt_deferred.value),
         )
 
     # -- lifecycle --------------------------------------------------------
@@ -436,11 +455,20 @@ class StreamRuntime:
 
     def checkpoint(self) -> None:
         """Snapshot source position + tracker state + counters + the
-        exactly-once ledger and outbox to disk (atomic, with .bak)."""
+        exactly-once ledger and outbox to disk (atomic, with .bak).
+
+        Disk pressure degrades instead of crashing: an ``OSError``
+        (ENOSPC, EIO, failed fsync) *defers* the checkpoint — the
+        runtime keeps serving with a warning bounding the replay cost,
+        and retries on the next checkpoint trigger (``_last_checkpoint_
+        at`` is only advanced on success, so the overdue condition
+        stays armed).  A crash during the outage replays at most the
+        records since the last durable checkpoint; the exactly-once
+        ledger and sink delivery log still dedupe their reports.
+        """
         if self.checkpoint_path is None:
             return
-        self._last_checkpoint_at = int(self._m_records.value)
-        StreamCheckpoint(
+        snapshot = StreamCheckpoint(
             source_position=self.source.position(),
             tracker_state=self.tracker.state_dict(),
             counters={
@@ -459,7 +487,35 @@ class StreamRuntime:
             },
             finalized=list(self._finalized_order),
             outbox=list(self._outbox),
-        ).save(self.checkpoint_path)
+        )
+        try:
+            snapshot.save(
+                self.checkpoint_path,
+                fs=self._fs,
+                fsync=self.durability.fsync_checkpoints,
+            )
+        except OSError as exc:
+            self._m_ckpt_deferred.inc()
+            at_risk = (
+                int(self._m_records.value) - self._last_checkpoint_at
+            )
+            if not self._checkpoint_deferred_spell:
+                self._checkpoint_deferred_spell = True
+                log.warning(
+                    "checkpoint deferred (%s): serving continues; a "
+                    "crash now would replay up to %d records since the "
+                    "last durable checkpoint (reports stay exactly-once "
+                    "via the ledger)",
+                    exc, at_risk,
+                )
+            return
+        if self._checkpoint_deferred_spell:
+            self._checkpoint_deferred_spell = False
+            log.info(
+                "checkpoint recovered: durable again at %d records",
+                int(self._m_records.value),
+            )
+        self._last_checkpoint_at = int(self._m_records.value)
 
     # -- guarded IO -------------------------------------------------------
 
@@ -507,6 +563,24 @@ class StreamRuntime:
     @property
     def failed(self) -> bool:
         return self._health == FAILED
+
+    def reset_health(self) -> None:
+        """Supervisor restart without a rebuild: clear the breaker and
+        failure note so a FAILED runtime can be pumped again.
+
+        In-memory state (tracker, ledger, outbox) is untouched — this is
+        the cheap restart for runtimes without a checkpoint path, where
+        a full rebuild would *lose* open sessions rather than recover
+        them.  Checkpointed tenants are restarted by rebuilding the
+        runtime from disk instead (see ``Tenant.restart``).
+        """
+        self._breaker = CircuitBreaker(
+            degraded_after=self.resilience.degraded_after,
+            failed_after=self.resilience.failed_after,
+            clock=self._clock,
+        )
+        self._failure = None
+        self._note_health("supervisor restart")
 
     # -- main loop --------------------------------------------------------
 
@@ -785,6 +859,11 @@ class StreamRuntime:
             "sink.emit", lambda: self.sink.emit(report, closed)
         )
         if ok:
+            # The window between a durable sink emit and the next
+            # checkpoint of the ledger is exactly where a crash could
+            # double-emit; the harness kills here to prove the sink's
+            # own delivery log (_merge_sink_ledger) closes it.
+            kill_point("finalize.emitted")
             self._remember_finalized(closed.finalization_id)
         else:
             # Park the report: it rides in the checkpoint and is
