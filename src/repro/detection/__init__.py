@@ -2,6 +2,7 @@
 
 from .detector import AnomalyDetector, DetectorConfig
 from .instance import GroupInstance, HWGraphInstance
+from .partition import detect_job_partitioned
 from .report import Anomaly, AnomalyKind, JobReport, SessionReport
 
 __all__ = [
@@ -13,4 +14,5 @@ __all__ = [
     "HWGraphInstance",
     "JobReport",
     "SessionReport",
+    "detect_job_partitioned",
 ]

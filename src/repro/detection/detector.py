@@ -28,11 +28,12 @@ from ..extraction.pipeline import InformationExtractor
 from ..graph.hwgraph import HWGraph
 from ..graph.lifespan import BEFORE, PARENT
 from ..parsing.records import LogRecord, Session
-from ..parsing.spell import LogKey, SpellParser
+from ..parsing.spell import LogKey, MatchResult, SpellParser
 from .instance import HWGraphInstance
 from .report import Anomaly, AnomalyKind, JobReport, SessionReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.subroutine import Subroutine
     from ..obs import Counter, MetricsRegistry, Tracer
 
 #: A group must have appeared in at least this fraction of training
@@ -79,6 +80,24 @@ class AnomalyDetector:
         self._label_phrases: list[tuple[tuple[str, ...], str]] = [
             (tuple(label.split()), label) for label in graph.groups
         ]
+        # Lazily resolved PARENT/BEFORE verdicts for _check_hierarchy —
+        # pure over the frozen training graph, so computed once per
+        # detector instead of once per session pair.
+        self._hierarchy_pairs: dict[tuple[str, str], str] | None = None
+        # Per log key: may match-time captures stand in for the Intel
+        # Key template alignment?  Key templates are frozen while
+        # detecting, so the verdict is cached by key id.
+        self._captures_ok: dict[str, bool] = {}
+        # Subroutine checks are pure over the frozen model and instance
+        # key sequences repeat heavily across sessions, so both the
+        # signature->subroutine resolution and the per-sequence problem
+        # list are memoized for the detector's lifetime.
+        self._best_match_memo: dict[
+            tuple[str, tuple[str, ...]], "Subroutine | None"
+        ] = {}
+        self._check_memo: dict[
+            tuple[int, tuple[str, ...]], tuple[str, ...]
+        ] = {}
         self._tracer: "Tracer | None" = None
         self._m_sessions: "Counter | None" = None
         self._m_records: "Counter | None" = None
@@ -112,11 +131,20 @@ class AnomalyDetector:
 
     def detect_session(self, session: Session) -> SessionReport:
         """Consume one complete session and report its anomalies."""
+        return self._detect_one(session, None)
+
+    def _detect_one(
+        self,
+        session: Session,
+        prematched: list["MatchResult | None"] | None,
+    ) -> SessionReport:
         tracer = self._tracer
         if tracer is None:
-            return self._detect_session_inner(session, None)
+            return self._detect_session_inner(session, None, prematched)
         with tracer.span("detect.session"):
-            report = self._detect_session_inner(session, tracer)
+            report = self._detect_session_inner(
+                session, tracer, prematched
+            )
         assert self._m_sessions and self._m_records and self._m_anomalies
         self._m_sessions.inc()
         self._m_records.inc(report.message_count)
@@ -125,26 +153,39 @@ class AnomalyDetector:
         return report
 
     def _detect_session_inner(
-        self, session: Session, tracer: "Tracer | None"
+        self,
+        session: Session,
+        tracer: "Tracer | None",
+        prematched: list["MatchResult | None"] | None = None,
     ) -> SessionReport:
         report = SessionReport(session_id=session.session_id)
         instance = HWGraphInstance(
             session_id=session.session_id, graph=self.graph
         )
 
-        # Matching and extraction interleave per record, so their phase
-        # times are accumulated across the loop and reported as two
-        # pre-measured spans rather than thousands of micro-spans.
+        # Records are matched in one batch up front (memoized per
+        # distinct message), then the extraction/graph loop runs over
+        # the precomputed results; when the caller already batch-matched
+        # across sessions (:meth:`detect_batch`), its results are reused
+        # verbatim.  Match/extract phase times are accumulated across
+        # the loop and reported as two pre-measured spans rather than
+        # thousands of micro-spans.
         timed = tracer is not None
+        records = list(session)
         match_s = 0.0
         extract_s = 0.0
-        for record in session:
-            report.message_count += 1
+        if prematched is None:
             if timed:
                 t0 = time.perf_counter()
-            match = self.spell.match(record.message)
+            matches = self.spell.match_batch(
+                [record.message for record in records]
+            )
             if timed:
-                match_s += time.perf_counter() - t0
+                match_s = time.perf_counter() - t0
+        else:
+            matches = prematched
+        for record, match in zip(records, matches):
+            report.message_count += 1
             if match is None:
                 report.anomalies.append(
                     self._unexpected_message(record)
@@ -159,11 +200,28 @@ class AnomalyDetector:
                 continue
             if timed:
                 t0 = time.perf_counter()
+            # Match-time captures are exactly the template alignment
+            # to_intel_message would recompute — reuse them when the
+            # matched log key's template IS this Intel Key's template
+            # (the reserved all-star key's match parameters use a
+            # different convention, so it is excluded).
+            captures_ok = self._captures_ok.get(key_id)
+            if captures_ok is None:
+                captures_ok = self._captures_ok[key_id] = bool(
+                    match.key.constant_tokens()
+                ) and tuple(match.key.tokens) == intel_key.template
+            captures = (
+                match.parameters
+                if captures_ok and not match.misaligned
+                else None
+            )
             message = self.extractor.to_intel_message(
                 intel_key,
                 record.message,
                 timestamp=record.timestamp,
                 session_id=session.session_id,
+                raw_tokens=match.raw_tokens,
+                captures=captures,
             )
             if timed:
                 extract_s += time.perf_counter() - t0
@@ -192,12 +250,43 @@ class AnomalyDetector:
                 self._check_hierarchy(instance, report)
         return report
 
+    def detect_batch(
+        self, sessions: list[Session]
+    ) -> list[SessionReport]:
+        """Detect many sessions with one cross-session match batch.
+
+        All records are matched in a single :meth:`SpellParser.match_batch`
+        call — log vocabularies repeat heavily across sessions of one
+        job, so the batch memo collapses most of the per-record match
+        cost — then the per-session extraction and HW-graph checks run
+        over the precomputed results.  Per-session reports are identical
+        to calling :meth:`detect_session` per session.
+        """
+        records_by_session = [list(session) for session in sessions]
+        tracer = self._tracer
+        t0 = time.perf_counter() if tracer is not None else 0.0
+        matches = self.spell.match_batch(
+            [
+                record.message
+                for records in records_by_session
+                for record in records
+            ]
+        )
+        if tracer is not None:
+            tracer.record("detect.match", time.perf_counter() - t0)
+        reports: list[SessionReport] = []
+        pos = 0
+        for session, records in zip(sessions, records_by_session):
+            session_matches = matches[pos:pos + len(records)]
+            pos += len(records)
+            reports.append(self._detect_one(session, session_matches))
+        return reports
+
     def detect_job(
         self, sessions: list[Session], job_id: str = ""
     ) -> JobReport:
         report = JobReport(job_id=job_id)
-        for session in sessions:
-            report.sessions.append(self.detect_session(session))
+        report.sessions.extend(self.detect_batch(sessions))
         return report
 
     # -- anomaly producers -----------------------------------------------------------
@@ -248,7 +337,13 @@ class AnomalyDetector:
                 continue
             for sub_instance in group_instance.instances:
                 signature = sub_instance.signature
-                model = node.model.best_match(signature)
+                sig_key = (label, signature)
+                if sig_key in self._best_match_memo:
+                    model = self._best_match_memo[sig_key]
+                else:
+                    model = self._best_match_memo[sig_key] = (
+                        node.model.best_match(signature)
+                    )
                 if model is None:
                     report.anomalies.append(
                         Anomaly(
@@ -262,9 +357,14 @@ class AnomalyDetector:
                         )
                     )
                     continue
-                for problem in model.check_instance(
-                    sub_instance.key_sequence, complete=True
-                ):
+                sequence = tuple(sub_instance.key_sequence)
+                memo_key = (id(model), sequence)
+                problems = self._check_memo.get(memo_key)
+                if problems is None:
+                    problems = self._check_memo[memo_key] = tuple(
+                        model.check_instance(sequence, complete=True)
+                    )
+                for problem in problems:
                     kind = AnomalyKind.INCOMPLETE_SUBROUTINE
                     if problem.startswith("missing critical"):
                         kind = AnomalyKind.MISSING_CRITICAL_KEY
@@ -309,14 +409,37 @@ class AnomalyDetector:
                     )
                 )
 
+    def _constrained_pairs(self) -> dict[tuple[str, str], str]:
+        """Sorted group pairs whose trained relation constrains detection.
+
+        Only PARENT/BEFORE verdicts impose a lifespan check; every other
+        relation (and every pair involving an unobserved label) resolves
+        to no-op, so omitting it from the map is equivalent to the old
+        per-pair ``relations.relation`` call returning PARALLEL.
+        """
+        relations = self.graph.relations
+        names = sorted(relations.groups)
+        pairs: dict[tuple[str, str], str] = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                rel = relations.relation(a, b)
+                if rel in (PARENT, BEFORE):
+                    pairs[(a, b)] = rel
+        return pairs
+
     def _check_hierarchy(
         self, instance: HWGraphInstance, report: SessionReport
     ) -> None:
+        pairs = self._hierarchy_pairs
+        if pairs is None:
+            pairs = self._hierarchy_pairs = self._constrained_pairs()
         spans = instance.lifespans()
         labels = sorted(spans)
         for i, a in enumerate(labels):
             for b in labels[i + 1:]:
-                relation = self.graph.relations.relation(a, b)
+                relation = pairs.get((a, b))
+                if relation is None:
+                    continue
                 if relation == PARENT and not spans[a].contains(spans[b]):
                     report.anomalies.append(
                         Anomaly(

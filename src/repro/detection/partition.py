@@ -1,0 +1,89 @@
+"""Multi-process partitioned detection (``repro detect --workers N``).
+
+Sessions are independent detection units — the model is read-only during
+detection — so a job can be split into contiguous session chunks and
+detected by a pool of worker processes, each holding its own copy of the
+model.  Workers are handed *plain data only* (the model file path at
+pool start, session dicts per task) and return report dicts; no
+detector, registry or lock ever crosses the process boundary (the
+concurrency analysis gates on exactly that).  Chunks are contiguous and
+``ProcessPoolExecutor.map`` preserves submission order, so the
+assembled :class:`~repro.detection.report.JobReport` lists sessions in
+the same order as single-process detection, and each worker's
+:meth:`~repro.detection.detector.AnomalyDetector.detect_batch` call
+produces reports identical to it (the golden detect-report fixtures pin
+that equivalence).
+
+The trade-off mirrors :mod:`repro.parallel` training: worker-side
+metrics stay in the worker (the parent registry only sees its own
+process), so ``--workers`` is for throughput on big offline jobs, not
+for instrumented single-process runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..detection.report import JobReport
+    from ..parsing.records import Session
+
+#: Per-worker-process detector, built once by the pool initializer from
+#: the model path (plain string) so nothing fork-unsafe is pickled.
+_DETECTOR = None
+
+
+def _init_worker(model_path: str) -> None:
+    global _DETECTOR
+    from ..query.store import ModelStore
+
+    _DETECTOR = ModelStore.load_path(model_path).to_intellog().detector()
+
+
+def _detect_chunk(payload: list[dict]) -> list[dict]:
+    from ..parsing.records import Session
+
+    assert _DETECTOR is not None, "worker initializer did not run"
+    sessions = [Session.from_dict(d) for d in payload]
+    return [r.to_dict() for r in _DETECTOR.detect_batch(sessions)]
+
+
+def _chunk(items: list, n: int) -> list[list]:
+    """Split into at most ``n`` contiguous, near-equal chunks."""
+    n = max(1, min(n, len(items)))
+    size, extra = divmod(len(items), n)
+    chunks: list[list] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def detect_job_partitioned(
+    model_path: str,
+    sessions: list["Session"],
+    workers: int,
+    job_id: str = "",
+) -> "JobReport":
+    """Detect ``sessions`` across ``workers`` processes; see module doc."""
+    from ..detection.report import JobReport, SessionReport
+
+    report = JobReport(job_id=job_id)
+    if not sessions:
+        return report
+    payloads = [
+        [s.to_dict() for s in chunk] for chunk in _chunk(sessions, workers)
+    ]
+    with ProcessPoolExecutor(
+        max_workers=len(payloads),
+        initializer=_init_worker,
+        initargs=(model_path,),
+    ) as executor:
+        for chunk_reports in executor.map(_detect_chunk, payloads):
+            report.sessions.extend(
+                SessionReport.from_dict(d) for d in chunk_reports
+            )
+    return report

@@ -226,12 +226,28 @@ class InformationExtractor:
         message: str,
         timestamp: float = 0.0,
         session_id: str = "",
+        raw_tokens: list[str] | None = None,
+        captures: list[str] | None = None,
     ) -> IntelMessage | None:
-        """Instantiate an Intel Message for a message matching the key."""
-        from ..nlp.tokenizer import words as _words
+        """Instantiate an Intel Message for a message matching the key.
 
-        captures = extract_parameters(list(intel_key.template),
-                                      _words(message))
+        ``raw_tokens`` lets callers that already tokenized the message
+        (the detector reuses :attr:`MatchResult.raw_tokens`) skip the
+        second tokenizer pass; it must be the surface-token list the
+        tokenizer would produce for ``message``.  ``captures`` skips the
+        alignment too — pass it only when it is exactly what
+        ``extract_parameters(intel_key.template, raw_tokens)`` would
+        return (the detector reuses the match-time captures when the
+        matched log key's template equals this Intel Key's).
+        """
+        if captures is None:
+            if raw_tokens is None:
+                from ..nlp.tokenizer import words as _words
+
+                raw_tokens = _words(message)
+            captures = extract_parameters(
+                list(intel_key.template), raw_tokens
+            )
         if captures is None:
             return None
         msg = IntelMessage(

@@ -147,6 +147,10 @@ class Tracer:
         self._clock = clock
         self._local = threading.local()
         self._histogram: "Histogram | None" = None
+        # Labeled child per span name — labels() is idempotent, so the
+        # unlocked get/set race is benign (both writers store the same
+        # child object).
+        self._span_children: dict[str, "Histogram"] = {}
         if registry is not None:
             self._histogram = registry.histogram(
                 SPAN_HISTOGRAM,
@@ -208,7 +212,12 @@ class Tracer:
         )
         self.recorder.record(record)
         if self._histogram is not None:
-            self._histogram.labels(span=name).observe(duration_s)
+            child = self._span_children.get(name)
+            if child is None:
+                child = self._span_children[name] = self._histogram.labels(
+                    span=name
+                )
+            child.observe(duration_s)
         return record
 
 

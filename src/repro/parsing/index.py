@@ -1,0 +1,218 @@
+"""Exact-template trie index for the Spell match hot path (ROADMAP 2).
+
+Detection-time matching used to scan every candidate log key and run the
+greedy aligner (:func:`~repro.parsing.spell.extract_parameters`) against
+each one; with ``match_attempts.hit`` at 100% in the detect bench, the
+overwhelming common case paid an O(candidates × template) scan for what
+is conceptually a dictionary lookup.  :class:`TemplateIndex` turns that
+case into a near-O(template length) trie walk:
+
+* every template with at least one constant token is inserted as a
+  root-to-terminal path whose edges are its constant tokens, with each
+  *run* of adjacent ``*`` tokens collapsed into a single star edge
+  (the greedy aligner treats a star run exactly like one star: one
+  capture, skip to the next constant);
+* a lookup walks the trie with the aligner's own greedy semantics — a
+  constant edge consumes exactly one matching token, a star edge
+  absorbs tokens up to the *first* occurrence of the next constant
+  (or the rest of the sequence when the template ends with a star);
+* terminals carry ``(key index, constant count)`` so the caller can
+  apply most-specific-wins tie-breaking (most constants, then lowest
+  key index) over the matched set.
+
+The index invariant, relied on by the differential parity harness
+(``tests/test_match_parity.py``):
+
+    ``lookup(seq)`` returns exactly the key indices ``i`` for which
+    ``extract_parameters(keys[i].tokens, seq) is not None`` and
+    ``keys[i]`` has at least one constant token.
+
+i.e. the trie's answers equal the scan's answers — same set, and under
+most-specific-wins the same winner.  Greedy (not subsequence) semantics
+matter: template ``[*, a, b]`` does *not* align with ``[x, a, c, a, b]``
+because the star stops at the first ``a``; the walk reproduces that.
+
+Maintenance is incremental: training-time ``lcs_merge`` drift updates
+the affected path only (:meth:`update`), never a full rebuild.
+:meth:`snapshot` produces a canonical structure so property tests can
+assert the incrementally-maintained index equals a from-scratch one.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Iterable, Sequence
+
+__all__ = ["TemplateIndex"]
+
+STAR = "*"
+
+
+class _Node:
+    """One trie node: constant-token edges, an optional star edge, and
+    the keys whose (star-collapsed) template ends here."""
+
+    __slots__ = ("children", "star", "terminal")
+
+    def __init__(self) -> None:
+        self.children: dict[str, "_Node"] = {}
+        self.star: "_Node | None" = None
+        #: Ascending ``(key index, constant count)`` pairs.
+        self.terminal: list[tuple[int, int]] = []
+
+    def empty(self) -> bool:
+        return not self.children and self.star is None and not self.terminal
+
+
+def _collapse(tokens: Sequence[str]) -> list[str]:
+    """Template path with every star run collapsed to a single star."""
+    path: list[str] = []
+    for token in tokens:
+        if token == STAR and path and path[-1] == STAR:
+            continue
+        path.append(token)
+    return path
+
+
+class TemplateIndex:
+    """Trie over template constants; see the module docstring."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- maintenance ------------------------------------------------------
+
+    def insert(self, idx: int, tokens: Sequence[str]) -> None:
+        """Index key ``idx`` under template ``tokens``.
+
+        Templates with no constant token (the reserved all-variable key)
+        are not indexed — they would align with anything and are matched
+        by the parser's dedicated no-constant branch.
+        """
+        n_consts = sum(1 for t in tokens if t != STAR)
+        if n_consts == 0:
+            return
+        node = self._root
+        for token in _collapse(tokens):
+            if token == STAR:
+                if node.star is None:
+                    node.star = _Node()
+                node = node.star
+            else:
+                node = node.children.setdefault(token, _Node())
+        insort(node.terminal, (idx, n_consts))
+        self._size += 1
+
+    def remove(self, idx: int, tokens: Sequence[str]) -> None:
+        """Drop key ``idx``'s entry for ``tokens``, pruning empty nodes
+        so the structure stays equal to a from-scratch rebuild."""
+        n_consts = sum(1 for t in tokens if t != STAR)
+        if n_consts == 0:
+            return
+        path: list[tuple[_Node, str]] = []  # (parent, edge taken)
+        node = self._root
+        for token in _collapse(tokens):
+            path.append((node, token))
+            node = node.star if token == STAR else node.children.get(token)
+            if node is None:
+                return  # not indexed (defensive; nothing to remove)
+        pos = bisect_left(node.terminal, (idx, n_consts))
+        if pos < len(node.terminal) and node.terminal[pos] == (
+            idx, n_consts,
+        ):
+            node.terminal.pop(pos)
+            self._size -= 1
+        while path and node.empty():
+            parent, edge = path.pop()
+            if edge == STAR:
+                parent.star = None
+            else:
+                del parent.children[edge]
+            node = parent
+
+    def update(
+        self, idx: int, old_tokens: Sequence[str],
+        new_tokens: Sequence[str],
+    ) -> None:
+        """Move key ``idx`` from ``old_tokens`` to ``new_tokens``
+        (training-time ``lcs_merge`` drift)."""
+        self.remove(idx, old_tokens)
+        self.insert(idx, new_tokens)
+
+    def rebuild(self, templates: Iterable[Sequence[str]]) -> None:
+        """Reset and re-index every template (model deserialization)."""
+        self._root = _Node()
+        self._size = 0
+        for idx, tokens in enumerate(templates):
+            self.insert(idx, tokens)
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, seq: Sequence[str]) -> list[tuple[int, int]]:
+        """All ``(key index, constant count)`` whose template aligns
+        greedily with ``seq``, ascending by key index."""
+        matches: list[tuple[int, int]] = []
+        # Lazily built first-occurrence table: token -> ascending
+        # positions in seq, consulted only when a star edge needs the
+        # "first occurrence of the next constant at or after j" jump.
+        positions: dict[str, list[int]] | None = None
+
+        def occurrences() -> dict[str, list[int]]:
+            nonlocal positions
+            if positions is None:
+                positions = {}
+                for k, token in enumerate(seq):
+                    positions.setdefault(token, []).append(k)
+            return positions
+
+        m = len(seq)
+        stack: list[tuple[_Node, int]] = [(self._root, 0)]
+        while stack:
+            node, j = stack.pop()
+            if j == m and node.terminal:
+                matches.extend(node.terminal)
+            if j < m:
+                child = node.children.get(seq[j])
+                if child is not None:
+                    stack.append((child, j + 1))
+            star = node.star
+            if star is None:
+                continue
+            # A trailing star absorbs the rest of seq (even nothing).
+            if star.terminal:
+                matches.extend(star.terminal)
+            if j < m and star.children:
+                occ = occurrences()
+                for token, child in star.children.items():
+                    hits = occ.get(token)
+                    if hits is None:
+                        continue
+                    pos = bisect_left(hits, j)
+                    if pos < len(hits):
+                        stack.append((child, hits[pos] + 1))
+        matches.sort()
+        return matches
+
+    # -- introspection ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Canonical nested structure (for equality in property tests)."""
+
+        def dump(node: _Node) -> dict[str, Any]:
+            out: dict[str, Any] = {}
+            if node.terminal:
+                out["terminal"] = list(node.terminal)
+            if node.children:
+                out["children"] = {
+                    token: dump(child)
+                    for token, child in sorted(node.children.items())
+                }
+            if node.star is not None:
+                out["star"] = dump(node.star)
+            return out
+
+        return dump(self._root)

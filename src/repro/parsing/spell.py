@@ -10,6 +10,24 @@ create a new key.
 The matching threshold follows the IntelLog implementation: a message of
 ``n`` tokens matches a key when ``|LCS| >= n / t`` with the empirically set
 ``t = 1.7`` (paper §5).  The original Spell paper uses ``t = 2``.
+
+Matching is tiered (ROADMAP 2 — "as fast as the hardware allows"):
+
+1. **exact** — the masked message aligns greedily against a known
+   template; resolved by a :class:`~repro.parsing.index.TemplateIndex`
+   trie walk in near-O(message length), with most-specific-wins
+   (most constants, then lowest key index) tie-breaking;
+2. **lcs** — drift fallback: an LCS similarity scan over the keys that
+   share at least one constant token with the message;
+3. **miss** — no key shares a constant token.  Because an LCS above the
+   threshold needs at least one common constant, such messages provably
+   cannot match and the scan is skipped entirely (the old code paid a
+   full-key-set LCS scan here).
+
+The tiers are observable via ``spell_index_hits_total{path=...}`` and the
+per-path ``spell_match_seconds`` histogram.  The differential parity
+harness (``tests/test_match_parity.py``) proves the tiered matcher
+returns results identical to the original full scan.
 """
 
 from __future__ import annotations
@@ -20,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..nlp.tokenizer import tokenize
+from .index import TemplateIndex
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import MetricsRegistry
@@ -33,17 +52,46 @@ STAR = "*"
 #: identifiers, numerals and localities can never be template constants).
 _VARIABLE_KINDS = frozenset({"ident", "number", "hostport", "path"})
 
+#: Whitespace-delimited chunk -> (masked tokens, raw tokens) memo.  No
+#: token pattern can span whitespace, so tokenizing chunk-by-chunk is
+#: exactly equivalent to tokenizing the whole message (proven by
+#: ``tests/test_match_parity.py``); log streams draw their chunks from a
+#: small working vocabulary, so the memo turns the regex tokenizer —
+#: the dominant cost of a match — into a few dict hits per message.
+#: Bounded by wholesale reset; worst case under races is a duplicate
+#: tokenize, never a wrong one.
+_CHUNK_MEMO: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+_CHUNK_MEMO_CAP = 65536
+
+
+def _tokenize_chunk(chunk: str) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    masked: list[str] = []
+    raw: list[str] = []
+    for token in tokenize(chunk):
+        raw.append(token.text)
+        masked.append(
+            STAR if token.kind in _VARIABLE_KINDS else token.text
+        )
+    return tuple(masked), tuple(raw)
+
 
 def mask_message(message: str) -> tuple[list[str], list[str]]:
     """Tokenize ``message`` returning (masked tokens, raw tokens).
 
     Masked tokens replace identifier/number/locality tokens with ``*``.
     """
-    raw: list[str] = []
     masked: list[str] = []
-    for token in tokenize(message):
-        raw.append(token.text)
-        masked.append(STAR if token.kind in _VARIABLE_KINDS else token.text)
+    raw: list[str] = []
+    memo = _CHUNK_MEMO
+    for chunk in message.split():
+        entry = memo.get(chunk)
+        if entry is None:
+            entry = _tokenize_chunk(chunk)
+            if len(memo) >= _CHUNK_MEMO_CAP:
+                memo.clear()
+            memo[chunk] = entry
+        masked.extend(entry[0])
+        raw.extend(entry[1])
     return masked, raw
 
 
@@ -141,6 +189,15 @@ class MatchResult:
     #: care about parameter-level checks should treat such matches as
     #: parameter-free rather than parameter-less-by-construction.
     misaligned: bool = False
+    #: Raw token texts of the matched message (tokenizer output), so
+    #: downstream extraction can reuse them instead of re-tokenizing.
+    raw_tokens: list[str] | None = None
+
+
+#: Match-path labels (``spell_index_hits_total{path=...}``).
+PATH_EXACT = "exact"
+PATH_LCS = "lcs"
+PATH_MISS = "miss"
 
 
 class _SpellMetrics:
@@ -148,7 +205,7 @@ class _SpellMetrics:
 
     __slots__ = (
         "match_attempts", "lcs_comparisons", "keys", "match_seconds",
-        "param_misaligned",
+        "param_misaligned", "index_hits",
     )
 
     def __init__(self, registry: "MetricsRegistry") -> None:
@@ -166,12 +223,17 @@ class _SpellMetrics:
         )
         self.match_seconds = registry.histogram(
             "spell_match_seconds",
-            "Latency of one match() call.",
+            "Latency of one match() call, by path (exact/lcs/miss).",
         )
         self.param_misaligned = registry.counter(
             "spell_param_misaligned_total",
             "Matches whose raw message could not be aligned against the "
             "matched template (parameters dropped), by key.",
+        )
+        self.index_hits = registry.counter(
+            "spell_index_hits_total",
+            "Matches resolved per path: exact (trie walk), lcs (drift "
+            "fallback scan), miss (no shared constant token).",
         )
 
 
@@ -193,8 +255,14 @@ class SpellParser:
         self._keys: list[LogKey] = []
         self._next_id = 0
         self._line_counter = 0
-        # Inverted index: constant token -> key indices, to prune the scan.
+        # Inverted index: constant token -> key indices.  Prunes the LCS
+        # fallback and proves misses without scanning (an LCS match
+        # needs at least one shared constant token).
         self._token_index: dict[str, set[int]] = {}
+        # Exact-template trie: masked sequence -> aligned key indices.
+        self._index = TemplateIndex()
+        # Index of the reserved all-variable key, once created.
+        self._reserved_idx: int | None = None
         self._metrics: _SpellMetrics | None = None
         # Keys already warned about for template/raw misalignment (the
         # log line fires once per key; the counter counts every event).
@@ -209,19 +277,21 @@ class SpellParser:
     def view(self) -> "SpellParser":
         """A detection-only view sharing this parser's learned keys.
 
-        The view aliases ``_keys`` and the inverted index — the two
-        structures that are immutable once training ends — while owning
-        its instrumentation and misalignment bookkeeping, so several
-        tenants can :meth:`match` against one in-memory model without
-        their metrics clobbering each other.  Views must never
-        :meth:`consume` (that would mutate the shared key list under
-        every other view's feet); the serving layer only calls
-        ``match``.
+        The view aliases ``_keys`` and both match indexes (token
+        postings and the exact-template trie) — the structures that are
+        immutable once training ends — while owning its instrumentation
+        and misalignment bookkeeping, so several tenants can
+        :meth:`match` against one in-memory model without their metrics
+        clobbering each other.  Views must never :meth:`consume` (that
+        would mutate the shared key list under every other view's
+        feet); the serving layer only calls ``match``.
         """
         clone = SpellParser.__new__(SpellParser)
         clone.tau = self.tau
         clone._keys = self._keys
         clone._token_index = self._token_index
+        clone._index = self._index
+        clone._reserved_idx = self._reserved_idx
         clone._next_id = self._next_id
         clone._line_counter = self._line_counter
         clone._metrics = None
@@ -237,9 +307,7 @@ class SpellParser:
         if not [t for t in seq if t != STAR]:
             # Messages with no constant tokens (empty or all-variable)
             # share one reserved key; they carry no template information.
-            best = next(
-                (k for k in self._keys if not k.constant_tokens()), None
-            )
+            best = self._reserved_key()
             if best is None:
                 best = LogKey(
                     key_id=f"K{self._next_id}", tokens=list(seq),
@@ -247,11 +315,12 @@ class SpellParser:
                 )
                 self._next_id += 1
                 self._keys.append(best)
+                self._reserved_idx = len(self._keys) - 1
             best.count += 1
             best.line_ids.append(self._line_counter)
             return best
-        best = self._find_best(seq)
-        if best is None:
+        best_idx, _path = self._find_best_idx(seq)
+        if best_idx is None:
             key = LogKey(
                 key_id=f"K{self._next_id}",
                 tokens=list(seq),
@@ -261,11 +330,12 @@ class SpellParser:
             self._keys.append(key)
             self._index_key(len(self._keys) - 1, key)
         else:
-            key = best
+            key = self._keys[best_idx]
             merged = lcs_merge(key.tokens, seq)
             if merged != key.tokens:
+                old_tokens = key.tokens
                 key.tokens = merged
-                self._reindex()
+                self._update_key_index(best_idx, old_tokens, merged)
         key.count += 1
         key.line_ids.append(self._line_counter)
         if self._metrics is not None:
@@ -281,37 +351,149 @@ class SpellParser:
         """Match a message against the learned keys without mutating them."""
         metrics = self._metrics
         if metrics is None:
-            return self._match_uninstrumented(message)
+            result, _path = self._match_core(message)
+            if result is not None and result.misaligned:
+                self._note_misalignment(result.key)
+            return result
         start = time.perf_counter()
-        result = self._match_uninstrumented(message)
-        metrics.match_seconds.observe(time.perf_counter() - start)
+        result, path = self._match_core(message)
+        metrics.match_seconds.labels(path=path).observe(
+            time.perf_counter() - start
+        )
+        metrics.index_hits.labels(path=path).inc()
         metrics.match_attempts.labels(
             result="hit" if result is not None else "miss"
         ).inc()
+        if result is not None and result.misaligned:
+            self._note_misalignment(result.key)
         return result
 
-    def _match_uninstrumented(self, message: str) -> MatchResult | None:
+    def match_batch(
+        self, messages: Sequence[str]
+    ) -> list[MatchResult | None]:
+        """Match many messages in one call, amortizing per-record cost.
+
+        Identical per-message results to :meth:`match` (the differential
+        parity harness asserts this), with batch-level savings:
+        duplicate messages within the batch are matched once (valid
+        because matching never mutates the key set), and instrumentation
+        is flushed once per batch instead of per record — counters are
+        still advanced per *record*, and per-record latency is reported
+        as the batch's amortized cost, so counter semantics are
+        unchanged.  Must not run concurrently with :meth:`consume`.
+        """
+        metrics = self._metrics
+        # Batch-scoped memo for the masked-form lookup: distinct
+        # messages collapse onto very few masked sequences (the
+        # variable fields are exactly what varies), so most distinct
+        # messages skip the trie walk too.  Safe because matching never
+        # mutates the key set.
+        find_memo: dict[tuple[str, ...], tuple[int | None, str]] = {}
+        if metrics is None:
+            memo: dict[str, MatchResult | None] = {}
+            out: list[MatchResult | None] = []
+            for message in messages:
+                result = memo.get(message, _UNSEEN)
+                if result is _UNSEEN:
+                    result, _path = self._match_core(message, find_memo)
+                    memo[message] = result
+                if result is not None and result.misaligned:
+                    self._note_misalignment(result.key)
+                out.append(result)
+            return out
+        start = time.perf_counter()
+        seen: dict[str, tuple[MatchResult | None, str]] = {}
+        out = []
+        paths: dict[str, int] = {}
+        hits = 0
+        misaligned: list[LogKey] = []
+        for message in messages:
+            entry = seen.get(message)
+            if entry is None:
+                entry = self._match_core(message, find_memo)
+                seen[message] = entry
+            result, path = entry
+            out.append(result)
+            paths[path] = paths.get(path, 0) + 1
+            if result is not None:
+                hits += 1
+                if result.misaligned:
+                    misaligned.append(result.key)
+        elapsed = time.perf_counter() - start
+        n = len(messages)
+        if n:
+            amortized = elapsed / n
+            for path, count in paths.items():
+                metrics.match_seconds.labels(path=path).observe_many(
+                    amortized, count
+                )
+                metrics.index_hits.labels(path=path).inc(count)
+        if hits:
+            metrics.match_attempts.labels(result="hit").inc(hits)
+        if n - hits:
+            metrics.match_attempts.labels(result="miss").inc(n - hits)
+        for key in misaligned:
+            self._note_misalignment(key)
+        return out
+
+    def _match_core(
+        self,
+        message: str,
+        find_memo: dict[tuple[str, ...], tuple[int | None, str]]
+        | None = None,
+    ) -> tuple[MatchResult | None, str]:
+        """Uninstrumented match returning ``(result, path)``.
+
+        ``path`` labels how the match resolved: ``exact`` (trie walk,
+        including the reserved all-variable key — a constant-time
+        branch), ``lcs`` (drift fallback scan) or ``miss``.
+        ``find_memo`` (batch-scoped) caches ``_find_best_idx`` results
+        by masked sequence.
+        """
         masked, raw = mask_message(message)
         if not [t for t in masked if t != STAR]:
-            reserved = next(
-                (k for k in self._keys if not k.constant_tokens()), None
-            )
+            reserved = self._reserved_key()
             if reserved is None:
-                return None
-            return MatchResult(key=reserved, parameters=list(raw))
-        key = self._find_best(masked)
-        if key is None:
-            return None
+                return None, PATH_MISS
+            return (
+                MatchResult(
+                    key=reserved, parameters=list(raw), raw_tokens=raw
+                ),
+                PATH_EXACT,
+            )
+        if find_memo is None:
+            best_idx, path = self._find_best_idx(masked)
+        else:
+            form = tuple(masked)
+            cached = find_memo.get(form)
+            if cached is None:
+                cached = self._find_best_idx(masked)
+                find_memo[form] = cached
+            best_idx, path = cached
+        if best_idx is None:
+            return None, path
+        key = self._keys[best_idx]
         params = extract_parameters(key.tokens, raw)
         if params is None:
-            # LCS said the message belongs to this key, but the greedy
-            # aligner could not map its raw tokens onto the template
-            # (usually a template that drifted during training).  The
-            # parameters are unknowable, not absent — flag it instead of
-            # silently pretending the message carried none.
-            self._note_misalignment(key)
-            return MatchResult(key=key, parameters=[], misaligned=True)
-        return MatchResult(key=key, parameters=params)
+            # The similarity scan said the message belongs to this key,
+            # but the greedy aligner could not map its raw tokens onto
+            # the template (usually a template that drifted during
+            # training).  The parameters are unknowable, not absent —
+            # flag it instead of silently pretending the message
+            # carried none.  (Exact-path matches align the *masked*
+            # sequence by construction, but the raw sequence can still
+            # disagree when a variable field tokenized differently.)
+            return (
+                MatchResult(
+                    key=key, parameters=[], misaligned=True,
+                    raw_tokens=raw,
+                ),
+                path,
+            )
+        return (
+            MatchResult(key=key, parameters=params, raw_tokens=raw),
+            path,
+        )
 
     def _note_misalignment(self, key: LogKey) -> None:
         if self._metrics is not None:
@@ -352,6 +534,22 @@ class SpellParser:
 
     # -- internals -----------------------------------------------------------
 
+    def _reserved_key(self) -> LogKey | None:
+        """The all-variable key, if one exists.
+
+        The cached index is authoritative once set; a linear scan only
+        runs when keys were restored without going through consume()
+        (model deserialization calls :meth:`_reindex`, which re-derives
+        the cache).
+        """
+        if self._reserved_idx is not None:
+            return self._keys[self._reserved_idx]
+        for idx, key in enumerate(self._keys):
+            if not key.constant_tokens():
+                self._reserved_idx = idx
+                return key
+        return None
+
     def _threshold(self, seq_len: int, template_len: int) -> float:
         # Similarity is measured against the shorter of the two sequences:
         # a message whose constant backbone is fully explained by a shorter
@@ -360,38 +558,42 @@ class SpellParser:
         # deployment behaves with its empirical t = 1.7 (paper §5).
         return min(seq_len, template_len) / self.tau
 
-    def _candidates(self, seq: list[str]) -> set[int]:
-        cands: set[int] = set()
-        for token in seq:
-            cands |= self._token_index.get(token, set())
-        return cands if cands else set(range(len(self._keys)))
-
     def _find_best(self, seq: list[str]) -> LogKey | None:
-        candidates = self._candidates(seq)
+        best_idx, _path = self._find_best_idx(seq)
+        return None if best_idx is None else self._keys[best_idx]
 
-        # Fast path: a key whose template aligns exactly (constants in
-        # order, stars absorbing the rest) is always the right match; pick
-        # the most specific (most constants) such key.
-        aligned: LogKey | None = None
-        aligned_consts = 0
-        for idx in candidates:
-            key = self._keys[idx]
-            # Keys without constants (the reserved all-variable key) would
-            # align with anything; they are matched only by the dedicated
-            # no-constant branch of consume()/match().
-            n_consts = len(key.constant_tokens())
-            if n_consts == 0:
-                continue
-            if extract_parameters(key.tokens, seq) is not None:
-                if n_consts > aligned_consts:
-                    aligned, aligned_consts = key, n_consts
-        if aligned is not None:
-            return aligned
+    def _find_best_idx(
+        self, seq: list[str]
+    ) -> tuple[int | None, str]:
+        """Best-matching key index for a masked sequence, plus the path.
 
-        best_key: LogKey | None = None
+        Tier 1: exact-template trie lookup; among aligned keys the most
+        specific wins (most constants, then lowest key index — the same
+        winner the old candidate scan produced).  Tier 2: LCS similarity
+        scan over keys sharing at least one constant token, ascending by
+        key index (first key reaching the maximal LCS wins).  No shared
+        token means no key can reach the LCS threshold, so the miss path
+        does no template work at all.
+        """
+        matches = self._index.lookup(seq)
+        if matches:
+            best_idx, best_consts = matches[0]
+            for idx, n_consts in matches:
+                if n_consts > best_consts:
+                    best_idx, best_consts = idx, n_consts
+            return best_idx, PATH_EXACT
+
+        candidates: set[int] = set()
+        for token in seq:
+            postings = self._token_index.get(token)
+            if postings:
+                candidates |= postings
+        if not candidates:
+            return None, PATH_MISS
+        best_idx = None
         best_len = 0
         lcs_calls = 0
-        for idx in candidates:
+        for idx in sorted(candidates):
             key = self._keys[idx]
             consts = key.constant_tokens()
             # Cheap upper bound prune.
@@ -402,19 +604,57 @@ class SpellParser:
             if common >= self._threshold(len(seq), len(key.tokens)) and (
                 common > best_len
             ):
-                best_key, best_len = key, common
+                best_idx, best_len = idx, common
         if lcs_calls and self._metrics is not None:
             self._metrics.lcs_comparisons.inc(lcs_calls)
-        return best_key
+        if best_idx is None:
+            return None, PATH_MISS
+        return best_idx, PATH_LCS
 
     def _index_key(self, idx: int, key: LogKey) -> None:
         for token in key.constant_tokens():
             self._token_index.setdefault(token, set()).add(idx)
+        self._index.insert(idx, key.tokens)
+
+    def _update_key_index(
+        self, idx: int, old_tokens: list[str], new_tokens: list[str]
+    ) -> None:
+        """Incremental maintenance after a training-time template merge.
+
+        Replaces the historical full ``_reindex()`` per merge: only the
+        drifted key's postings and trie path move.  A property test
+        asserts interleaved consume/merge sequences leave both indexes
+        equal to a from-scratch rebuild.
+        """
+        old_consts = set(old_tokens) - {STAR}
+        new_consts = set(new_tokens) - {STAR}
+        for token in old_consts - new_consts:
+            postings = self._token_index.get(token)
+            if postings is not None:
+                postings.discard(idx)
+                if not postings:
+                    del self._token_index[token]
+        for token in new_consts - old_consts:
+            self._token_index.setdefault(token, set()).add(idx)
+        self._index.update(idx, old_tokens, new_tokens)
 
     def _reindex(self) -> None:
+        """Full rebuild of both match indexes (and the reserved-key
+        cache) from the key list — model deserialization, and the
+        oracle the incremental-maintenance property tests compare
+        against."""
         self._token_index.clear()
+        self._index.rebuild(key.tokens for key in self._keys)
+        self._reserved_idx = None
         for idx, key in enumerate(self._keys):
-            self._index_key(idx, key)
+            for token in key.constant_tokens():
+                self._token_index.setdefault(token, set()).add(idx)
+            if self._reserved_idx is None and not key.constant_tokens():
+                self._reserved_idx = idx
+
+
+#: Sentinel distinguishing "not yet matched" from a memoized None.
+_UNSEEN: object = object()
 
 
 def extract_parameters(

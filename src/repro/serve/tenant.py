@@ -509,6 +509,22 @@ class Tenant:
     def open_sessions(self) -> int:
         return self.runtime.tracker.open_count
 
+    def _match_paths(self) -> dict[str, int]:
+        """Per-tenant ``spell_index_hits_total`` by path (exact/lcs/miss).
+
+        Reads this tenant's private registry, so the counts describe
+        exactly this stream's traffic: a tenant whose ``lcs`` or
+        ``miss`` share grows is drifting away from its leased model.
+        """
+        metric = self.registry.get("spell_index_hits_total")
+        if metric is None:
+            return {}
+        return {
+            labels["path"]: int(value)
+            for labels, value in metric.samples()
+            if "path" in labels
+        }
+
     def status(self) -> dict[str, Any]:
         stats = self.runtime.stats
         return {
@@ -535,4 +551,5 @@ class Tenant:
             "shed_records": self.queue.shed,
             "swaps": self.swaps,
             "undelivered_reports": stats.undelivered_reports,
+            "match_paths": self._match_paths(),
         }

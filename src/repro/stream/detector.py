@@ -25,6 +25,7 @@ unexpected messages runs once, at finalize time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..detection.detector import AnomalyDetector
 from ..detection.report import SessionReport
@@ -70,6 +71,25 @@ class StreamingDetector:
         """
         if self.detector.spell.match(record.message) is not None:
             return None
+        return self._alert(record)
+
+    def observe_batch(
+        self, records: Sequence[LogRecord]
+    ) -> list[LiveAlert | None]:
+        """Batched :meth:`observe`: one ``match_batch`` for the whole
+        poll batch (duplicate messages match once), same per-record
+        alerts.  The runtime's quantum pumps feed entire source batches
+        through here so the match cost amortizes across the batch."""
+        matches = self.detector.spell.match_batch(
+            [record.message for record in records]
+        )
+        return [
+            None if match is not None else self._alert(record)
+            for record, match in zip(records, matches)
+        ]
+
+    @staticmethod
+    def _alert(record: LogRecord) -> LiveAlert:
         return LiveAlert(
             kind="unexpected_message",
             session_id=record.session_id,

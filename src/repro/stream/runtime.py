@@ -83,6 +83,11 @@ __all__ = ["RuntimeStats", "StreamRuntime"]
 
 log = logging.getLogger(__name__)
 
+#: Sentinel for ``_ingest``'s ``alert`` parameter: "not pre-matched —
+#: run the per-record observe inline" (``None`` means "pre-matched, no
+#: alert").
+_OBSERVE: object = object()
+
 
 @dataclass(slots=True)
 class RuntimeStats:
@@ -650,9 +655,12 @@ class StreamRuntime:
                 continue
 
             emitted_before = int(self._m_reports.value)
-            for record in batch:
+            alerts = self.detector.observe_batch(batch)
+            for record, alert in zip(batch, alerts):
                 consumed += 1
-                next_stats = self._ingest(record, start, next_stats)
+                next_stats = self._ingest(
+                    record, start, next_stats, alert=alert
+                )
             overdue = (
                 int(self._m_records.value) - self._last_checkpoint_at
                 >= self.checkpoint_every
@@ -740,10 +748,12 @@ class StreamRuntime:
             return 0
         emitted_before = int(self._m_reports.value)
         consumed = 0
-        for record in batch:
+        alerts = self.detector.observe_batch(batch)
+        for record, alert in zip(batch, alerts):
             consumed += 1
             self._next_stats_at = self._ingest(
-                record, self._loop_start, self._next_stats_at
+                record, self._loop_start, self._next_stats_at,
+                alert=alert,
             )
         overdue = (
             int(self._m_records.value) - self._last_checkpoint_at
@@ -805,10 +815,19 @@ class StreamRuntime:
 
     # -- internals --------------------------------------------------------
 
-    def _ingest(self, record, start: float, next_stats: int) -> int:
+    def _ingest(
+        self,
+        record,
+        start: float,
+        next_stats: int,
+        alert: "LiveAlert | None | object" = _OBSERVE,
+    ) -> int:
         self._m_records.inc()
         self._run_consumed += 1
-        alert = self.detector.observe(record)
+        if alert is _OBSERVE:
+            # Tail paths (source.finalize) ingest a handful of records
+            # outside the batched pre-match; they observe inline.
+            alert = self.detector.observe(record)
         if alert is not None:
             self._m_live_alerts.inc()
             if self.on_alert is not None:

@@ -1,0 +1,280 @@
+"""Differential parity harness for the trie-indexed match path.
+
+The match rewrite (``parsing/index.py`` + the tiered
+``SpellParser._find_best_idx``) is only safe if it is *extensionally
+identical* to the scan implementation it replaced.  This module freezes
+the old algorithm — candidate-set scan with greedy-alignment fast path
+and LCS fallback, full-key-set fallback on an empty candidate union —
+as a reference implementation, and asserts the live parser returns the
+same ``MatchResult`` (key, parameters, misaligned flag):
+
+* on every record of every golden detect-report corpus (real simulator
+  traffic for all four genres), and
+* on hypothesis-generated corpora covering drifted templates, all-star
+  messages, shared-prefix keys and tau edge cases.
+
+It also pins the miss-path fix (an unknown message must not trigger a
+full LCS scan) and ``match_batch``'s per-message equivalence.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.parsing.records import Session
+from repro.parsing.spell import (
+    STAR,
+    LogKey,
+    MatchResult,
+    SpellParser,
+    extract_parameters,
+    lcs_length,
+    mask_message,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "detect_reports"
+GENRES = ["mapreduce", "spark", "tez", "tensorflow"]
+
+
+# -- frozen reference implementation (the pre-index scan matcher) --------
+
+
+def _reference_find_best(parser: SpellParser, seq: list[str]) -> LogKey | None:
+    """The old ``_find_best``: candidate scan + LCS fallback.
+
+    Candidate iteration is ascending by key index (the tie-break the
+    old small-int set iteration produced in practice and the new code
+    guarantees); an empty posting union falls back to *all* keys,
+    exactly like the old ``_candidates``.
+    """
+    cands: set[int] = set()
+    for token in seq:
+        cands |= parser._token_index.get(token, set())
+    candidates = sorted(cands) if cands else range(len(parser._keys))
+
+    aligned: LogKey | None = None
+    aligned_consts = 0
+    for idx in candidates:
+        key = parser._keys[idx]
+        n_consts = len(key.constant_tokens())
+        if n_consts == 0:
+            continue
+        if extract_parameters(key.tokens, seq) is not None:
+            if n_consts > aligned_consts:
+                aligned, aligned_consts = key, n_consts
+    if aligned is not None:
+        return aligned
+
+    best_key: LogKey | None = None
+    best_len = 0
+    for idx in candidates:
+        key = parser._keys[idx]
+        consts = key.constant_tokens()
+        if min(len(consts), len(seq)) <= best_len:
+            continue
+        common = lcs_length(consts, seq)
+        threshold = min(len(seq), len(key.tokens)) / parser.tau
+        if common >= threshold and common > best_len:
+            best_key, best_len = key, common
+    return best_key
+
+
+def _reference_match(
+    parser: SpellParser, message: str
+) -> tuple[str, list[str], bool] | None:
+    """The old ``_match_uninstrumented``, reduced to a comparable tuple."""
+    masked, raw = mask_message(message)
+    if not [t for t in masked if t != STAR]:
+        reserved = next(
+            (k for k in parser._keys if not k.constant_tokens()), None
+        )
+        if reserved is None:
+            return None
+        return (reserved.key_id, list(raw), False)
+    key = _reference_find_best(parser, masked)
+    if key is None:
+        return None
+    params = extract_parameters(key.tokens, raw)
+    if params is None:
+        return (key.key_id, [], True)
+    return (key.key_id, params, False)
+
+
+def _as_tuple(
+    result: MatchResult | None,
+) -> tuple[str, list[str], bool] | None:
+    if result is None:
+        return None
+    return (result.key.key_id, result.parameters, result.misaligned)
+
+
+def _assert_parity(parser: SpellParser, messages: list[str]) -> None:
+    batch = parser.match_batch(messages)
+    for message, batched in zip(messages, batch):
+        expected = _reference_match(parser, message)
+        got = _as_tuple(parser.match(message))
+        assert got == expected, (
+            f"match() diverged from scan reference on {message!r}: "
+            f"{got} != {expected}"
+        )
+        assert _as_tuple(batched) == expected, (
+            f"match_batch() diverged from scan reference on "
+            f"{message!r}: {_as_tuple(batched)} != {expected}"
+        )
+
+
+# -- golden-corpus differential (real traffic, all genres) ---------------
+
+
+def _fixture(genre: str) -> dict:
+    return json.loads((GOLDEN_DIR / f"{genre}.json").read_text())
+
+
+def _messages(session_dicts: list[dict]) -> list[str]:
+    return [
+        record.message
+        for data in session_dicts
+        for record in Session.from_dict(data)
+    ]
+
+
+@pytest.mark.parametrize("genre", GENRES)
+def test_parity_on_golden_corpus(genre: str) -> None:
+    fixture = _fixture(genre)
+    parser = SpellParser()
+    for message in _messages(fixture["train_sessions"]):
+        parser.consume(message)
+    _assert_parity(parser, _messages(fixture["detect_sessions"]))
+
+
+@pytest.mark.parametrize("genre", GENRES)
+def test_parity_on_training_corpus_itself(genre: str) -> None:
+    """Every training message must resolve identically too (these hit
+    the exact path almost exclusively — the trie's bread and butter)."""
+    fixture = _fixture(genre)
+    parser = SpellParser()
+    train = _messages(fixture["train_sessions"])
+    for message in train:
+        parser.consume(message)
+    _assert_parity(parser, train[:500])
+
+
+# -- hypothesis property tests ------------------------------------------
+
+#: Constant words (tokenize as "word" — survive masking) and variable
+#: tokens (ident/number/hostport/path — masked to ``*``).
+_CONSTANTS = ["alpha", "beta", "gamma", "delta", "epsilon", "commit"]
+_VARIABLES = ["17", "badger42", "10.0.0.1:8020", "/tmp/part-0", "3.14"]
+
+_token = st.sampled_from(_CONSTANTS + _VARIABLES)
+_message = st.lists(_token, min_size=1, max_size=8).map(" ".join)
+_corpus = st.lists(_message, min_size=1, max_size=25)
+_queries = st.lists(_message, min_size=1, max_size=15)
+_tau = st.sampled_from([1.05, 1.3, 1.7, 2.5, 4.0])
+
+
+def _trained(corpus: list[str], tau: float) -> SpellParser:
+    parser = SpellParser(tau=tau)
+    for message in corpus:
+        parser.consume(message)
+    return parser
+
+
+@settings(max_examples=120, deadline=None)
+@given(corpus=_corpus, queries=_queries, tau=_tau)
+def test_parity_random_corpora(
+    corpus: list[str], queries: list[str], tau: float
+) -> None:
+    """Drifted templates: consume() merges mutate templates mid-stream,
+    and every query (plus the corpus itself) must still match exactly
+    like the scan reference — across tau edge cases."""
+    parser = _trained(corpus, tau)
+    _assert_parity(parser, queries + corpus)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    corpus=_corpus,
+    queries=st.lists(
+        st.lists(st.sampled_from(_VARIABLES), min_size=1, max_size=5).map(
+            " ".join
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_parity_all_star_messages(
+    corpus: list[str], queries: list[str]
+) -> None:
+    """All-variable messages exercise the reserved-key branch — with
+    and without a reserved key in the trained set."""
+    parser = _trained(corpus, 1.7)
+    _assert_parity(parser, queries)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    suffixes=st.lists(
+        st.lists(_token, min_size=0, max_size=4), min_size=1, max_size=8
+    ),
+    queries=_queries,
+)
+def test_parity_shared_prefix_keys(
+    suffixes: list[list[str]], queries: list[str]
+) -> None:
+    """Keys sharing a long constant prefix stress the trie's branching
+    (one walk must surface every alignable key, most-specific wins)."""
+    prefix = "alpha beta gamma"
+    corpus = [" ".join([prefix] + tail) for tail in suffixes]
+    parser = _trained(corpus, 1.7)
+    _assert_parity(
+        parser, queries + corpus + [prefix, prefix + " 99 delta"]
+    )
+
+
+# -- miss-path regression (satellite: no candidate explosion) ------------
+
+
+def test_miss_path_runs_no_lcs_scan() -> None:
+    """A message sharing no constant token with any key provably cannot
+    match; the old code degenerated to a full-key LCS scan here, the
+    index proves the miss without a single LCS call."""
+    registry = MetricsRegistry()
+    parser = SpellParser().instrument(registry)
+    for i in range(50):
+        parser.consume(f"alpha beta task {i} finished in {i} ms")
+        parser.consume(f"gamma delta stage {i} commit")
+    assert parser.match("zork quux unrelated phrase") is None
+    lcs = registry.get("spell_lcs_comparisons_total")
+    assert lcs is not None and int(lcs.value) == 0
+    paths = {
+        labels["path"]: int(value)
+        for labels, value in registry.get(
+            "spell_index_hits_total"
+        ).samples()
+    }
+    assert paths.get("miss") == 1
+
+
+def test_lcs_fallback_bounded_by_candidates() -> None:
+    """When a drifted message does share tokens, the LCS scan touches at
+    most the posting-union candidates — never the whole key set."""
+    registry = MetricsRegistry()
+    parser = SpellParser().instrument(registry)
+    for i in range(40):
+        parser.consume(f"noise{i:02d} filler{i:02d} payload line")
+    parser.consume("alpha beta gamma delta epsilon")
+    # Shares only "alpha" (1 key's postings) but cannot align exactly.
+    result = parser.match("alpha zork quux")
+    lcs = registry.get("spell_lcs_comparisons_total")
+    assert int(lcs.value) <= 1, (
+        "LCS fallback scanned beyond the candidate set"
+    )
+    expected = _reference_match(parser, "alpha zork quux")
+    assert _as_tuple(result) == expected

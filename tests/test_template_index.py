@@ -1,0 +1,146 @@
+"""TemplateIndex unit + property tests.
+
+Two invariants carry the whole rewrite:
+
+1. **Lookup invariant** — ``lookup(seq)`` returns exactly the key
+   indices whose template greedily aligns with ``seq`` (per
+   ``extract_parameters``) and has at least one constant token.
+2. **Maintenance invariant** — incrementally maintained structures
+   (``insert``/``remove``/``update`` driven by training-time merges)
+   are *equal* to a from-scratch rebuild, so no drift sequence can
+   leave the index stale.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parsing.index import TemplateIndex
+from repro.parsing.spell import SpellParser, extract_parameters
+
+_CONST = ["alpha", "beta", "gamma", "delta", "payload"]
+_template = st.lists(
+    st.sampled_from(_CONST + ["*"]), min_size=1, max_size=7
+)
+_sequence = st.lists(st.sampled_from(_CONST), min_size=0, max_size=9)
+
+
+def _scan(templates: list[list[str]], seq: list[str]) -> list[int]:
+    return [
+        idx
+        for idx, tokens in enumerate(templates)
+        if any(t != "*" for t in tokens)
+        and extract_parameters(tokens, seq) is not None
+    ]
+
+
+class TestLookupInvariant:
+    def test_exact_and_star_edges(self) -> None:
+        index = TemplateIndex()
+        templates = [
+            ["alpha", "beta"],
+            ["alpha", "*", "beta"],
+            ["*", "beta"],
+            ["alpha", "*"],
+            ["*"],  # all-star: never indexed
+        ]
+        for idx, tokens in enumerate(templates):
+            index.insert(idx, tokens)
+        for seq in (
+            ["alpha", "beta"],
+            ["alpha", "gamma", "beta"],
+            ["beta"],
+            ["alpha"],
+            ["gamma"],
+            [],
+        ):
+            got = [idx for idx, _ in index.lookup(seq)]
+            assert got == _scan(templates, seq), f"seq={seq}"
+
+    def test_greedy_not_subsequence(self) -> None:
+        """Template ``[*, a, b]`` must NOT match ``[x, a, c, a, b]`` —
+        the greedy aligner stops at the *first* ``a``; a subsequence
+        walk would wrongly accept it."""
+        index = TemplateIndex()
+        index.insert(0, ["*", "alpha", "beta"])
+        assert extract_parameters(
+            ["*", "alpha", "beta"],
+            ["gamma", "alpha", "delta", "alpha", "beta"],
+        ) is None
+        assert index.lookup(
+            ["gamma", "alpha", "delta", "alpha", "beta"]
+        ) == []
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        templates=st.lists(_template, min_size=0, max_size=10),
+        seq=_sequence,
+    )
+    def test_lookup_equals_aligner_scan(
+        self, templates: list[list[str]], seq: list[str]
+    ) -> None:
+        index = TemplateIndex()
+        for idx, tokens in enumerate(templates):
+            index.insert(idx, tokens)
+        got = [idx for idx, _ in index.lookup(seq)]
+        assert got == _scan(templates, seq)
+
+
+class TestMaintenanceInvariant:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(_template, _template), min_size=1, max_size=12
+        )
+    )
+    def test_update_equals_rebuild(
+        self, steps: list[tuple[list[str], list[str]]]
+    ) -> None:
+        """insert(old) then update(old -> new), interleaved, must leave
+        the trie equal to one rebuilt from the final templates —
+        including node pruning (no ghost paths from removed
+        templates)."""
+        index = TemplateIndex()
+        final: list[list[str]] = []
+        for idx, (old, new) in enumerate(steps):
+            index.insert(idx, old)
+            if idx % 2 == 0:
+                index.update(idx, old, new)
+                final.append(new)
+            else:
+                final.append(old)
+        rebuilt = TemplateIndex()
+        rebuilt.rebuild(final)
+        assert index.snapshot() == rebuilt.snapshot()
+        assert len(index) == len(rebuilt)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        corpus=st.lists(
+            st.lists(
+                st.sampled_from(_CONST + ["17", "badger9"]),
+                min_size=1,
+                max_size=7,
+            ).map(" ".join),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_parser_incremental_equals_reindex(
+        self, corpus: list[str]
+    ) -> None:
+        """Interleaved consume/merge sequences (lcs_merge drift mutates
+        templates in place) must leave both the token postings and the
+        trie equal to a from-scratch ``_reindex()``."""
+        parser = SpellParser()
+        for message in corpus:
+            parser.consume(message)
+        incremental_postings = {
+            token: set(postings)
+            for token, postings in parser._token_index.items()
+        }
+        incremental_trie = parser._index.snapshot()
+        parser._reindex()
+        assert incremental_postings == parser._token_index
+        assert incremental_trie == parser._index.snapshot()

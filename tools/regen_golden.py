@@ -31,12 +31,26 @@ from repro.query.store import ModelStore  # noqa: E402
 GOLDEN_DIR = REPO / "tests" / "golden"
 CORPUS_PATH = GOLDEN_DIR / "corpus.jsonl"
 EXPECTED_PATH = GOLDEN_DIR / "expected.json"
+DETECT_DIR = GOLDEN_DIR / "detect_reports"
 
 #: How the frozen corpus was generated (recorded in expected.json).
 GENERATOR = {
     "systems": ["mapreduce", "spark", "tez"],
     "jobs_per_system": 3,
     "seed": 1301,
+}
+
+#: Per-genre detect-report fixtures: train on plain jobs, detect over a
+#: mix of plain and fault-injected jobs so the pinned reports exercise
+#: hits, misses and every anomaly branch.  The *corpora themselves* are
+#: frozen inside each fixture file, so the regression targets only the
+#: detection pipeline (matcher + extractor + HW-graph checks), never
+#: simulator drift.
+DETECT_GENERATOR = {
+    "mapreduce": {"seed": 2401, "train_jobs": 5, "detect_jobs": 2},
+    "spark": {"seed": 2402, "train_jobs": 5, "detect_jobs": 2},
+    "tez": {"seed": 2403, "train_jobs": 5, "detect_jobs": 2},
+    "tensorflow": {"seed": 2404, "train_jobs": 5, "detect_jobs": 2},
 }
 
 
@@ -88,6 +102,106 @@ def expected_for(sessions: list[Session]) -> dict:
     }
 
 
+def _detect_corpora(genre: str, spec: dict) -> tuple[list, list]:
+    """Deterministic (train_sessions, detect_sessions) for one genre."""
+    from repro.parsing.records import split_sessions
+    from repro.simulators import FaultSpec
+
+    if genre == "tensorflow":
+        from repro.simulators import TensorFlowConfig, TensorFlowSimulator
+
+        sim = TensorFlowSimulator(seed=spec["seed"])
+        train_jobs = [
+            sim.run_job(
+                "mnist",
+                TensorFlowConfig(steps=10 + 10 * (i % 3)),
+                base_time=i * 10_000.0,
+            )
+            for i in range(spec["train_jobs"])
+        ]
+        detect_jobs = [
+            sim.run_job(
+                "mnist",
+                TensorFlowConfig(steps=20),
+                fault=FaultSpec("sigkill", at_fraction=0.5) if i == 0
+                else None,
+                base_time=1e6 + i * 10_000.0,
+            )
+            for i in range(spec["detect_jobs"])
+        ]
+    else:
+        from repro.simulators import WorkloadGenerator
+
+        gen = WorkloadGenerator(seed=spec["seed"])
+        train_jobs = gen.run_batch(genre, spec["train_jobs"])
+        detect_jobs = gen.run_batch(genre, spec["detect_jobs"] - 1)
+        detect_jobs += gen.run_batch(
+            genre, 1, fault=FaultSpec("sigkill", at_fraction=0.5)
+        )
+    from repro.simulators import sessions_of
+
+    train_sessions = sessions_of(train_jobs)
+    records = [r for job in detect_jobs for r in job.records]
+    records.sort(key=lambda r: r.timestamp)
+    return train_sessions, list(split_sessions(records))
+
+
+def detect_report_fixture(genre: str, spec: dict) -> dict:
+    """One genre's frozen corpora plus the report they produce today."""
+    train_sessions, detect_sessions = _detect_corpora(genre, spec)
+    intellog = IntelLog()
+    intellog.train(train_sessions)
+    report = intellog.detect_job(detect_sessions, job_id=f"golden-{genre}")
+    return {
+        "genre": genre,
+        "generator": spec,
+        "train_sessions": [s.to_dict() for s in train_sessions],
+        "detect_sessions": [s.to_dict() for s in detect_sessions],
+        "report": report.to_dict(),
+    }
+
+
+def regen_detect_reports(fresh_corpora: bool) -> None:
+    """(Re)write the per-genre detect-report fixtures.
+
+    Without ``fresh_corpora`` the frozen corpora inside each existing
+    fixture are kept and only the pinned report is recomputed — the diff
+    of the report JSON is part of the review, exactly like the model
+    digest.  ``--fresh`` re-simulates the corpora too.
+    """
+    DETECT_DIR.mkdir(parents=True, exist_ok=True)
+    from repro.parsing.records import Session
+
+    for genre, spec in DETECT_GENERATOR.items():
+        path = DETECT_DIR / f"{genre}.json"
+        if path.exists() and not fresh_corpora:
+            fixture = json.loads(path.read_text())
+            train_sessions = [
+                Session.from_dict(s) for s in fixture["train_sessions"]
+            ]
+            detect_sessions = [
+                Session.from_dict(s) for s in fixture["detect_sessions"]
+            ]
+            intellog = IntelLog()
+            intellog.train(train_sessions)
+            fixture["report"] = intellog.detect_job(
+                detect_sessions, job_id=f"golden-{genre}"
+            ).to_dict()
+        else:
+            fixture = detect_report_fixture(genre, spec)
+        path.write_text(
+            json.dumps(fixture, indent=2, sort_keys=True) + "\n"
+        )
+        report = fixture["report"]
+        anomalies = sum(
+            len(s["anomalies"]) for s in report["sessions"]
+        )
+        print(
+            f"wrote {path} ({len(report['sessions'])} sessions, "
+            f"{anomalies} anomalies)"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -95,7 +209,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="regenerate corpus.jsonl from the simulators too",
     )
+    parser.add_argument(
+        "--detect-reports",
+        action="store_true",
+        help="regenerate the per-genre golden detect-report fixtures "
+             "(tests/golden/detect_reports/) instead of the model digest",
+    )
     args = parser.parse_args(argv)
+
+    if args.detect_reports:
+        regen_detect_reports(fresh_corpora=args.fresh)
+        return 0
 
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     if args.fresh or not CORPUS_PATH.exists():
