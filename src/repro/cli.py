@@ -78,6 +78,12 @@ def cmd_train(args: argparse.Namespace) -> int:
             f"error: --workers must be a positive integer, "
             f"got {args.workers}"
         )
+    batch_records = getattr(args, "batch_records", None)
+    if batch_records is not None and batch_records < 1:
+        raise SystemExit(
+            f"error: --batch-records must be a positive integer, "
+            f"got {batch_records}"
+        )
     config = IntelLogConfig(
         spell_tau=args.tau, formatter=args.formatter
     )
@@ -85,7 +91,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     registry = _metrics_registry(args)
     summary = intellog.train_lines(
         _read_lines(args.logs), workers=args.workers, cache=args.cache,
-        registry=registry,
+        batch_records=batch_records, registry=registry,
     )
     print(
         f"trained on {summary.sessions} sessions / {summary.messages} "
@@ -96,9 +102,12 @@ def cmd_train(args: argparse.Namespace) -> int:
     report = intellog.last_parallel_report
     if report is not None:
         print(
-            f"parallel: {report.workers} workers, {report.shards} shards, "
-            f"{report.distinct_forms} distinct forms, extraction cache "
-            f"{report.cache_hits} hits / {report.cache_misses} misses"
+            f"parallel: {report.workers} workers "
+            f"(pool {report.pool_workers}), {report.batches} batches / "
+            f"{report.shards} shards, {report.distinct_forms} distinct "
+            f"forms, extraction cache {report.cache_hits} hits / "
+            f"{report.cache_misses} misses, "
+            f"{report.payload_bytes_total} payload bytes"
         )
     ModelStore.from_intellog(intellog).save(args.model)
     print(f"model written to {args.model}")
@@ -567,6 +576,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--no-cache", dest="cache", action="store_false",
                        help="disable the Intel Key extraction memo cache "
                             "(slower; model is unchanged)")
+    train.add_argument("--batch-records", type=int, default=None,
+                       metavar="R",
+                       help="target records per parallel shard batch "
+                            "(performance knob; default derived from the "
+                            "corpus size; model is unchanged)")
     train.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write a JSON metrics snapshot on exit")
     train.set_defaults(func=cmd_train, cache=True)

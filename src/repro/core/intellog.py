@@ -77,17 +77,21 @@ class IntelLog:
         *,
         workers: int | None = None,
         cache: bool = True,
+        batch_records: int | None = None,
         registry: "MetricsRegistry | None" = None,
     ) -> TrainingSummary:
         """Learn log keys, Intel Keys and the HW-graph from normal runs.
 
         ``workers=None`` (the default) runs the original fused serial
         loop.  ``workers=N`` routes through the sharded pipeline
-        (:mod:`repro.parallel`): per-session shards processed by ``N``
-        worker processes (inline for ``N=1``) and merged
+        (:mod:`repro.parallel`): per-session shards are grouped into
+        size-targeted batches, processed by up to ``N`` warm worker
+        processes (inline for ``N=1`` or a single batch) and merged
         deterministically — the resulting model is byte-identical to the
         serial one for every ``N``.  ``cache=False`` disables the Intel
-        Key extraction memo (it never changes the model, only speed).
+        Key extraction memo and ``batch_records`` overrides the derived
+        records-per-batch target; neither ever changes the model, only
+        speed.
 
         ``registry`` attaches a :class:`~repro.obs.MetricsRegistry`:
         per-stage ``train.*`` spans land in its ``trace_span_seconds``
@@ -100,7 +104,7 @@ class IntelLog:
 
             return train_parallel(
                 self, sessions, workers=workers, cache=cache,
-                registry=registry,
+                batch_records=batch_records, registry=registry,
             )
         from ..obs import Tracer
 
@@ -156,13 +160,14 @@ class IntelLog:
         *,
         workers: int | None = None,
         cache: bool = True,
+        batch_records: int | None = None,
         registry: "MetricsRegistry | None" = None,
     ) -> TrainingSummary:
         """Train from raw log lines (formatted + split into sessions)."""
         records = self._format(lines, formatter)
         return self.train(
             split_sessions(records), workers=workers, cache=cache,
-            registry=registry,
+            batch_records=batch_records, registry=registry,
         )
 
     # -- detection ----------------------------------------------------------------

@@ -1,41 +1,79 @@
 """Sharded, multi-process training with a deterministic merge.
 
 The training corpus is split into per-session shards (a pure function of
-the corpus, never of the worker count), the per-record work runs in a
-process pool, and the merge folds results in an order fixed by corpus
-content — so ``IntelLog.train(sessions, workers=N)`` produces a model
-byte-identical to the serial trainer for every ``N``.  See ``DESIGN.md``
-("Deterministic merge") for the invariant and why it holds.
+the corpus, never of the worker count) which are grouped into
+size-targeted *shard batches* — the units actually shipped to worker
+processes, themselves a pure function of the corpus.  The per-record
+work runs in a warm process pool, and the merge folds results in an
+order fixed by corpus content — so ``IntelLog.train(sessions,
+workers=N)`` produces a model byte-identical to the serial trainer for
+every ``N`` and every batch layout.  See ``DESIGN.md`` ("Deterministic
+merge") for the invariant and why batching preserves it.
 """
 
 from .cache import ExtractionCache, process_cache
 from .merge import MergeError, MergeResult, merge_shards
 from .pipeline import ParallelReport, lpt_makespan, train_parallel
-from .shard import Shard, corpus_manifest, make_shards, shard_hash
+from .shard import (
+    MIN_BATCH_RECORDS,
+    Shard,
+    ShardBatch,
+    batch_hash,
+    corpus_manifest,
+    derive_batch_target,
+    make_batches,
+    make_shards,
+    shard_hash,
+)
 from .worker import (
+    BatchParse,
+    BatchParseTask,
+    BatchStats,
+    BatchStatsTask,
+    ParallelWorkerError,
+    ParseSlice,
     ParseTask,
     ShardParse,
     ShardStats,
+    StatsSlice,
     StatsTask,
+    compute_batch_stats,
     compute_shard_stats,
+    init_worker,
+    parse_batch,
     parse_shard,
 )
 
 __all__ = [
+    "MIN_BATCH_RECORDS",
+    "BatchParse",
+    "BatchParseTask",
+    "BatchStats",
+    "BatchStatsTask",
     "ExtractionCache",
     "MergeError",
     "MergeResult",
     "ParallelReport",
+    "ParallelWorkerError",
+    "ParseSlice",
     "ParseTask",
     "Shard",
+    "ShardBatch",
     "ShardParse",
     "ShardStats",
+    "StatsSlice",
     "StatsTask",
+    "batch_hash",
+    "compute_batch_stats",
     "compute_shard_stats",
     "corpus_manifest",
+    "derive_batch_target",
+    "init_worker",
     "lpt_makespan",
+    "make_batches",
     "make_shards",
     "merge_shards",
+    "parse_batch",
     "parse_shard",
     "process_cache",
     "shard_hash",

@@ -38,6 +38,15 @@ class ExtractionCache:
             self._extractor = InformationExtractor()
         return self._extractor
 
+    def warm(self) -> None:
+        """Eagerly build the extractor (lexicon + POS tagger).
+
+        Called by the worker-pool initializer so a fresh process pays
+        the construction cost once, up front, instead of inside its
+        first task.
+        """
+        _ = self.extractor
+
     def __len__(self) -> int:
         return len(self._memo)
 

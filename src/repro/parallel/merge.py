@@ -21,6 +21,12 @@ occurrence order — through a fresh :class:`SpellParser`:
 The merge order is fixed by corpus content (positions and content hashes),
 never by worker completion order; :exc:`MergeError` is raised if a result
 does not match the shard it claims to be.
+
+Batching never reaches this layer: workers process *shard batches* for
+IPC efficiency, but the pipeline flattens batch results back to
+per-shard :class:`ShardParse` objects in corpus order before calling
+:func:`merge_shards` — which is why the batch layout (a performance
+knob) cannot influence the merged model.
 """
 
 from __future__ import annotations

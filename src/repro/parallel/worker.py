@@ -1,22 +1,42 @@
-"""Per-shard tasks executed in worker processes.
+"""Batch tasks executed in worker processes.
 
-Both tasks are pure functions of their arguments (plus the process-local
+All tasks are pure functions of their arguments (plus the process-local
 extraction memo, which memoises a pure function), so running them in any
 process, in any order, at any concurrency yields identical results — the
 merge layer only has to fix the *order* in which results are folded in.
 
-Phase 1 (:func:`parse_shard`) masks every message and builds the shard's
-*form table*: the distinct masked token sequences with their first local
-position, occurrence count and first raw message.  This is the per-message
-half of Spell; the cross-shard half (template matching and evolution) runs
-once in the parent over distinct forms only (see
+The unit shipped to a worker is a **shard batch**
+(:class:`~repro.parallel.shard.ShardBatch`), and payloads are kept lean
+in both directions: tasks carry plain token/tuple rows (message strings
+for phase 1; ``(timestamp, message)`` rows plus one batch-deduplicated
+key table for phase 2) instead of pickled :class:`Session` /
+:class:`LogRecord` dataclasses, and results carry only form tables
+(phase 1) or ``GroupSessionStats`` payloads (phase 2) plus the echoed
+content hashes — never the inputs.
+
+Phase 1 (:func:`parse_batch`) masks every message and builds each member
+shard's *form table*: the distinct masked token sequences with their
+first local position, occurrence count and first raw message.  This is
+the per-message half of Spell; the cross-shard half (template matching
+and evolution) runs once in the parent over distinct forms only (see
 :mod:`repro.parallel.merge`).
 
-Phase 2 (:func:`compute_shard_stats`) receives the canonical per-record
-key assignment back, rebuilds the shard's Intel Messages (extracting
-Intel Keys through the process-local memo cache) and computes the
-session's HW-graph statistics via the same
-:func:`~repro.graph.hwgraph.session_group_stats` the serial trainer uses.
+Phase 2 (:func:`compute_batch_stats`) receives the canonical per-record
+key assignment back, rebuilds each shard's Intel Messages (extracting
+the batch's Intel Keys once through the process-local memo cache) and
+computes per-session HW-graph statistics via the same
+:func:`~repro.graph.hwgraph.session_group_stats` the serial trainer
+uses.
+
+:func:`init_worker` runs once per pool process (executor initializer):
+it pre-imports the parsing/extraction modules and warms the per-process
+:class:`~repro.parallel.cache.ExtractionCache`'s extractor, so the
+lexicon/POS-tagger setup happens off every task's critical path.
+
+The per-shard task shapes from the pre-batching pipeline
+(:class:`ParseTask`/:func:`parse_shard`,
+:class:`StatsTask`/:func:`compute_shard_stats`) remain as single-shard
+primitives — the batch tasks and the merge-layer tests build on them.
 """
 
 from __future__ import annotations
@@ -27,7 +47,31 @@ from dataclasses import dataclass, field
 from ..graph.hwgraph import session_group_stats
 from ..parsing.records import Session
 from ..parsing.spell import mask_message
-from .cache import process_cache
+from .cache import ExtractionCache, process_cache
+
+
+class ParallelWorkerError(RuntimeError):
+    """A worker task failed; carries the phase and the batch index."""
+
+    def __init__(self, phase: str, batch_index: int, cause: str) -> None:
+        super().__init__(
+            f"parallel {phase} task for batch {batch_index} failed: "
+            f"{cause}"
+        )
+        self.phase = phase
+        self.batch_index = batch_index
+
+
+def init_worker() -> None:
+    """Pool-process initializer: pre-import and warm the hot path.
+
+    Imports of the parsing/extraction modules are already paid by this
+    module's own imports; what remains cold in a fresh process is the
+    :class:`InformationExtractor` (lexicon + POS tagger construction),
+    which :meth:`ExtractionCache.warm` builds eagerly so the first task
+    does not pay for it.
+    """
+    process_cache().warm()
 
 
 # -- phase 1: masking + form tables -----------------------------------------
@@ -35,7 +79,7 @@ from .cache import process_cache
 
 @dataclass(slots=True)
 class ParseTask:
-    """Input of :func:`parse_shard` (one per shard)."""
+    """Input of :func:`parse_shard` (single-shard primitive)."""
 
     index: int
     content_hash: str
@@ -44,7 +88,7 @@ class ParseTask:
 
 @dataclass(slots=True)
 class ShardParse:
-    """Output of :func:`parse_shard`.
+    """Per-shard output of phase 1.
 
     ``forms[i] = (tokens, first_local_idx, count, sample)`` — the distinct
     masked forms in first-appearance order; ``record_forms[r]`` maps the
@@ -57,34 +101,98 @@ class ShardParse:
         default_factory=list
     )
     record_forms: list[int] = field(default_factory=list)
-    #: CPU seconds spent in this task (process time: immune to the
-    #: timesharing noise of oversubscribed worker pools).
+    #: CPU seconds spent in this shard's masking (process time: immune
+    #: to the timesharing noise of oversubscribed worker pools).
     duration: float = 0.0
 
 
-def parse_shard(task: ParseTask) -> ShardParse:
-    """Mask one shard's messages and collect its distinct-form table."""
-    started = time.process_time()
+@dataclass(slots=True)
+class ParseSlice:
+    """One shard's lean phase-1 payload inside a :class:`BatchParseTask`:
+    the message texts are all that masking needs."""
+
+    index: int
+    content_hash: str
+    messages: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class BatchParseTask:
+    """Input of :func:`parse_batch` (one per shard batch)."""
+
+    index: int
+    batch_hash: str
+    slices: list[ParseSlice] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class BatchParse:
+    """Output of :func:`parse_batch`: per-shard form tables."""
+
+    index: int
+    batch_hash: str
+    parses: list[ShardParse] = field(default_factory=list)
+    #: CPU seconds the whole batch took (the schedulable unit).
+    duration: float = 0.0
+
+
+def _mask_form_table(
+    messages: tuple[str, ...] | list[str],
+) -> tuple[list[tuple[tuple[str, ...], int, int, str]], list[int]]:
+    """Mask messages into a distinct-form table + per-record form index."""
     form_index: dict[tuple[str, ...], int] = {}
     forms: list[list] = []  # [tokens, first_local_idx, count, sample]
     record_forms: list[int] = []
-    for position, record in enumerate(task.session.records):
-        masked, _raw = mask_message(record.message)
+    for position, message in enumerate(messages):
+        masked, _raw = mask_message(message)
         form = tuple(masked)
         idx = form_index.get(form)
         if idx is None:
             idx = len(forms)
             form_index[form] = idx
-            forms.append([form, position, 1, record.message])
+            forms.append([form, position, 1, message])
         else:
             forms[idx][2] += 1
         record_forms.append(idx)
+    return [tuple(entry) for entry in forms], record_forms
+
+
+def parse_shard(task: ParseTask) -> ShardParse:
+    """Mask one shard's messages and collect its distinct-form table."""
+    started = time.process_time()
+    forms, record_forms = _mask_form_table(
+        [record.message for record in task.session.records]
+    )
     return ShardParse(
         index=task.index,
         content_hash=task.content_hash,
-        forms=[tuple(entry) for entry in forms],
+        forms=forms,
         record_forms=record_forms,
         duration=time.process_time() - started,
+    )
+
+
+def parse_batch(task: BatchParseTask) -> BatchParse:
+    """Mask every shard of one batch (phase-1 worker entry point)."""
+    batch_started = time.process_time()
+    parses: list[ShardParse] = []
+    for piece in task.slices:
+        started = time.process_time()
+        forms, record_forms = _mask_form_table(piece.messages)
+        parses.append(
+            ShardParse(
+                index=piece.index,
+                content_hash=piece.content_hash,
+                forms=forms,
+                record_forms=record_forms,
+                duration=time.process_time() - started,
+            )
+        )
+    return BatchParse(
+        index=task.index,
+        batch_hash=task.batch_hash,
+        parses=parses,
+        duration=time.process_time() - batch_started,
     )
 
 
@@ -93,7 +201,7 @@ def parse_shard(task: ParseTask) -> ShardParse:
 
 @dataclass(slots=True)
 class StatsTask:
-    """Input of :func:`compute_shard_stats` (one per shard)."""
+    """Input of :func:`compute_shard_stats` (single-shard primitive)."""
 
     index: int
     content_hash: str
@@ -110,7 +218,7 @@ class StatsTask:
 
 @dataclass(slots=True)
 class ShardStats:
-    """Output of :func:`compute_shard_stats`."""
+    """Per-shard output of phase 2 (group payloads only, no input echo)."""
 
     index: int
     content_hash: str
@@ -122,39 +230,134 @@ class ShardStats:
     duration: float = 0.0
 
 
-def compute_shard_stats(task: StatsTask) -> ShardStats:
+@dataclass(slots=True)
+class StatsSlice:
+    """One shard's lean phase-2 payload inside a :class:`BatchStatsTask`:
+    ``rows`` are ``(timestamp, message)`` — the only record fields the
+    statistics path reads."""
+
+    index: int
+    content_hash: str
+    session_id: str
+    rows: list[tuple[float, str]] = field(default_factory=list)
+    record_keys: list[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class BatchStatsTask:
+    """Input of :func:`compute_batch_stats` (one per shard batch).
+
+    The key table / labels are deduplicated at batch level: the union of
+    the member shards' used keys, shipped once per batch instead of once
+    per shard.
+    """
+
+    index: int
+    batch_hash: str
+    slices: list[StatsSlice] = field(default_factory=list)
+    key_table: list[tuple[str, tuple[str, ...], str]] = field(
+        default_factory=list
+    )
+    key_labels: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    cache: bool = True
+
+
+@dataclass(slots=True)
+class BatchStats:
+    """Output of :func:`compute_batch_stats`."""
+
+    index: int
+    batch_hash: str
+    stats: list[ShardStats] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    duration: float = 0.0
+
+
+def _session_stats(
+    piece: StatsSlice,
+    intel_keys: dict,
+    key_labels: dict[str, tuple[str, ...]],
+    cache: ExtractionCache,
+) -> ShardStats:
     """Rebuild one shard's Intel Messages and compute its session stats."""
     started = time.process_time()
+    messages = []
+    for (timestamp, text), key_id in zip(piece.rows, piece.record_keys):
+        intel_key = intel_keys.get(key_id)
+        if intel_key is None:
+            continue
+        message = cache.extractor.to_intel_message(
+            intel_key,
+            text,
+            timestamp=timestamp,
+            session_id=piece.session_id,
+        )
+        if message is not None:
+            messages.append(message)
+    stats = session_group_stats(messages, key_labels)
+    return ShardStats(
+        index=piece.index,
+        content_hash=piece.content_hash,
+        groups=[group.to_payload() for group in stats.groups],
+        messages=len(messages),
+        duration=time.process_time() - started,
+    )
+
+
+def compute_shard_stats(task: StatsTask) -> ShardStats:
+    """Single-shard phase-2 primitive (kept for the merge-layer tests)."""
     cache = process_cache()
     hits0, misses0 = cache.stats()
     intel_keys = {
         key_id: cache.extract(key_id, tokens, sample, enabled=task.cache)
         for key_id, tokens, sample in task.key_table
     }
-
-    session = task.session
-    messages = []
-    for record, key_id in zip(session.records, task.record_keys):
-        intel_key = intel_keys.get(key_id)
-        if intel_key is None:
-            continue
-        message = cache.extractor.to_intel_message(
-            intel_key,
-            record.message,
-            timestamp=record.timestamp,
-            session_id=session.session_id,
-        )
-        if message is not None:
-            messages.append(message)
-
-    stats = session_group_stats(messages, task.key_labels)
+    result = _session_stats(
+        StatsSlice(
+            index=task.index,
+            content_hash=task.content_hash,
+            session_id=task.session.session_id,
+            rows=[
+                (record.timestamp, record.message)
+                for record in task.session.records
+            ],
+            record_keys=task.record_keys,
+        ),
+        intel_keys,
+        task.key_labels,
+        cache,
+    )
     hits1, misses1 = cache.stats()
-    return ShardStats(
+    result.cache_hits = hits1 - hits0
+    result.cache_misses = misses1 - misses0
+    return result
+
+
+def compute_batch_stats(task: BatchStatsTask) -> BatchStats:
+    """Phase-2 worker entry point: stats for every shard of one batch.
+
+    The batch's Intel Keys are extracted once (through the per-process
+    memo) and shared by all member shards; cache traffic is accounted at
+    batch level so the parent can aggregate worker-side lookups exactly.
+    """
+    batch_started = time.process_time()
+    cache = process_cache()
+    hits0, misses0 = cache.stats()
+    intel_keys = {
+        key_id: cache.extract(key_id, tokens, sample, enabled=task.cache)
+        for key_id, tokens, sample in task.key_table
+    }
+    stats = [
+        _session_stats(piece, intel_keys, task.key_labels, cache)
+        for piece in task.slices
+    ]
+    hits1, misses1 = cache.stats()
+    return BatchStats(
         index=task.index,
-        content_hash=task.content_hash,
-        groups=[group.to_payload() for group in stats.groups],
-        messages=len(messages),
+        batch_hash=task.batch_hash,
+        stats=stats,
         cache_hits=hits1 - hits0,
         cache_misses=misses1 - misses0,
-        duration=time.process_time() - started,
+        duration=time.process_time() - batch_started,
     )

@@ -81,12 +81,25 @@ class TestGoldenModel:
         assert first == second
 
     def test_parallel_workers_match_pinned_digest(self, corpus, expected):
-        """workers=1 (inline pipeline) and workers=4 (real process pool)
-        both reproduce the serial model byte-for-byte."""
-        for workers in (1, 4):
+        """workers=1 (inline pipeline), workers=2 and workers=4 (real
+        process pools over the default size-targeted batch layout) all
+        reproduce the serial model byte-for-byte."""
+        for workers in (1, 2, 4):
             digest, _ = train_digest(corpus, workers=workers)
             assert digest == expected["digest"], (
                 f"workers={workers}: {REGEN_HINT}"
+            )
+
+    def test_batch_layout_cannot_move_the_digest(self, corpus, expected):
+        """Batching is purely a distribution knob: extreme layouts
+        (per-session batches, one giant batch) leave the model bytes
+        untouched."""
+        for batch_records in (1, 10**9):
+            digest, _ = train_digest(
+                corpus, workers=2, batch_records=batch_records
+            )
+            assert digest == expected["digest"], (
+                f"batch_records={batch_records}: {REGEN_HINT}"
             )
 
     @pytest.mark.parametrize("hash_seed", ["0", "42"])

@@ -10,6 +10,11 @@ and the parallel pipeline is extensionally equal to the serial trainer.
 from __future__ import annotations
 
 import json
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from unittest import mock
 
 import pytest
 from hypothesis import given, settings
@@ -17,13 +22,20 @@ from hypothesis import strategies as st
 
 from repro import IntelLog
 from repro.parallel import (
+    MIN_BATCH_RECORDS,
     ExtractionCache,
     MergeError,
+    ParallelReport,
+    ParallelWorkerError,
     ParseTask,
     StatsTask,
+    batch_hash,
     compute_shard_stats,
     corpus_manifest,
+    derive_batch_target,
+    init_worker,
     lpt_makespan,
+    make_batches,
     make_shards,
     merge_shards,
     parse_shard,
@@ -31,6 +43,7 @@ from repro.parallel import (
     shard_hash,
     train_parallel,
 )
+from repro.parallel.pipeline import _run_tasks
 from repro.parsing.records import LogRecord, Session
 
 # -- corpus strategies --------------------------------------------------------
@@ -309,6 +322,14 @@ class TestTrainParallel:
         assert report.records == summary.messages == 15
         assert len(report.parse_shard_seconds) == 5
         assert len(report.stats_shard_seconds) == 5
+        # 15 records < MIN_BATCH_RECORDS: one batch, inline pool.
+        assert report.batches == 1
+        assert report.pool_workers == 1
+        assert report.batch_target_records == MIN_BATCH_RECORDS
+        assert len(report.parse_batch_seconds) == 1
+        assert len(report.stats_batch_seconds) == 1
+        # Inline runs ship nothing across a process boundary.
+        assert report.payload_bytes_total == 0
 
     def test_serial_train_leaves_no_report(self):
         intellog = IntelLog()
@@ -320,7 +341,12 @@ class TestTrainParallel:
         serial = IntelLog()
         serial.train(sessions)
         parallel = IntelLog()
-        parallel.train(sessions, workers=2)
+        # batch_records forces >1 batch so a real pool is exercised.
+        parallel.train(sessions, workers=2, batch_records=3)
+        report = parallel.last_parallel_report
+        assert report.pool_workers == 2
+        assert report.batches > 1
+        assert report.payload_bytes_total > 0
         assert spell_state(parallel.spell) == spell_state(serial.spell)
         assert model_json(parallel) == model_json(serial)
 
@@ -365,6 +391,344 @@ class TestLptMakespan:
 
 
 # -- shard stats task ---------------------------------------------------------
+
+
+# -- shard batches ------------------------------------------------------------
+
+
+def _flat(batches):
+    return [
+        (s.index, s.content_hash) for b in batches for s in b.shards
+    ]
+
+
+class TestBatching:
+    def _sessions(self, n=6, records=4):
+        return [
+            Session(
+                session_id=f"c{i}",
+                records=[
+                    LogRecord(
+                        timestamp=float(i * 100 + j),
+                        level="INFO",
+                        source="S",
+                        message=f"worker {i} started task {j}",
+                    )
+                    for j in range(records)
+                ],
+            )
+            for i in range(n)
+        ]
+
+    def test_greedy_fill_in_corpus_order(self):
+        shards = make_shards(self._sessions(n=6, records=4))
+        batches = make_batches(shards, target_records=8)
+        # 6 shards x 4 records, target 8: closed after every 2 shards.
+        assert [len(b) for b in batches] == [2, 2, 2]
+        assert [b.records for b in batches] == [8, 8, 8]
+        assert [b.index for b in batches] == [0, 1, 2]
+        assert _flat(batches) == [
+            (s.index, s.content_hash) for s in shards
+        ]
+
+    def test_oversized_session_forms_its_own_batch(self):
+        sessions = self._sessions(n=3, records=10)
+        shards = make_shards(sessions)
+        batches = make_batches(shards, target_records=5)
+        # Sessions are never split: each 10-record shard overshoots the
+        # 5-record target on its own.
+        assert [len(b) for b in batches] == [1, 1, 1]
+
+    def test_trailing_partial_batch_kept(self):
+        shards = make_shards(self._sessions(n=5, records=4))
+        batches = make_batches(shards, target_records=8)
+        assert [b.records for b in batches] == [8, 8, 4]
+
+    def test_derived_target_floors_at_min_batch_records(self):
+        assert derive_batch_target(10) == MIN_BATCH_RECORDS
+        assert derive_batch_target(32 * MIN_BATCH_RECORDS) == (
+            MIN_BATCH_RECORDS
+        )
+        # Large corpora aim for 32 slices (8 workers x 4).
+        assert derive_batch_target(3_200_000) == 100_000
+
+    def test_rejects_invalid_target(self):
+        shards = make_shards(self._sessions())
+        with pytest.raises(ValueError, match="positive"):
+            make_batches(shards, target_records=0)
+
+    def test_batch_hash_tracks_members(self):
+        shards = make_shards(self._sessions())
+        assert batch_hash(shards[:2]) == batch_hash(shards[:2])
+        assert batch_hash(shards[:2]) != batch_hash(shards[:3])
+        assert batch_hash(shards[:2]) != batch_hash(
+            [shards[1], shards[0]]
+        )
+
+    def test_partition_ignores_host_core_count(self):
+        """The layout is a pure function of the corpus: a machine with a
+        different core count must cut identical batches."""
+        shards = make_shards(self._sessions())
+        layouts = []
+        for cores in (1, 2, 64, None):
+            with mock.patch("os.cpu_count", return_value=cores):
+                batches = make_batches(shards)
+                layouts.append(
+                    [(b.index, b.batch_hash, len(b)) for b in batches]
+                )
+        assert all(layout == layouts[0] for layout in layouts)
+
+    def test_partition_ignores_worker_count(self):
+        """Reports from different worker counts agree on the layout."""
+        sessions = self._sessions()
+        layouts = []
+        for workers in (1, 2, 3):
+            intellog = IntelLog()
+            intellog.train(sessions, workers=workers, batch_records=8)
+            report = intellog.last_parallel_report
+            layouts.append(
+                (
+                    report.batches,
+                    report.batch_target_records,
+                    report.manifest,
+                    len(report.parse_batch_seconds),
+                )
+            )
+        assert all(layout == layouts[0] for layout in layouts)
+
+    def test_model_independent_of_batch_layout(self):
+        """Batching is a performance knob: any layout, same bytes."""
+        sessions = self._sessions()
+        digests = set()
+        for batch_records in (1, 3, 7, None):
+            intellog = IntelLog()
+            intellog.train(
+                sessions, workers=1, batch_records=batch_records
+            )
+            digests.add(model_json(intellog))
+        assert len(digests) == 1
+
+    @given(corpora(max_sessions=6, max_records=8), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_properties(self, sessions, target):
+        """Every shard appears exactly once, in corpus order; every
+        batch but the last reaches the target; repeated cuts agree."""
+        shards = make_shards(sessions)
+        batches = make_batches(shards, target_records=target)
+        assert _flat(batches) == [
+            (s.index, s.content_hash) for s in shards
+        ]
+        assert [b.index for b in batches] == list(range(len(batches)))
+        for batch in batches[:-1]:
+            assert batch.records >= target
+        again = make_batches(shards, target_records=target)
+        assert [(b.index, b.batch_hash) for b in again] == [
+            (b.index, b.batch_hash) for b in batches
+        ]
+
+    @given(corpora(max_sessions=5, max_records=6))
+    @settings(max_examples=25, deadline=None)
+    def test_default_partition_is_pure(self, sessions):
+        """The derived target never consults the host: cuts under
+        wildly different advertised core counts are identical."""
+        shards = make_shards(sessions)
+        with mock.patch("os.cpu_count", return_value=1):
+            one = make_batches(shards)
+        with mock.patch("os.cpu_count", return_value=96):
+            many = make_batches(shards)
+        assert [(b.index, b.batch_hash) for b in one] == [
+            (b.index, b.batch_hash) for b in many
+        ]
+
+
+# -- worker failures ----------------------------------------------------------
+
+
+class _PoisonMessage(str):
+    """A str that works in-parent but cannot be pickled to a worker."""
+
+    def __reduce__(self):
+        raise RuntimeError("poisoned shard payload")
+
+
+class _CancelTask:
+    """Task for the cancellation regression: poison or slow marker."""
+
+    def __init__(self, index: int, path: str | None) -> None:
+        self.index = index
+        self.path = path
+
+
+def _cancel_probe(task: _CancelTask):
+    if task.path is None:
+        raise RuntimeError("boom")
+    Path(task.path).write_text("ran")
+    time.sleep(0.05)
+    return task.index
+
+
+class TestWorkerFailure:
+    def _sessions(self, n=5):
+        return [
+            Session(
+                session_id=f"c{i}",
+                records=[
+                    LogRecord(
+                        timestamp=float(i * 10 + j),
+                        level="INFO",
+                        source="S",
+                        message=f"worker {i} started task {j}",
+                    )
+                    for j in range(3)
+                ],
+            )
+            for i in range(n)
+        ]
+
+    def test_inline_failure_wrapped_with_batch_index(self, monkeypatch):
+        from repro.parallel import worker as worker_mod
+
+        real = worker_mod.mask_message
+
+        def boom(message):
+            if "task 1" in message:
+                raise RuntimeError("injected parse failure")
+            return real(message)
+
+        monkeypatch.setattr(worker_mod, "mask_message", boom)
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            train_parallel(IntelLog(), self._sessions(), workers=1)
+        assert excinfo.value.phase == "parse"
+        assert excinfo.value.batch_index == 0
+        assert "injected parse failure" in str(excinfo.value)
+
+    def test_poisoned_shard_surfaces_batch_index(self):
+        """A shard whose payload dies on the way to the pool fails the
+        run with a typed error naming the poisoned batch."""
+        sessions = self._sessions()
+        sessions[3].records[1].message = _PoisonMessage(
+            sessions[3].records[1].message
+        )
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            # batch_records=3 -> one 3-record session per batch.
+            train_parallel(
+                IntelLog(), sessions, workers=2, batch_records=3
+            )
+        assert excinfo.value.phase == "parse"
+        assert excinfo.value.batch_index == 3
+
+    def test_failure_cancels_pending_tasks(self, tmp_path):
+        """A poisoned first task must not let the queued tail run to
+        completion before the error surfaces."""
+        markers = [tmp_path / f"marker_{i}.txt" for i in range(12)]
+        tasks = [_CancelTask(0, None)] + [
+            _CancelTask(i + 1, str(path))
+            for i, path in enumerate(markers)
+        ]
+        executor = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        try:
+            with pytest.raises(ParallelWorkerError) as excinfo:
+                _run_tasks(
+                    executor, _cancel_probe, tasks, phase="parse"
+                )
+            assert excinfo.value.batch_index == 0
+        finally:
+            # Deliberately no cancel_futures here: if _run_tasks left
+            # the queue intact, shutdown(wait=True) would run every
+            # marker task and the assertion below would fail.
+            executor.shutdown(wait=True)
+        ran = sum(1 for path in markers if path.exists())
+        assert ran < len(markers), (
+            "pending tasks were not cancelled after a worker failure"
+        )
+
+
+# -- report serialization -----------------------------------------------------
+
+
+class TestReportRoundTrip:
+    def _report(self, **kwargs) -> ParallelReport:
+        intellog = IntelLog()
+        intellog.train(
+            TestWorkerFailure()._sessions(), **kwargs
+        )
+        return intellog.last_parallel_report
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 1},
+            {"workers": 2, "batch_records": 3},
+        ],
+    )
+    def test_to_dict_round_trips_through_json(self, kwargs):
+        report = self._report(**kwargs)
+        data = json.loads(json.dumps(report.to_dict()))
+        restored = ParallelReport.from_dict(data)
+        assert restored.to_dict() == report.to_dict()
+        # The modeled speedup is recomputable from the artifact alone.
+        for n in (1, 2, 4, 8):
+            assert restored.modeled_speedup(n) == pytest.approx(
+                report.modeled_speedup(n)
+            )
+        assert restored.serial_overhead == pytest.approx(
+            report.serial_overhead
+        )
+        assert restored.payload_bytes_total == report.payload_bytes_total
+
+    def test_artifact_carries_per_batch_series(self):
+        report = self._report(workers=2, batch_records=3)
+        data = report.to_dict()
+        assert len(data["parse_batch_seconds"]) == report.batches
+        assert len(data["stats_batch_seconds"]) == report.batches
+        assert len(data["parse_payload_bytes"]) == report.batches
+        assert len(data["stats_payload_bytes"]) == report.batches
+        assert len(data["parse_result_bytes"]) == report.batches
+        assert len(data["stats_result_bytes"]) == report.batches
+        assert len(data["parse_shard_seconds"]) == report.shards
+        assert len(data["stats_shard_seconds"]) == report.shards
+        assert data["payload_bytes_total"] == report.payload_bytes_total
+        assert data["cache_lookups"] == report.cache_lookups
+
+
+# -- cache accounting ---------------------------------------------------------
+
+
+class TestCacheConservation:
+    def test_lookups_invariant_across_worker_counts(self):
+        """For a fixed corpus (and therefore a fixed batch layout),
+        hits + misses is conserved no matter how many processes the
+        lookups were spread over."""
+        sessions = TestWorkerFailure()._sessions()
+        totals = {}
+        for workers in (1, 2, 4):
+            intellog = IntelLog()
+            intellog.train(sessions, workers=workers, batch_records=3)
+            report = intellog.last_parallel_report
+            totals[workers] = report.cache_lookups
+            assert report.cache_lookups > 0
+        assert len(set(totals.values())) == 1, totals
+
+    def test_lookup_total_matches_structure(self):
+        """Total lookups = one canonical pass over the key table plus
+        one batch-key-table pass per batch."""
+        sessions = TestWorkerFailure()._sessions()
+        intellog = IntelLog()
+        intellog.train(sessions, workers=1, batch_records=3)
+        report = intellog.last_parallel_report
+        # Same key set in every session here, so each of the 5 batches
+        # looks up the full table once, plus the canonical pass.
+        assert report.cache_lookups == report.log_keys * (
+            report.batches + 1
+        )
+
+    def test_init_worker_warms_extractor(self):
+        cache = process_cache()
+        init_worker()
+        assert cache._extractor is not None
 
 
 class TestShardStats:

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fail CI when the train-bench wall-speedup gate was skipped silently.
+
+``benchmarks/test_train_parallel.py`` asserts the measured wall speedup
+only on hosts with >= 4 cores and records its decision in
+``BENCH_train.json``: ``gate`` is either ``"enforced"`` or the explicit
+marker ``"skipped (cores<4)"``.  This checker makes that decision
+auditable — it exits non-zero when:
+
+* the artifact is missing, unreadable, or lacks ``cpu_count``/``gate``;
+* the gate claims ``enforced`` on a host with fewer than 4 cores (the
+  assertion could not have meant anything);
+* the gate was skipped even though the host had >= 4 cores (the real
+  bar was dodged);
+* the gate value is anything other than the two known markers.
+
+Usage::
+
+    python tools/check_train_gate.py [path/to/BENCH_train.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks" / "results" / "BENCH_train.json"
+)
+GATE_ENFORCED = "enforced"
+GATE_SKIPPED = "skipped (cores<4)"
+
+
+def check(path: Path) -> list[str]:
+    """Return the list of problems with the bench artifact (empty = ok)."""
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+
+    problems: list[str] = []
+    cpu_count = data.get("cpu_count")
+    gate = data.get("gate")
+    if not isinstance(cpu_count, int) or cpu_count < 1:
+        problems.append(
+            f"cpu_count missing or invalid: {cpu_count!r} — the bench "
+            f"must record the host's core count"
+        )
+        return problems
+    if gate is None:
+        problems.append(
+            "gate marker missing: the bench skipped or enforced the "
+            "wall-speedup bar without saying which"
+        )
+    elif gate == GATE_ENFORCED:
+        if cpu_count < 4:
+            problems.append(
+                f"gate claims '{GATE_ENFORCED}' but cpu_count={cpu_count} "
+                f"< 4 — the wall assertion cannot have run meaningfully"
+            )
+    elif gate == GATE_SKIPPED:
+        if cpu_count >= 4:
+            problems.append(
+                f"gate '{GATE_SKIPPED}' on a {cpu_count}-core host — the "
+                f"wall-speedup bar was dodged on capable hardware"
+            )
+    else:
+        problems.append(
+            f"unknown gate marker {gate!r} (expected "
+            f"'{GATE_ENFORCED}' or '{GATE_SKIPPED}')"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    problems = check(path)
+    if problems:
+        for problem in problems:
+            print(f"TRAIN-GATE ERROR: {problem}", file=sys.stderr)
+        return 1
+    data = json.loads(path.read_text())
+    print(
+        f"train-bench gate ok: {data['gate']} "
+        f"(cpu_count={data['cpu_count']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
